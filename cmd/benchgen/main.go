@@ -1,0 +1,62 @@
+// Command benchgen emits the repository's benchmark circuits (Table I of
+// the paper: nine ISCAS85-flavoured and eight EPFL-control-flavoured
+// circuits) as BLIF files.
+//
+// Usage:
+//
+//	benchgen [-dir benchmarks] [-list] [name ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"compact/internal/bench"
+	"compact/internal/blif"
+)
+
+func main() {
+	dir := flag.String("dir", "benchmarks", "output directory")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, g := range bench.All() {
+			fmt.Printf("%-10s %-8s %4d in %4d out  %s\n", g.Name, g.Suite, g.Inputs, g.Outputs, g.Description)
+		}
+		return
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, g := range bench.All() {
+			names = append(names, g.Name)
+		}
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	for _, name := range names {
+		g, ok := bench.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgen: unknown benchmark %q\n", name)
+			os.Exit(1)
+		}
+		nw := g.Build()
+		path := filepath.Join(*dir, name+".blif")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := blif.Write(f, nw); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%s)\n", path, nw)
+	}
+}

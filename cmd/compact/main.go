@@ -1,0 +1,180 @@
+// Command compact synthesizes a flow-based-computing crossbar design from
+// a combinational circuit in BLIF or PLA format, implementing the COMPACT
+// framework (DATE 2021).
+//
+// Usage:
+//
+//	compact -in circuit.blif [-gamma 0.5] [-method auto|oct|mip|heuristic]
+//	        [-robdds] [-noalign] [-timelimit 60s] [-render] [-dot out.dot]
+//	        [-verify N] [-spice]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"compact/internal/blif"
+	"compact/internal/core"
+	"compact/internal/labeling"
+	"compact/internal/logic"
+	"compact/internal/pla"
+	"compact/internal/spice"
+	"compact/internal/verilog"
+)
+
+func main() {
+	var (
+		inPath    = flag.String("in", "", "input circuit (.blif, .pla or structural .v)")
+		gamma     = flag.Float64("gamma", 0.5, "objective weight: 1 minimizes semiperimeter, 0 max dimension")
+		method    = flag.String("method", "auto", "labeling method: auto, oct, mip, heuristic")
+		robdds    = flag.Bool("robdds", false, "use per-output ROBDDs merged by the 1-terminal instead of a shared SBDD")
+		noalign   = flag.Bool("noalign", false, "drop the input/output alignment constraints (Eq. 7)")
+		timeLimit = flag.Duration("timelimit", 60*time.Second, "exact-solver time limit")
+		sift      = flag.Bool("sift", false, "improve the BDD variable order by rebuild-based sifting")
+		render    = flag.Bool("render", false, "print the crossbar matrix")
+		dotPath   = flag.String("dot", "", "write the crossbar's BDD in Graphviz format (unsupported with -robdds)")
+		verifyN   = flag.Int("verify", 1000, "random vectors for functional validation (0 disables; exhaustive when few inputs)")
+		runSpice  = flag.Bool("spice", false, "run the SPICE-lite electrical margin analysis")
+		svgPath   = flag.String("svg", "", "write the crossbar design as an SVG image")
+		formal    = flag.Bool("formal", false, "prove design/network equivalence for ALL inputs (symbolic sneak-path closure)")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*inPath, *gamma, *method, *robdds, *noalign, *timeLimit, *sift, *render, *dotPath, *svgPath, *verifyN, *runSpice, *formal); err != nil {
+		fmt.Fprintln(os.Stderr, "compact:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath string, gamma float64, method string, robdds, noalign bool,
+	timeLimit time.Duration, sift, render bool, dotPath, svgPath string, verifyN int, runSpice, formal bool) error {
+
+	nw, err := load(inPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuit: %s\n", nw)
+
+	var m labeling.Method
+	switch method {
+	case "auto":
+		m = labeling.MethodAuto
+	case "oct":
+		m = labeling.MethodOCT
+	case "mip":
+		m = labeling.MethodMIP
+	case "heuristic":
+		m = labeling.MethodHeuristic
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	opts := core.Options{
+		Gamma: gamma, GammaSet: true,
+		Method:    m,
+		NoAlign:   noalign,
+		TimeLimit: timeLimit,
+		Sift:      sift,
+	}
+	if robdds {
+		opts.BDDKind = core.SeparateROBDDs
+	}
+	res, err := core.Synthesize(nw, opts)
+	if err != nil {
+		return err
+	}
+	st := res.Stats()
+	fmt.Printf("bdd: %d nodes, %d edges (%s)\n", res.BDDNodes, res.BDDEdges, opts.BDDKind)
+	fmt.Printf("labeling: method=%s optimal=%v\n", res.Labeling.Method, res.Labeling.Optimal)
+	fmt.Printf("crossbar: %d x %d  S=%d  D=%d  area=%d  devices=%d  delay=%d steps\n",
+		st.Rows, st.Cols, st.S, st.D, st.Area, st.LitCells+st.OnCells, st.Delay)
+	fmt.Printf("synthesis time: %v\n", res.SynthTime.Round(time.Millisecond))
+
+	if formal {
+		if robdds {
+			return fmt.Errorf("-formal requires the SBDD mode (design variables must follow network input order)")
+		}
+		if err := res.FormalVerify(0); err != nil {
+			return fmt.Errorf("formal verification FAILED: %w", err)
+		}
+		fmt.Printf("formal verification: PROVEN over all 2^%d assignments\n", nw.NumInputs())
+	}
+	if verifyN > 0 {
+		if err := res.Verify(14, verifyN, 1); err != nil {
+			return fmt.Errorf("validation FAILED: %w", err)
+		}
+		fmt.Printf("validation: OK (%d inputs, sampled/exhaustive)\n", nw.NumInputs())
+	}
+	if render {
+		fmt.Println()
+		if err := res.Design.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if dotPath != "" {
+		f, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteBDDDOT(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("dot: wrote %s\n", dotPath)
+	}
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		if err := res.Design.WriteSVG(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("svg: wrote %s\n", svgPath)
+	}
+	if runSpice {
+		model := spice.Default()
+		rep, err := spice.Margin(res.Design, nw.Eval, nw.NumInputs(), 10, 200, model, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spice-lite: minOn=%.4gV maxOff=%.4gV separable=%v (%d vectors)\n",
+			rep.MinOn, rep.MaxOff, rep.Separable, rep.Checked)
+	}
+	return nil
+}
+
+func load(path string) (*logic.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".blif":
+		return blif.Parse(f)
+	case ".pla":
+		t, err := pla.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		return t.Network(strings.TrimSuffix(filepath.Base(path), ".pla"))
+	case ".v":
+		return verilog.Parse(f)
+	default:
+		return nil, fmt.Errorf("unsupported input format %q (want .blif, .pla or .v)", filepath.Ext(path))
+	}
+}

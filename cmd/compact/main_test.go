@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBLIF(t *testing.T) {
+	path := writeTemp(t, "fig2.blif", `
+.model fig2
+.inputs a b c
+.outputs f
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.end
+`)
+	dot := filepath.Join(t.TempDir(), "out.dot")
+	svg := filepath.Join(t.TempDir(), "out.svg")
+	if err := run(path, 0.5, "mip", false, false, 10*time.Second, false, true, dot, svg, 100, true, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Errorf("dot output missing digraph:\n%s", data)
+	}
+}
+
+func TestRunPLA(t *testing.T) {
+	path := writeTemp(t, "and.pla", ".i 2\n.o 1\n11 1\n.e\n")
+	if err := run(path, 1, "oct", false, false, 10*time.Second, false, false, "", "", 10, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerilog(t *testing.T) {
+	path := writeTemp(t, "m.v", `
+module m (a, b, f);
+  input a, b; output f;
+  assign f = a ^ b;
+endmodule
+`)
+	if err := run(path, 0.5, "heuristic", true, false, 10*time.Second, false, false, "", "", 10, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/does/not/exist.blif", 0.5, "auto", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeTemp(t, "x.txt", "hello")
+	if err := run(bad, 0.5, "auto", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
+		t.Error("unknown extension accepted")
+	}
+	blif := writeTemp(t, "m.blif", ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n")
+	if err := run(blif, 0.5, "bogus", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run(blif, 0.5, "mip", true, false, time.Second, false, false, "/tmp/x.dot", "", 0, false, false); err == nil {
+		t.Error("-dot with -robdds accepted")
+	}
+}

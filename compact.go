@@ -1,0 +1,137 @@
+// Package compact is a from-scratch Go implementation of COMPACT
+// (Thijssen, Jha, Ewetz — DATE 2021): synthesis of flow-based in-memory
+// computing crossbars with minimal semiperimeter and maximum dimension.
+//
+// A Boolean function, given as a logic network (or parsed from BLIF, PLA
+// or structural Verilog),
+// is represented as a shared binary decision diagram, viewed as an
+// undirected graph, VH-labeled — every BDD node becomes a wordline (H), a
+// bitline (V), or both (VH) so that each BDD edge is realizable by a
+// memristor — and bound to a crossbar design. The number of VH labels is
+// the odd cycle transversal of the graph, making the semiperimeter n + k;
+// a weighted MIP objective γ·S + (1−γ)·D trades semiperimeter against
+// squareness.
+//
+// The package exposes the full pipeline:
+//
+//	nw, _ := compact.ParseBLIF(file)
+//	res, _ := compact.Synthesize(nw, compact.Options{Gamma: 0.5})
+//	res.Design.Render(os.Stdout)        // the programmed crossbar
+//	out := res.Design.Eval(inputVector) // sneak-path evaluation
+//
+// Subsystems live in internal packages: ROBDD/SBDD manager (internal/bdd),
+// graph algorithms incl. odd-cycle transversal (internal/graph,
+// internal/oct), a bounded-variable-simplex MIP solver (internal/ilp), the
+// VH-labeling solvers (internal/labeling), crossbar mapping and evaluation
+// (internal/xbar), an electrical validator (internal/spice), the prior-art
+// baselines (internal/staircase, internal/magic), benchmark generators
+// (internal/bench) and the experiment harness (internal/exp). This façade
+// re-exports the types a downstream user needs.
+package compact
+
+import (
+	"io"
+
+	"compact/internal/bench"
+	"compact/internal/blif"
+	"compact/internal/core"
+	"compact/internal/labeling"
+	"compact/internal/logic"
+	"compact/internal/pla"
+	"compact/internal/spice"
+	"compact/internal/verilog"
+	"compact/internal/xbar"
+)
+
+// Core pipeline types.
+type (
+	// Options configures Synthesize; the zero value is the paper's
+	// default setup (SBDD, γ = 0.5, alignment, auto method).
+	Options = core.Options
+	// Result carries the design, the labeling solution and statistics.
+	Result = core.Result
+	// Design is a crossbar: a matrix of memristor assignments plus the
+	// input and output wordlines.
+	Design = xbar.Design
+	// Network is a combinational Boolean network.
+	Network = logic.Network
+	// Builder incrementally constructs a Network.
+	Builder = logic.Builder
+	// DeviceModel parameterizes the SPICE-lite electrical validation.
+	DeviceModel = spice.DeviceModel
+)
+
+// BDD representation kinds (Options.BDDKind).
+const (
+	SBDD           = core.SBDD
+	SeparateROBDDs = core.SeparateROBDDs
+)
+
+// VH-labeling methods (Options.Method).
+const (
+	MethodAuto      = labeling.MethodAuto
+	MethodOCT       = labeling.MethodOCT
+	MethodMIP       = labeling.MethodMIP
+	MethodHeuristic = labeling.MethodHeuristic
+)
+
+// Synthesize maps a Boolean network to a flow-based crossbar design using
+// the COMPACT framework.
+func Synthesize(nw *Network, opts Options) (*Result, error) {
+	return core.Synthesize(nw, opts)
+}
+
+// NewBuilder starts a new Boolean network.
+func NewBuilder(name string) *Builder { return logic.NewBuilder(name) }
+
+// ParseBLIF reads a combinational BLIF model.
+func ParseBLIF(r io.Reader) (*Network, error) { return blif.Parse(r) }
+
+// WriteBLIF serializes a network as BLIF.
+func WriteBLIF(w io.Writer, nw *Network) error { return blif.Write(w, nw) }
+
+// ParseVerilog reads a gate-level structural Verilog module.
+func ParseVerilog(r io.Reader) (*Network, error) { return verilog.Parse(r) }
+
+// ParsePLA reads a Berkeley PLA table and elaborates it into a network.
+func ParsePLA(r io.Reader, name string) (*Network, error) {
+	t, err := pla.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return t.Network(name)
+}
+
+// Benchmark builds one of the bundled benchmark circuits by name (the
+// paper's Table I suite); see BenchmarkNames.
+func Benchmark(name string) (*Network, bool) {
+	g, ok := bench.ByName(name)
+	if !ok {
+		return nil, false
+	}
+	return g.Build(), true
+}
+
+// BenchmarkNames lists the bundled benchmark circuits.
+func BenchmarkNames() []string { return bench.Names() }
+
+// DefaultDeviceModel returns the baseline memristor parameters for
+// electrical validation; HighContrastDeviceModel suits large arrays.
+func DefaultDeviceModel() DeviceModel { return spice.Default() }
+
+// HighContrastDeviceModel returns HfO2-class device parameters with a 10^5
+// on/off ratio.
+func HighContrastDeviceModel() DeviceModel { return spice.HighContrast() }
+
+// FormalVerify proves (for all input assignments) that a design computes
+// the same functions as its source network, via the symbolic sneak-path
+// closure. See also Result.FormalVerify for synthesized results.
+func FormalVerify(d *Design, nw *Network, nodeLimit int) error {
+	return xbar.FormalVerify(d, nw, nodeLimit)
+}
+
+// SimulateElectrical solves the programmed crossbar's resistive network
+// and returns the output voltages for one input assignment.
+func SimulateElectrical(d *Design, assignment []bool, model DeviceModel) ([]float64, error) {
+	return spice.Simulate(d, assignment, model)
+}

@@ -1,0 +1,92 @@
+package compact_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	compact "compact"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	b := compact.NewBuilder("fig2")
+	a, bb, c := b.Input("a"), b.Input("b"), b.Input("c")
+	b.Output("f", b.Or(b.And(a, bb), c))
+	nw := b.Build()
+
+	res, err := compact.Synthesize(nw, compact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(10, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Design.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Vin") {
+		t.Errorf("render missing input port:\n%s", buf.String())
+	}
+	volts, err := compact.SimulateElectrical(res.Design, []bool{true, true, false}, compact.DefaultDeviceModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if volts[0] <= 0 {
+		t.Errorf("no output voltage for a satisfied function: %v", volts)
+	}
+}
+
+func TestFacadeBLIFRoundTrip(t *testing.T) {
+	src := ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n"
+	nw, err := compact.ParseBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := compact.WriteBLIF(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compact.ParseBLIF(&buf); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+}
+
+func TestFacadePLA(t *testing.T) {
+	src := ".i 2\n.o 1\n11 1\n.e\n"
+	nw, err := compact.ParsePLA(strings.NewReader(src), "and2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Eval([]bool{true, true})[0] || nw.Eval([]bool{true, false})[0] {
+		t.Error("PLA semantics wrong")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	names := compact.BenchmarkNames()
+	if len(names) != 17 {
+		t.Fatalf("%d benchmarks, want 17", len(names))
+	}
+	nw, ok := compact.Benchmark("ctrl")
+	if !ok || nw.NumInputs() != 7 {
+		t.Fatalf("ctrl lookup failed")
+	}
+	if _, ok := compact.Benchmark("bogus"); ok {
+		t.Error("bogus benchmark found")
+	}
+}
+
+func TestFacadeROBDDMode(t *testing.T) {
+	nw, _ := compact.Benchmark("ctrl")
+	res, err := compact.Synthesize(nw, compact.Options{
+		BDDKind: compact.SeparateROBDDs,
+		Method:  compact.MethodHeuristic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(7, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module compact
+
+go 1.22

@@ -1,0 +1,123 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"compact/internal/logic"
+)
+
+func TestQuantifiers(t *testing.T) {
+	m, v := vars(t, 3)
+	f := m.Or(m.And(v[0], v[1]), m.And(m.Not(v[0]), v[2])) // ite(a,b,c)
+	// ∃a f = b | c ; ∀a f = b & c.
+	if got := m.Exists(f, 0); got != m.Or(v[1], v[2]) {
+		t.Errorf("Exists wrong")
+	}
+	if got := m.Forall(f, 0); got != m.And(v[1], v[2]) {
+		t.Errorf("Forall wrong")
+	}
+	// Quantifying a variable outside the support is the identity.
+	g := m.And(v[1], v[2])
+	if m.Exists(g, 0) != g || m.Forall(g, 0) != g {
+		t.Errorf("quantifier over non-support var changed the function")
+	}
+	// Set forms.
+	if m.ExistsSet(f, []int{0, 1, 2}) != One {
+		t.Errorf("ExistsSet over satisfiable f != 1")
+	}
+	if m.ForallSet(f, []int{0, 1, 2}) != Zero {
+		t.Errorf("ForallSet over non-tautology != 0")
+	}
+	if m.ForallSet(One, []int{0, 1, 2}) != One {
+		t.Errorf("ForallSet over tautology != 1")
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	m, v := vars(t, 4)
+	if m.AnySat(Zero) != nil {
+		t.Error("AnySat(0) not nil")
+	}
+	f := m.And(m.And(v[0], m.Not(v[1])), v[3])
+	sat := m.AnySat(f)
+	if sat == nil || !m.Eval(f, sat) {
+		t.Fatalf("AnySat returned non-satisfying %v", sat)
+	}
+	if !sat[0] || sat[1] || !sat[3] {
+		t.Errorf("AnySat assignment wrong: %v", sat)
+	}
+}
+
+func TestEquivalentIdentical(t *testing.T) {
+	build := func(extra bool) *logic.Network {
+		b := logic.NewBuilder("m")
+		x, y, z := b.Input("x"), b.Input("y"), b.Input("z")
+		f := b.Or(b.And(x, y), z)
+		if extra {
+			// Structurally different, logically identical (De Morgan).
+			f = b.Not(b.And(b.Not(b.And(x, y)), b.Not(z)))
+		}
+		b.Output("f", f)
+		b.Output("g", b.Xor(x, y, z))
+		return b.Build()
+	}
+	eq, w, err := Equivalent(build(false), build(true), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("equivalent networks reported different, witness %v", w)
+	}
+}
+
+func TestEquivalentDifferentWithWitness(t *testing.T) {
+	b1 := logic.NewBuilder("a")
+	x, y := b1.Input("x"), b1.Input("y")
+	b1.Output("f", b1.And(x, y))
+	b2 := logic.NewBuilder("b")
+	x2, y2 := b2.Input("x"), b2.Input("y")
+	b2.Output("f", b2.Or(x2, y2))
+	n1, n2 := b1.Build(), b2.Build()
+	eq, w, err := Equivalent(n1, n2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("AND reported equivalent to OR")
+	}
+	if w == nil {
+		t.Fatal("no witness")
+	}
+	if n1.Eval(w)[0] == n2.Eval(w)[0] {
+		t.Errorf("witness %v does not distinguish the networks", w)
+	}
+}
+
+func TestEquivalentSignatureMismatch(t *testing.T) {
+	b1 := logic.NewBuilder("a")
+	b1.Output("f", b1.Input("x"))
+	b2 := logic.NewBuilder("b")
+	x := b2.Input("x")
+	b2.Input("y")
+	b2.Output("f", x)
+	if _, _, err := Equivalent(b1.Build(), b2.Build(), 0); err == nil {
+		t.Error("input count mismatch accepted")
+	}
+	b3 := logic.NewBuilder("c")
+	b3.Output("g", b3.Input("z")) // different input and output names
+	if _, _, err := Equivalent(b1.Build(), b3.Build(), 0); err == nil {
+		t.Error("name mismatch accepted")
+	}
+}
+
+func TestEquivalentRandomMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		nw := randomNetwork(rng, 5, 20)
+		eq, _, err := Equivalent(nw, nw, 0)
+		if err != nil || !eq {
+			t.Fatalf("trial %d: self-equivalence failed: %v", trial, err)
+		}
+	}
+}

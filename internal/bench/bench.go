@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"compact/internal/logic"
+)
+
+// Generator describes one benchmark circuit.
+type Generator struct {
+	Name  string
+	Suite string // "iscas85" or "epfl"
+	// Inputs/Outputs are the paper's Table I I/O counts, asserted by tests.
+	Inputs, Outputs int
+	Build           func() *logic.Network
+	Description     string
+}
+
+var registry = []Generator{
+	{"c432", "iscas85", 36, 7, c432, "27-channel interrupt controller (priority logic)"},
+	{"c499", "iscas85", 41, 32, c499, "32-bit single-error-correcting circuit"},
+	{"c880", "iscas85", 60, 26, c880, "8-bit ALU with comparator and parity sections"},
+	{"c1355", "iscas85", 41, 32, c1355, "32-bit SEC circuit (c499 with expanded gates)"},
+	{"c1908", "iscas85", 33, 25, c1908, "16-bit SEC circuit with status outputs"},
+	{"c2670", "iscas85", 233, 140, c2670, "wide ALU and controller"},
+	{"c3540", "iscas85", 50, 22, c3540, "8-bit ALU with BCD flags"},
+	{"c5315", "iscas85", 178, 123, c5315, "9-bit ALU with masked datapath"},
+	{"c7552", "iscas85", 207, 108, c7552, "32-bit adder/comparator"},
+	{"arbiter", "epfl", 256, 129, arbiter, "128-line masked priority arbiter"},
+	{"cavlc", "epfl", 10, 11, cavlc, "coefficient token coding logic"},
+	{"ctrl", "epfl", 7, 26, ctrl, "ALU control decoder"},
+	{"dec", "epfl", 8, 256, dec, "8-to-256 decoder"},
+	{"i2c", "epfl", 147, 142, i2c, "I2C controller combinational slice"},
+	{"int2float", "epfl", 11, 7, int2float, "11-bit integer to 7-bit float converter"},
+	{"priority", "epfl", 128, 8, priority, "128-bit priority encoder"},
+	{"router", "epfl", 60, 30, router, "lookup XY router"},
+}
+
+// All returns every benchmark generator, ISCAS85 first then EPFL,
+// matching the paper's Table I order.
+func All() []Generator { return append([]Generator(nil), registry...) }
+
+// BySuite filters generators by suite name.
+func BySuite(suite string) []Generator {
+	var out []Generator
+	for _, g := range registry {
+		if g.Suite == suite {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ByName looks a generator up by its circuit name.
+func ByName(name string) (Generator, bool) {
+	for _, g := range registry {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
+
+// Names returns all benchmark names, sorted.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, g := range registry {
+		out[i] = g.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustBuild builds the named benchmark or panics (for examples and
+// benchmarks where the name is a compile-time constant).
+func MustBuild(name string) *logic.Network {
+	g, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("bench: unknown benchmark %q", name))
+	}
+	return g.Build()
+}

@@ -1,0 +1,204 @@
+// Package bench generates the benchmark circuits used by the COMPACT
+// evaluation: behavioural stand-ins for the nine ISCAS85 circuits and the
+// eight EPFL control benchmarks of the paper's Table I, with identical
+// input/output counts. The original netlist files are not redistributable
+// here (offline build), so each circuit is regenerated from a functional
+// description of the same flavour — priority/interrupt logic, Hamming-style
+// error correction, ALU datapaths, decoders, arbiters and routers — sized
+// so that every relative experiment (COMPACT vs baselines, SBDD vs ROBDDs,
+// γ sweeps) runs on identical inputs for all methods. See DESIGN.md §2.
+package bench
+
+import "compact/internal/logic"
+
+// priorityChain returns, for each position i, a signal that is true iff
+// none of xs[0..i-1] is true (firstFree[0] == const1).
+func priorityChain(b *logic.Builder, xs []int) []int {
+	noneAbove := make([]int, len(xs))
+	run := b.Const1()
+	for i := range xs {
+		noneAbove[i] = run
+		run = b.And(run, b.Not(xs[i]))
+	}
+	return noneAbove
+}
+
+// priorityEncode returns one-hot "first set" signals, the binary index of
+// the first set input (width bits, LSB first), and a valid flag.
+func priorityEncode(b *logic.Builder, xs []int, width int) (first []int, idx []int, valid int) {
+	noneAbove := priorityChain(b, xs)
+	first = make([]int, len(xs))
+	for i := range xs {
+		first[i] = b.And(xs[i], noneAbove[i])
+	}
+	idx = make([]int, width)
+	for bit := 0; bit < width; bit++ {
+		var terms []int
+		for i := range xs {
+			if i&(1<<uint(bit)) != 0 {
+				terms = append(terms, first[i])
+			}
+		}
+		idx[bit] = b.Or(terms...)
+	}
+	valid = b.Or(xs...)
+	return first, idx, valid
+}
+
+// parityTree XORs all inputs.
+func parityTree(b *logic.Builder, xs []int) int { return b.Xor(xs...) }
+
+// equalsConst is true iff the bus (LSB first) equals the constant k.
+func equalsConst(b *logic.Builder, bus []int, k int) int {
+	lits := make([]int, len(bus))
+	for i, x := range bus {
+		if k&(1<<uint(i)) != 0 {
+			lits[i] = x
+		} else {
+			lits[i] = b.Not(x)
+		}
+	}
+	return b.And(lits...)
+}
+
+// equalBus is true iff two equal-width buses match bitwise.
+func equalBus(b *logic.Builder, xs, ys []int) int {
+	eqs := make([]int, len(xs))
+	for i := range xs {
+		eqs[i] = b.Xnor(xs[i], ys[i])
+	}
+	return b.And(eqs...)
+}
+
+// lessThan compares unsigned buses (LSB first): xs < ys.
+func lessThan(b *logic.Builder, xs, ys []int) int {
+	lt := b.Const0()
+	for i := 0; i < len(xs); i++ { // LSB to MSB; MSB decided last wins
+		bitLT := b.And(b.Not(xs[i]), ys[i])
+		bitEQ := b.Xnor(xs[i], ys[i])
+		lt = b.Or(bitLT, b.And(bitEQ, lt))
+	}
+	return lt
+}
+
+// incBus adds 1 to the bus, returning sum bits and carry out.
+func incBus(b *logic.Builder, xs []int) ([]int, int) {
+	out := make([]int, len(xs))
+	carry := b.Const1()
+	for i, x := range xs {
+		out[i] = b.Xor(x, carry)
+		carry = b.And(x, carry)
+	}
+	return out, carry
+}
+
+// negateBus computes two's complement.
+func negateBus(b *logic.Builder, xs []int) []int {
+	inv := make([]int, len(xs))
+	for i, x := range xs {
+		inv[i] = b.Not(x)
+	}
+	out, _ := incBus(b, inv)
+	return out
+}
+
+// muxBus selects between two buses: sel ? ys : xs.
+func muxBus(b *logic.Builder, sel int, xs, ys []int) []int {
+	out := make([]int, len(xs))
+	for i := range xs {
+		out[i] = b.Mux(sel, xs[i], ys[i])
+	}
+	return out
+}
+
+// andBus, orBus, xorBus apply a bitwise operation across two buses.
+func andBus(b *logic.Builder, xs, ys []int) []int {
+	out := make([]int, len(xs))
+	for i := range xs {
+		out[i] = b.And(xs[i], ys[i])
+	}
+	return out
+}
+
+func orBus(b *logic.Builder, xs, ys []int) []int {
+	out := make([]int, len(xs))
+	for i := range xs {
+		out[i] = b.Or(xs[i], ys[i])
+	}
+	return out
+}
+
+func xorBus(b *logic.Builder, xs, ys []int) []int {
+	out := make([]int, len(xs))
+	for i := range xs {
+		out[i] = b.Xor(xs[i], ys[i])
+	}
+	return out
+}
+
+// aluSlice is a small ALU over two buses with a 2-bit opcode:
+// 00 add, 01 and, 10 or, 11 xor. Returns the result bus and carry out
+// (carry meaningful for add only).
+func aluSlice(b *logic.Builder, xs, ys []int, op0, op1, cin int) ([]int, int) {
+	sum, cout := b.AddRippleAdder(xs, ys, cin)
+	andv := andBus(b, xs, ys)
+	orv := orBus(b, xs, ys)
+	xorv := xorBus(b, xs, ys)
+	lo := muxBus(b, op0, sum, andv) // op1=0: add / and
+	hi := muxBus(b, op0, orv, xorv) // op1=1: or / xor
+	return muxBus(b, op1, lo, hi), cout
+}
+
+// decoderTree builds a full 2^n-output decoder from n select lines.
+func decoderTree(b *logic.Builder, sel []int) []int {
+	outs := []int{b.Const1()}
+	for _, s := range sel {
+		next := make([]int, 0, len(outs)*2)
+		ns := b.Not(s)
+		for _, o := range outs {
+			next = append(next, b.And(o, ns))
+		}
+		for _, o := range outs {
+			next = append(next, b.And(o, s))
+		}
+		outs = next
+	}
+	return outs
+}
+
+// leadingOne returns the one-hot position of the most significant set bit
+// (index len-1 scanned first) and a valid flag.
+func leadingOne(b *logic.Builder, xs []int) ([]int, int) {
+	oneHot := make([]int, len(xs))
+	run := b.Const1()
+	for i := len(xs) - 1; i >= 0; i-- {
+		oneHot[i] = b.And(run, xs[i])
+		run = b.And(run, b.Not(xs[i]))
+	}
+	return oneHot, b.Or(xs...)
+}
+
+// outputBus declares each bus bit as a primary output name<i>.
+func outputBus(b *logic.Builder, name string, bus []int) {
+	for i, x := range bus {
+		b.Output(busName(name, i), x)
+	}
+}
+
+func busName(name string, i int) string {
+	return name + "[" + itoa(i) + "]"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}

@@ -1,0 +1,202 @@
+package bench
+
+import "compact/internal/logic"
+
+// arbiter models the EPFL round-robin arbiter as a masked priority
+// arbiter: 128 request lines and 128 priority-mask lines; grants go to the
+// first masked request. 256 inputs, 129 outputs.
+func arbiter() *logic.Network {
+	b := logic.NewBuilder("arbiter")
+	req := b.Inputs("req", 128)
+	pri := b.Inputs("pri", 128)
+	masked := andBus(b, req, pri)
+	noneAbove := priorityChain(b, masked)
+	grants := make([]int, 128)
+	for i := range masked {
+		grants[i] = b.And(masked[i], noneAbove[i])
+	}
+	outputBus(b, "g", grants)
+	b.Output("any", b.Or(masked...))
+	return b.Build()
+}
+
+// cavlc models the coding-table flavor of the EPFL cavlc benchmark:
+// a 5-bit total-coefficient count, 2-bit trailing ones, and a 3-bit
+// context combine arithmetically into code and flag outputs. 10 inputs,
+// 11 outputs.
+func cavlc() *logic.Network {
+	b := logic.NewBuilder("cavlc")
+	tc := b.Inputs("tc", 5)
+	t1 := b.Inputs("t1", 2)
+	nc := b.Inputs("nc", 3)
+
+	t1ext := []int{t1[0], t1[1], b.Const0(), b.Const0(), b.Const0()}
+	sum, cout := b.AddRippleAdder(tc, t1ext, b.Const0())
+	outputBus(b, "code", sum)                // 5
+	b.Output("cx", cout)                     // +1
+	b.Output("eqn", equalBus(b, tc[:3], nc)) // +1
+	all := append(append(append([]int{}, tc...), t1...), nc...)
+	b.Output("par", parityTree(b, all))        // +1
+	b.Output("nz", b.Or(nc...))                // +1
+	b.Output("n7", b.And(nc[0], nc[1], nc[2])) // +1
+	b.Output("lt", lessThan(b, tc[:3], nc))    // +1 => 11
+	return b.Build()
+}
+
+// ctrl models the EPFL ALU control unit: a 7-bit opcode decoded into 26
+// control signals through pattern matching. 7 inputs, 26 outputs.
+func ctrl() *logic.Network {
+	b := logic.NewBuilder("ctrl")
+	op := b.Inputs("op", 7)
+	dec := decoderTree(b, op[:4])
+	outputBus(b, "d", dec) // 16
+	b.Output("par", parityTree(b, op))
+	patterns := []int{0x01, 0x23, 0x45, 0x5a, 0x7f}
+	for i, p := range patterns {
+		b.Output(busName("m", i), equalsConst(b, op, p))
+	} // +5
+	b.Output("hi", b.And(op[5], op[6]))
+	b.Output("lo", b.Nor(op[5], op[6]))
+	b.Output("wr", b.And(op[6], b.Or(dec[1], dec[3], dec[5])))
+	b.Output("rd", b.And(b.Not(op[6]), b.Or(dec[0], dec[2]))) // +4 => 26
+	return b.Build()
+}
+
+// dec is the exact EPFL 8-to-256 decoder. 8 inputs, 256 outputs.
+func dec() *logic.Network {
+	b := logic.NewBuilder("dec")
+	sel := b.Inputs("a", 8)
+	outs := decoderTree(b, sel)
+	outputBus(b, "y", outs)
+	return b.Build()
+}
+
+// i2c models the combinational next-state/output logic slice of the EPFL
+// i2c controller. 147 inputs, 142 outputs.
+func i2c() *logic.Network {
+	b := logic.NewBuilder("i2c")
+	state := b.Inputs("st", 8)
+	bitcnt := b.Inputs("bc", 4)
+	data := b.Inputs("dq", 8)
+	addr := b.Inputs("ad", 7)
+	own := b.Inputs("ow", 7)
+	rx := b.Inputs("rx", 32)
+	tx := b.Inputs("tx", 32)
+	flags := b.Inputs("fl", 16)
+	scl := b.Input("scl")
+	sda := b.Input("sda")
+	kc := b.Inputs("kc", 31)
+
+	// Next state: increment when kc[0], hold otherwise.
+	stInc, _ := incBus(b, state)
+	outputBus(b, "nst", muxBus(b, kc[0], state, stInc)) // 8
+	bcInc, _ := incBus(b, bitcnt)
+	outputBus(b, "nbc", muxBus(b, scl, bitcnt, bcInc)) // +4
+	match := equalBus(b, addr, own)
+	b.Output("match", match)                           // +1
+	outputBus(b, "do", muxBus(b, kc[1], data, rx[:8])) // +8
+	for i := 0; i < 4; i++ {
+		b.Output(busName("rp", i), parityTree(b, rx[8*i:8*i+8]))
+		b.Output(busName("tp", i), parityTree(b, tx[8*i:8*i+8]))
+	} // +8
+	for i := 0; i < 8; i++ {
+		b.Output(busName("fo", i), b.Or(rx[4*i], rx[4*i+1], rx[4*i+2], rx[4*i+3]))
+	} // +8
+	outputBus(b, "nfl", muxBus(b, sda, flags, xorBus(b, flags, kc[:16]))) // +16
+	outputBus(b, "rt", xorBus(b, rx, tx))                                 // +32
+	outputBus(b, "ro", orBus(b, rx, tx))                                  // +32
+	for i := 0; i < 16; i++ {
+		b.Output(busName("fs", i), b.And(flags[i], scl))
+	} // +16
+	for i := 0; i < 8; i++ {
+		b.Output(busName("sd", i), equalsConst(b, state[:3], i%8))
+	} // +8
+	b.Output("kpar", parityTree(b, kc[16:])) // +1 => 142
+	return b.Build()
+}
+
+// int2float is the EPFL 11-bit-integer to 7-bit-float converter: sign,
+// 4-bit exponent from leading-one detection, 2-bit mantissa. 11 inputs,
+// 7 outputs.
+func int2float() *logic.Network {
+	b := logic.NewBuilder("int2float")
+	x := b.Inputs("x", 11)
+	sign := x[10]
+	mag := muxBus(b, sign, x[:10], negateBus(b, x[:10]))
+	oneHot, valid := leadingOne(b, mag)
+	// Exponent: binary position of the leading one.
+	exp := make([]int, 4)
+	for bit := 0; bit < 4; bit++ {
+		var terms []int
+		for p := range oneHot {
+			if p&(1<<uint(bit)) != 0 {
+				terms = append(terms, oneHot[p])
+			}
+		}
+		exp[bit] = b.Or(terms...)
+	}
+	// Mantissa: the two bits right below the leading one.
+	man := make([]int, 2)
+	for k := 0; k < 2; k++ {
+		var terms []int
+		for p := range oneHot {
+			if p-1-k >= 0 {
+				terms = append(terms, b.And(oneHot[p], mag[p-1-k]))
+			}
+		}
+		man[k] = b.Or(terms...)
+	}
+	b.Output("sign", b.And(sign, valid))
+	outputBus(b, "exp", exp)
+	outputBus(b, "man", man)
+	return b.Build()
+}
+
+// priority is the EPFL 128-bit priority encoder: 7-bit index plus a valid
+// flag. 128 inputs, 8 outputs.
+func priority() *logic.Network {
+	b := logic.NewBuilder("priority")
+	req := b.Inputs("req", 128)
+	_, idx, valid := priorityEncode(b, req, 7)
+	outputBus(b, "idx", idx)
+	b.Output("valid", valid)
+	return b.Build()
+}
+
+// router models the EPFL lookup XY router: destination/current coordinate
+// comparison into direction controls plus payload transforms. 60 inputs,
+// 30 outputs.
+func router() *logic.Network {
+	b := logic.NewBuilder("router")
+	dx := b.Inputs("dx", 8)
+	dy := b.Inputs("dy", 8)
+	cx := b.Inputs("cx", 8)
+	cy := b.Inputs("cy", 8)
+	cr := b.Inputs("cr", 5)
+	flit := b.Inputs("ft", 16)
+	vc := b.Inputs("vc", 7)
+
+	eqx := equalBus(b, dx, cx)
+	eqy := equalBus(b, dy, cy)
+	ltx := lessThan(b, dx, cx)
+	lty := lessThan(b, dy, cy)
+	west := b.And(b.Not(eqx), ltx)
+	east := b.And(b.Not(eqx), b.Not(ltx))
+	north := b.And(eqx, b.Not(eqy), lty)
+	south := b.And(eqx, b.Not(eqy), b.Not(lty))
+	local := b.And(eqx, eqy)
+	b.Output("e", east)
+	b.Output("w", west)
+	b.Output("n", north)
+	b.Output("s", south)
+	b.Output("l", local)                  // 5
+	outputBus(b, "ox", xorBus(b, cx, dx)) // +8
+	outputBus(b, "oy", xorBus(b, cy, dy)) // +8
+	grant := b.And(b.Or(cr...), b.Not(local))
+	b.Output("grant", grant)              // +1
+	b.Output("fpar", parityTree(b, flit)) // +1
+	for i, v := range vc {
+		b.Output(busName("gv", i), b.And(v, grant))
+	} // +7 => 30
+	return b.Build()
+}

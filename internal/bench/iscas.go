@@ -1,0 +1,280 @@
+package bench
+
+import "compact/internal/logic"
+
+// c432 models the 27-channel interrupt controller: 27 request lines gated
+// by 9 group enables, priority-encoded into a 5-bit channel index with a
+// valid flag and a parity output. 36 inputs, 7 outputs.
+func c432() *logic.Network {
+	b := logic.NewBuilder("c432")
+	req := b.Inputs("req", 27)
+	en := b.Inputs("en", 9)
+	gated := make([]int, 27)
+	for i := range req {
+		gated[i] = b.And(req[i], en[i/3])
+	}
+	_, idx, valid := priorityEncode(b, gated, 5)
+	outputBus(b, "chan", idx)
+	b.Output("valid", valid)
+	b.Output("par", parityTree(b, gated))
+	return b.Build()
+}
+
+// hammingSEC builds a single-error-correcting decoder over `dw` data bits
+// and `cw` check bits: syndromes are parity trees, and each data bit is
+// flipped when the syndrome addresses it.
+func hammingSEC(b *logic.Builder, d, chk []int, en int) (corrected, syndrome []int) {
+	cw := len(chk)
+	posBits := 0
+	for (1 << uint(posBits)) < len(d)+1 {
+		posBits++
+	}
+	syndrome = make([]int, cw)
+	for j := 0; j < cw; j++ {
+		var members []int
+		for i := range d {
+			var in bool
+			if j < posBits {
+				in = (i+1)>>uint(j)&1 == 1
+			} else {
+				// Extra checks: overall parity and striped parity.
+				switch (j - posBits) % 2 {
+				case 0:
+					in = true
+				default:
+					in = i%2 == 0
+				}
+			}
+			if in {
+				members = append(members, d[i])
+			}
+		}
+		members = append(members, chk[j])
+		syndrome[j] = parityTree(b, members)
+	}
+	pos := syndrome[:posBits]
+	corrected = make([]int, len(d))
+	for i := range d {
+		hit := b.And(en, equalsConst(b, pos, i+1))
+		corrected[i] = b.Xor(d[i], hit)
+	}
+	return corrected, syndrome
+}
+
+// c499 models the 32-bit single-error-correcting circuit: 32 data bits,
+// 8 check bits, and an enable. 41 inputs, 32 outputs.
+func c499() *logic.Network { return secCircuit("c499") }
+
+// c1355 is functionally identical to c499 (the real netlist is c499 with
+// its XOR gates expanded into NANDs, which leaves the function — and hence
+// the BDD — unchanged). 41 inputs, 32 outputs.
+func c1355() *logic.Network { return secCircuit("c1355") }
+
+func secCircuit(name string) *logic.Network {
+	b := logic.NewBuilder(name)
+	d := b.Inputs("d", 32)
+	chk := b.Inputs("c", 8)
+	en := b.Input("en")
+	corrected, _ := hammingSEC(b, d, chk, en)
+	outputBus(b, "o", corrected)
+	return b.Build()
+}
+
+// c880 models the 8-bit ALU: an add/and/or/xor datapath, an 8-bit
+// comparator bank, and parity/select sections. 60 inputs, 26 outputs.
+func c880() *logic.Network {
+	b := logic.NewBuilder("c880")
+	a := b.Inputs("a", 8)
+	bb := b.Inputs("b", 8)
+	cin := b.Input("cin")
+	op0, op1 := b.Input("op0"), b.Input("op1")
+	d := b.Inputs("d", 8)
+	e := b.Inputs("e", 8)
+	f := b.Inputs("f", 16)
+	g := b.Inputs("g", 9)
+
+	alu, cout := aluSlice(b, a, bb, op0, op1, cin)
+	outputBus(b, "alu", alu)
+	b.Output("cout", cout)
+	eq := equalBus(b, d, e)
+	lt := lessThan(b, d, e)
+	b.Output("eq", eq)
+	b.Output("lt", lt)
+	b.Output("gt", b.And(b.Not(eq), b.Not(lt)))
+	for i := 0; i < 8; i++ {
+		b.Output(busName("fp", i), b.Xor(f[2*i], f[2*i+1]))
+	}
+	for i := 0; i < 4; i++ {
+		b.Output(busName("gm", i), b.Mux(g[8], g[i], g[4+i]))
+	}
+	b.Output("gpar", parityTree(b, g))
+	b.Output("eqp", b.And(eq, parityTree(b, f)))
+	return b.Build()
+}
+
+// c1908 models the 16-bit SEC circuit with status outputs: 16 data bits,
+// 5 check bits, and a 12-bit control section. 33 inputs, 25 outputs.
+func c1908() *logic.Network {
+	b := logic.NewBuilder("c1908")
+	d := b.Inputs("d", 16)
+	chk := b.Inputs("c", 5)
+	ctrl := b.Inputs("k", 12)
+	corrected, syndrome := hammingSEC(b, d, chk, ctrl[0])
+	outputBus(b, "o", corrected)
+	outputBus(b, "s", syndrome)
+	b.Output("err", b.Or(syndrome...))
+	b.Output("kpar", parityTree(b, ctrl))
+	b.Output("k12", b.And(ctrl[1], ctrl[2]))
+	b.Output("k34", b.Or(ctrl[3], ctrl[4]))
+	return b.Build()
+}
+
+// c2670 models the wide ALU-and-controller: masked datapath, byte
+// comparators, parity and priority sections. 233 inputs, 140 outputs.
+func c2670() *logic.Network {
+	b := logic.NewBuilder("c2670")
+	x := b.Inputs("x", 64)
+	y := b.Inputs("y", 64)
+	mask := b.Inputs("m", 64)
+	sel := b.Inputs("s", 5)
+	k := b.Inputs("k", 36)
+
+	masked := xorBus(b, andBus(b, x, mask), y)
+	outputBus(b, "w", masked) // 64
+	for byteI := 0; byteI < 8; byteI++ {
+		xs := x[8*byteI : 8*byteI+8]
+		ys := y[8*byteI : 8*byteI+8]
+		b.Output(busName("eq", byteI), equalBus(b, xs, ys))
+		b.Output(busName("lt", byteI), lessThan(b, xs, ys))
+	} // +16
+	for i := 0; i < 6; i++ {
+		b.Output(busName("kp", i), parityTree(b, k[6*i:6*i+6]))
+	} // +6
+	_, idx, valid := priorityEncode(b, k[:32], 5)
+	outputBus(b, "pi", idx) // +5
+	b.Output("pv", valid)   // +1
+	dec := decoderTree(b, sel[:3])
+	outputBus(b, "dec", dec) // +8
+	for i := 0; i < 16; i++ {
+		b.Output(busName("xo", i), b.Or(x[4*i], x[4*i+1], x[4*i+2], x[4*i+3]))
+	} // +16
+	for i := 0; i < 16; i++ {
+		b.Output(busName("ya", i), b.And(y[4*i], y[4*i+1], y[4*i+2], y[4*i+3]))
+	} // +16
+	for i := 0; i < 8; i++ {
+		b.Output(busName("t", i), b.Xor(x[i], y[i], k[i]))
+	} // +8 => 140
+	_ = sel[3]
+	return b.Build()
+}
+
+// c3540 models the 8-bit ALU with BCD-style flags. 50 inputs, 22 outputs.
+func c3540() *logic.Network {
+	b := logic.NewBuilder("c3540")
+	a := b.Inputs("a", 8)
+	bb := b.Inputs("b", 8)
+	cin := b.Input("cin")
+	op0, op1 := b.Input("op0"), b.Input("op1")
+	mask := b.Inputs("m", 8)
+	m2 := b.Inputs("n", 8)
+	sel := b.Inputs("s", 3)
+	extra := b.Inputs("e", 12)
+
+	alu, cout := aluSlice(b, a, bb, op0, op1, cin)
+	outputBus(b, "alu", alu) // 8
+	b.Output("cout", cout)   // +1
+	// BCD flag: low nibble of the result < 10.
+	ten := lessThan(b, alu[:4], []int{b.Const0(), b.Const1(), b.Const0(), b.Const1()})
+	b.Output("bcd", ten)                                   // +1
+	b.Output("mp", parityTree(b, andBus(b, mask, m2)))     // +1
+	outputBus(b, "dec", decoderTree(b, sel))               // +8
+	b.Output("eo0", b.Or(extra[:6]...))                    // +1
+	b.Output("eo1", b.And(extra[6], extra[7], extra[8]))   // +1
+	b.Output("eo2", b.Xor(extra[9], extra[10], extra[11])) // +1 => 22
+	return b.Build()
+}
+
+// c5315 models the 9-bit ALU with wide masked datapath. 178 inputs,
+// 123 outputs.
+func c5315() *logic.Network {
+	b := logic.NewBuilder("c5315")
+	a := b.Inputs("a", 9)
+	bb := b.Inputs("b", 9)
+	cin := b.Input("cin")
+	op0, op1 := b.Input("op0"), b.Input("op1")
+	c := b.Inputs("c", 9)
+	d := b.Inputs("d", 9)
+	x := b.Inputs("x", 32)
+	y := b.Inputs("y", 32)
+	mask := b.Inputs("m", 32)
+	sel := b.Inputs("s", 4)
+	k := b.Inputs("k", 39)
+
+	alu, cout := aluSlice(b, a, bb, op0, op1, cin)
+	outputBus(b, "alu", alu) // 9
+	b.Output("cout", cout)   // +1
+	eq := equalBus(b, c, d)
+	lt := lessThan(b, c, d)
+	b.Output("eq", eq)
+	b.Output("lt", lt)
+	b.Output("gt", b.And(b.Not(eq), b.Not(lt)))        // +3
+	outputBus(b, "w", orBus(b, andBus(b, x, mask), y)) // +32
+	outputBus(b, "t", xorBus(b, x, y))                 // +32
+	outputBus(b, "dec", decoderTree(b, sel))           // +16
+	for i := 0; i < 3; i++ {
+		b.Output(busName("kp", i), parityTree(b, k[13*i:13*i+13]))
+	} // +3
+	for i := 0; i < 4; i++ {
+		b.Output(busName("xo", i), b.Or(x[8*i:8*i+8]...))
+	} // +4
+	for i := 0; i < 8; i++ {
+		b.Output(busName("ya", i), b.And(y[4*i], y[4*i+1], y[4*i+2], y[4*i+3]))
+	} // +8
+	_, idx, valid := priorityEncode(b, k[:32], 5)
+	outputBus(b, "pi", idx)            // +5
+	b.Output("pv", valid)              // +1
+	b.Output("kall", parityTree(b, k)) // +1
+	first, _, _ := priorityEncode(b, mask[:8], 3)
+	outputBus(b, "f", first) // +8 => 123
+	return b.Build()
+}
+
+// c7552 models the 32-bit adder/comparator. 207 inputs, 108 outputs.
+func c7552() *logic.Network {
+	b := logic.NewBuilder("c7552")
+	a := b.Inputs("a", 32)
+	bb := b.Inputs("b", 32)
+	cin := b.Input("cin")
+	c := b.Inputs("c", 32)
+	d := b.Inputs("d", 32)
+	sel := b.Inputs("s", 2)
+	k := b.Inputs("k", 76)
+
+	sum, cout := b.AddRippleAdder(a, bb, cin)
+	outputBus(b, "sum", sum) // 32
+	b.Output("cout", cout)   // +1
+	eq := equalBus(b, c, d)
+	lt := lessThan(b, c, d)
+	b.Output("eq", eq)
+	b.Output("lt", lt)
+	b.Output("gt", b.And(b.Not(eq), b.Not(lt))) // +3
+	outputBus(b, "t", xorBus(b, c, d))          // +32
+	for i := 0; i < 4; i++ {
+		b.Output(busName("kp", i), parityTree(b, k[19*i:19*i+19]))
+	} // +4
+	_, idx, valid := priorityEncode(b, k[:64], 6)
+	outputBus(b, "pi", idx) // +6
+	b.Output("pv", valid)   // +1
+	for i := 0; i < 16; i++ {
+		b.Output(busName("cd", i), b.Or(c[i], d[i]))
+	} // +16
+	for i := 0; i < 8; i++ {
+		b.Output(busName("ab", i), b.And(a[i], bb[i]))
+	} // +8
+	b.Output("s0x", b.Xor(sel[0], sel[1]))   // +1
+	b.Output("s1a", b.And(sel[0], cout))     // +1
+	b.Output("s2o", b.Or(sel[1], eq))        // +1
+	b.Output("apar", parityTree(b, a[:16]))  // +1
+	b.Output("bpar", parityTree(b, bb[:16])) // +1 => 108
+	return b.Build()
+}

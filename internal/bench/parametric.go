@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"compact/internal/logic"
+)
+
+// Parametric builds a scalable circuit from a "family:size" specification.
+// Supported families:
+//
+//	adder:N      N-bit ripple-carry adder (2N+1 in, N+1 out)
+//	comparator:N N-bit equality/less-than comparator (2N in, 3 out)
+//	decoder:N    N-to-2^N decoder (N in, 2^N out)
+//	parity:N     N-input parity tree (N in, 1 out)
+//	priority:N   N-input priority encoder (N in, ceil(log2 N)+1 out)
+//	majority:N   N-input majority vote, N odd (N in, 1 out)
+//
+// These power the scaling experiment (semiperimeter growth against BDD
+// size) and give users ready-made workloads beyond the Table I suite.
+func Parametric(spec string) (*logic.Network, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bench: parametric spec %q must be family:size", spec)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("bench: bad size in %q", spec)
+	}
+	switch parts[0] {
+	case "adder":
+		return paramAdder(n), nil
+	case "comparator":
+		return paramComparator(n), nil
+	case "decoder":
+		if n > 12 {
+			return nil, fmt.Errorf("bench: decoder:%d has %d outputs; limit is decoder:12", n, 1<<uint(n))
+		}
+		return paramDecoder(n), nil
+	case "parity":
+		return paramParity(n), nil
+	case "priority":
+		return paramPriority(n), nil
+	case "majority":
+		if n%2 == 0 {
+			return nil, fmt.Errorf("bench: majority:%d needs an odd size", n)
+		}
+		return paramMajority(n), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown parametric family %q", parts[0])
+	}
+}
+
+// ParametricFamilies lists the supported family names.
+func ParametricFamilies() []string {
+	return []string{"adder", "comparator", "decoder", "parity", "priority", "majority"}
+}
+
+func paramAdder(n int) *logic.Network {
+	b := logic.NewBuilder(fmt.Sprintf("adder%d", n))
+	xs := b.Inputs("x", n)
+	ys := b.Inputs("y", n)
+	cin := b.Input("cin")
+	sums, cout := b.AddRippleAdder(xs, ys, cin)
+	outputBus(b, "s", sums)
+	b.Output("cout", cout)
+	return b.Build()
+}
+
+func paramComparator(n int) *logic.Network {
+	b := logic.NewBuilder(fmt.Sprintf("cmp%d", n))
+	xs := b.Inputs("x", n)
+	ys := b.Inputs("y", n)
+	eq := equalBus(b, xs, ys)
+	lt := lessThan(b, xs, ys)
+	b.Output("eq", eq)
+	b.Output("lt", lt)
+	b.Output("gt", b.And(b.Not(eq), b.Not(lt)))
+	return b.Build()
+}
+
+func paramDecoder(n int) *logic.Network {
+	b := logic.NewBuilder(fmt.Sprintf("dec%d", n))
+	sel := b.Inputs("a", n)
+	outputBus(b, "y", decoderTree(b, sel))
+	return b.Build()
+}
+
+func paramParity(n int) *logic.Network {
+	b := logic.NewBuilder(fmt.Sprintf("par%d", n))
+	xs := b.Inputs("x", n)
+	b.Output("p", parityTree(b, xs))
+	return b.Build()
+}
+
+func paramPriority(n int) *logic.Network {
+	b := logic.NewBuilder(fmt.Sprintf("pri%d", n))
+	xs := b.Inputs("r", n)
+	width := 0
+	for (1 << uint(width)) < n {
+		width++
+	}
+	if width == 0 {
+		width = 1
+	}
+	_, idx, valid := priorityEncode(b, xs, width)
+	outputBus(b, "idx", idx)
+	b.Output("valid", valid)
+	return b.Build()
+}
+
+func paramMajority(n int) *logic.Network {
+	b := logic.NewBuilder(fmt.Sprintf("maj%d", n))
+	xs := b.Inputs("x", n)
+	// Count set bits with a ripple counter, then compare to n/2.
+	width := 0
+	for (1 << uint(width)) <= n {
+		width++
+	}
+	count := make([]int, width)
+	for i := range count {
+		count[i] = b.Const0()
+	}
+	for _, x := range xs {
+		carry := x
+		for bit := 0; bit < width && carry != b.Const0(); bit++ {
+			sum := b.Xor(count[bit], carry)
+			carry = b.And(count[bit], carry)
+			count[bit] = sum
+		}
+	}
+	// majority iff count > n/2 iff count >= (n+1)/2.
+	threshold := (n + 1) / 2
+	thr := make([]int, width)
+	for i := range thr {
+		if threshold&(1<<uint(i)) != 0 {
+			thr[i] = b.Const1()
+		} else {
+			thr[i] = b.Const0()
+		}
+	}
+	b.Output("maj", b.Not(lessThan(b, count, thr)))
+	return b.Build()
+}

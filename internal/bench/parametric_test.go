@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestParametricAdder(t *testing.T) {
+	nw, err := Parametric("adder:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumInputs() != 9 || nw.NumOutputs() != 5 {
+		t.Fatalf("adder:4 I/O = %d/%d", nw.NumInputs(), nw.NumOutputs())
+	}
+	in := make([]bool, 9)
+	for a := 0; a < 16; a++ {
+		for c := 0; c < 16; c += 3 {
+			for i := 0; i < 4; i++ {
+				in[i] = a&(1<<uint(i)) != 0
+				in[4+i] = c&(1<<uint(i)) != 0
+			}
+			in[8] = false
+			out := nw.Eval(in)
+			got := 0
+			for i := 0; i < 5; i++ {
+				if out[i] {
+					got |= 1 << uint(i)
+				}
+			}
+			if got != a+c {
+				t.Fatalf("%d+%d = %d", a, c, got)
+			}
+		}
+	}
+}
+
+func TestParametricComparator(t *testing.T) {
+	nw, err := Parametric("comparator:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]bool, 6)
+	for a := 0; a < 8; a++ {
+		for c := 0; c < 8; c++ {
+			for i := 0; i < 3; i++ {
+				in[i] = a&(1<<uint(i)) != 0
+				in[3+i] = c&(1<<uint(i)) != 0
+			}
+			out := nw.Eval(in)
+			if out[0] != (a == c) || out[1] != (a < c) || out[2] != (a > c) {
+				t.Fatalf("cmp(%d,%d) = %v", a, c, out)
+			}
+		}
+	}
+}
+
+func TestParametricDecoderParityPriorityMajority(t *testing.T) {
+	dec, err := Parametric("decoder:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumOutputs() != 8 {
+		t.Fatalf("decoder:3 outputs = %d", dec.NumOutputs())
+	}
+	par, err := Parametric("parity:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []bool{true, false, true, true, false}
+	if !par.Eval(in)[0] {
+		t.Error("parity of 3 ones should be true")
+	}
+	pri, err := Parametric("priority:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := make([]bool, 10)
+	pin[6] = true
+	out := pri.Eval(pin)
+	idx := 0
+	for b := 0; b < 4; b++ {
+		if out[b] {
+			idx |= 1 << uint(b)
+		}
+	}
+	if idx != 6 || !out[4] {
+		t.Errorf("priority(6) = idx %d valid %v", idx, out[4])
+	}
+	maj, err := Parametric("majority:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := make([]bool, 5)
+	for v := 0; v < 32; v++ {
+		ones := 0
+		for i := range min {
+			min[i] = v&(1<<uint(i)) != 0
+			if min[i] {
+				ones++
+			}
+		}
+		if got, want := maj.Eval(min)[0], ones >= 3; got != want {
+			t.Fatalf("majority(%05b) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestParametricErrors(t *testing.T) {
+	for _, spec := range []string{"adder", "adder:x", "adder:0", "unknown:3", "decoder:20", "majority:4"} {
+		if _, err := Parametric(spec); err == nil {
+			t.Errorf("%q accepted", spec)
+		}
+	}
+	if len(ParametricFamilies()) != 6 {
+		t.Error("family list wrong")
+	}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"compact/internal/blif"
+)
+
+// TestBLIFRoundTripAllBenchmarks serializes every benchmark circuit as
+// BLIF (what cmd/benchgen emits), reparses it, and checks functional
+// equivalence on random vectors — an integration test of the generators,
+// the writer and the parser together.
+func TestBLIFRoundTripAllBenchmarks(t *testing.T) {
+	for _, g := range All() {
+		nw := g.Build()
+		var buf bytes.Buffer
+		if err := blif.Write(&buf, nw); err != nil {
+			t.Errorf("%s: write: %v", g.Name, err)
+			continue
+		}
+		nw2, err := blif.Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Errorf("%s: reparse: %v", g.Name, err)
+			continue
+		}
+		if nw2.NumInputs() != nw.NumInputs() || nw2.NumOutputs() != nw.NumOutputs() {
+			t.Errorf("%s: I/O changed: %d/%d -> %d/%d", g.Name,
+				nw.NumInputs(), nw.NumOutputs(), nw2.NumInputs(), nw2.NumOutputs())
+			continue
+		}
+		// Input order may differ after reparse; map by name.
+		perm := make([]int, nw.NumInputs())
+		for i, name := range nw.InputNames() {
+			j := nw2.InputIndex(name)
+			if j < 0 {
+				t.Errorf("%s: input %q lost", g.Name, name)
+				continue
+			}
+			perm[i] = j
+		}
+		operm := make([]int, nw.NumOutputs())
+		for i, name := range nw.OutputNames {
+			j := nw2.OutputIndex(name)
+			if j < 0 {
+				t.Errorf("%s: output %q lost", g.Name, name)
+				continue
+			}
+			operm[i] = j
+		}
+		in := make([]bool, nw.NumInputs())
+		in2 := make([]bool, nw.NumInputs())
+		state := uint64(1)
+		for trial := 0; trial < 40; trial++ {
+			for i := range in {
+				state = state*6364136223846793005 + 1442695040888963407
+				in[i] = state>>33&1 != 0
+				in2[perm[i]] = in[i]
+			}
+			want := nw.Eval(in)
+			got := nw2.Eval(in2)
+			for o := range want {
+				if want[o] != got[operm[o]] {
+					t.Fatalf("%s: output %s differs after round trip", g.Name, nw.OutputNames[o])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package core is the COMPACT framework: it chains the full synthesis
+// pipeline of the paper — Boolean network → (shared) BDD → undirected
+// graph → VH-labeling → crossbar design — behind one call, Synthesize.
+//
+// The pipeline follows Figure 3 of the paper. Options select the BDD kind
+// (one shared SBDD, or per-output ROBDDs merged by their 1-terminal as in
+// prior work), the labeling method and objective weight γ, the alignment
+// constraints of Eq. 7, and the exact-solver time budget. Every produced
+// design evaluates on assignments in network-input order and can be
+// checked against the source network with Result.Verify.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"compact/internal/bdd"
+	"compact/internal/labeling"
+	"compact/internal/logic"
+	"compact/internal/oct"
+	"compact/internal/xbar"
+)
+
+// BDDKind selects how multi-output functions are represented.
+type BDDKind uint8
+
+// BDD kinds.
+const (
+	// SBDD builds one shared BDD for all outputs (Section VII-A, the
+	// COMPACT default).
+	SBDD BDDKind = iota
+	// SeparateROBDDs builds one ROBDD per output and merges them by the
+	// 1-terminal, modeling the prior-work flow the paper compares against.
+	SeparateROBDDs
+)
+
+func (k BDDKind) String() string {
+	if k == SeparateROBDDs {
+		return "robdds"
+	}
+	return "sbdd"
+}
+
+// Options configures Synthesize. The zero value gives the paper's default
+// configuration: SBDD, γ = 0.5, alignment on, automatic method selection,
+// DFS variable order.
+type Options struct {
+	// Gamma weighs semiperimeter against maximum dimension; the paper's
+	// default is 0.5.
+	Gamma float64
+	// GammaSet must be true to use Gamma = 0 (distinguishes an explicit 0
+	// from an unset field).
+	GammaSet bool
+	// Method picks the VH-labeling solver (default auto).
+	Method labeling.Method
+	// BDDKind picks SBDD vs per-output ROBDDs.
+	BDDKind BDDKind
+	// NoAlign disables the Eq. 7 alignment constraints (they are on by
+	// default, matching Section VIII).
+	NoAlign bool
+	// TimeLimit bounds exact labeling; zero means unlimited.
+	TimeLimit time.Duration
+	// VarOrder fixes the BDD variable order (permutation of input
+	// indices); nil uses the DFS fanin-order heuristic.
+	VarOrder []int
+	// Sift enables rebuild-based sifting on top of the initial order.
+	Sift bool
+	// NodeLimit bounds BDD construction (default 4,000,000 nodes).
+	NodeLimit int
+	// OCTBackend selects the vertex-cover engine for MethodOCT.
+	OCTBackend oct.Backend
+	// AutoExactLimit overrides the auto-method node threshold.
+	AutoExactLimit int
+	// MaxRows/MaxCols cap the crossbar dimensions (0 = unconstrained);
+	// Synthesize fails with labeling.ErrInfeasible when no design fits.
+	// Exact enforcement requires the MIP labeling method.
+	MaxRows, MaxCols int
+}
+
+func (o Options) gamma() float64 {
+	if o.Gamma == 0 && !o.GammaSet {
+		return 0.5
+	}
+	return o.Gamma
+}
+
+// Result is a synthesized crossbar design plus everything the experiments
+// report: BDD statistics, the labeling solution (with solver trace), and
+// wall-clock synthesis time.
+type Result struct {
+	Design   *xbar.Design
+	Graph    *xbar.BDDGraph
+	Labeling *labeling.Solution
+	// BDDNodes and BDDEdges use the paper's Table I conventions (nodes
+	// include terminals; edges exclude nothing).
+	BDDNodes, BDDEdges int
+	// Order is the variable order used (input indices, level order).
+	Order     []int
+	SynthTime time.Duration
+
+	network *logic.Network
+	mgr     *bdd.Manager // SBDD mode only
+	roots   []bdd.Node
+}
+
+// Stats returns the crossbar hardware statistics.
+func (r *Result) Stats() xbar.Stats { return r.Design.Stats() }
+
+// Synthesize maps the network to a crossbar design.
+func Synthesize(nw *logic.Network, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.NodeLimit <= 0 {
+		opts.NodeLimit = 4_000_000
+	}
+	order := opts.VarOrder
+	if order == nil {
+		order = bdd.DFSOrder(nw)
+	}
+	if opts.Sift {
+		order, _ = bdd.SiftRebuild(nw, order, bdd.SiftRebuildOptions{NodeLimit: opts.NodeLimit})
+	}
+
+	var bg *xbar.BDDGraph
+	var nodes, edges int
+	var mgrKeep *bdd.Manager
+	var rootsKeep []bdd.Node
+	switch opts.BDDKind {
+	case SeparateROBDDs:
+		singles, err := bdd.BuildSeparate(nw, order, opts.NodeLimit)
+		if err != nil {
+			return nil, fmt.Errorf("core: ROBDD construction: %w", err)
+		}
+		bg, err = xbar.FromSeparate(singles, nw.InputNames())
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		// Merged node/edge counts: shared terminal counted once, plus the
+		// (removed) 0-terminal convention of Table I.
+		nodes = bg.NumNodes() + 1 // re-add the 0-terminal
+		edges = 0
+		for _, s := range singles {
+			edges += s.Manager.CountEdges(s.Root)
+		}
+	default:
+		m, roots, err := bdd.BuildNetwork(nw, order, opts.NodeLimit)
+		if err != nil {
+			return nil, fmt.Errorf("core: SBDD construction: %w", err)
+		}
+		nodes = m.CountNodes(roots...)
+		edges = m.CountEdges(roots...)
+		bg, err = xbar.FromBDD(m, roots, nw.OutputNames)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		mgrKeep, rootsKeep = m, roots // retained for WriteBDDDOT
+	}
+
+	sol, err := labeling.Solve(bg.Problem(!opts.NoAlign), labeling.Options{
+		Gamma:          opts.gamma(),
+		Method:         opts.Method,
+		TimeLimit:      opts.TimeLimit,
+		OCTBackend:     opts.OCTBackend,
+		AutoExactLimit: opts.AutoExactLimit,
+		MaxRows:        opts.MaxRows,
+		MaxCols:        opts.MaxCols,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: labeling: %w", err)
+	}
+	design, err := xbar.Map(bg, sol.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("core: mapping: %w", err)
+	}
+	if opts.BDDKind != SeparateROBDDs {
+		// Shared-manager designs carry BDD-level variable indices; remap
+		// into network-input indexing so Eval takes network-order inputs.
+		remap := make([]int, len(order))
+		copy(remap, order)
+		if err := design.RemapVars(remap, nw.InputNames()); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return &Result{
+		Design:    design,
+		Graph:     bg,
+		Labeling:  sol,
+		BDDNodes:  nodes,
+		BDDEdges:  edges,
+		Order:     order,
+		SynthTime: time.Since(start),
+		network:   nw,
+		mgr:       mgrKeep,
+		roots:     rootsKeep,
+	}, nil
+}
+
+// Verify checks the design against the source network, exhaustively for up
+// to exhaustiveLimit inputs and with `samples` random vectors beyond. It
+// returns an error naming the first mismatching assignment.
+func (r *Result) Verify(exhaustiveLimit, samples int, seed uint64) error {
+	bad := r.Design.VerifyAgainst(r.network.Eval, r.network.NumInputs(), exhaustiveLimit, samples, seed)
+	if bad != nil {
+		return fmt.Errorf("core: design disagrees with network on %v", bad)
+	}
+	return nil
+}
+
+// FormalVerify proves the design equivalent to the source network for all
+// input assignments via the symbolic sneak-path closure (xbar.FormalVerify);
+// nodeLimit bounds the verifier's BDD (0 = default). Only available for
+// SBDD-mode results, whose designs carry network-input variable order.
+func (r *Result) FormalVerify(nodeLimit int) error {
+	return xbar.FormalVerify(r.Design, r.network, nodeLimit)
+}
+
+// Network returns the source network the result was synthesized from.
+func (r *Result) Network() *logic.Network { return r.network }
+
+// WriteBDDDOT renders the shared BDD underlying the design in Graphviz
+// format. It errors for designs synthesized in SeparateROBDDs mode.
+func (r *Result) WriteBDDDOT(w io.Writer) error {
+	if r.mgr == nil {
+		return fmt.Errorf("core: no shared BDD retained (SeparateROBDDs mode)")
+	}
+	return r.mgr.WriteDOT(w, r.roots...)
+}

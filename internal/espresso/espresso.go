@@ -1,0 +1,321 @@
+// Package espresso is a two-level logic minimizer in the Espresso family:
+// it turns a PLA cover into a prime and irredundant cover of the same
+// function using the classic EXPAND / IRREDUNDANT loop over single-output
+// covers, with cube-covering checks done by recursive tautology testing.
+//
+// Compared to Berkeley Espresso this implementation makes two documented
+// simplifications: outputs are minimized independently (identical cubes
+// are merged back into multi-output rows afterwards), and the REDUCE pass
+// is replaced by repeated EXPAND orders — the result is still prime and
+// irredundant, just not always minimum. Cubes with output '-' are treated
+// as don't-cares for that output (espresso's fr-type semantics).
+package espresso
+
+import (
+	"fmt"
+	"sort"
+
+	"compact/internal/pla"
+)
+
+// Literal values inside a cube.
+const (
+	lit0    byte = '0'
+	lit1    byte = '1'
+	litDash byte = '-'
+)
+
+// cube is the input part of a product term.
+type cube []byte
+
+func (c cube) clone() cube { return append(cube(nil), c...) }
+
+// contains reports a ⊇ b (a covers every minterm of b).
+func contains(a, b cube) bool {
+	for i := range a {
+		if a[i] != litDash && a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// intersects reports whether two cubes share a minterm.
+func intersects(a, b cube) bool {
+	for i := range a {
+		if a[i] != litDash && b[i] != litDash && a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cofactor computes the Shannon cofactor of a cover with respect to
+// setting variable v to value val ('0' or '1'); cubes conflicting with the
+// assignment drop out, the rest lose the variable (set to dash).
+func cofactor(cover []cube, v int, val byte) []cube {
+	var out []cube
+	for _, c := range cover {
+		if c[v] != litDash && c[v] != val {
+			continue
+		}
+		nc := c.clone()
+		nc[v] = litDash
+		out = append(out, nc)
+	}
+	return out
+}
+
+// cofactorCube cofactors the cover against every fixed literal of q.
+func cofactorCube(cover []cube, q cube) []cube {
+	out := cover
+	for v, lit := range q {
+		if lit != litDash {
+			out = cofactor(out, v, lit)
+		}
+	}
+	return out
+}
+
+// tautology reports whether the cover equals the constant-1 function,
+// by binate splitting with unate shortcuts.
+func tautology(cover []cube, nVars int) bool {
+	if len(cover) == 0 {
+		return false
+	}
+	// All-dash row: tautology immediately.
+	for _, c := range cover {
+		allDash := true
+		for _, l := range c {
+			if l != litDash {
+				allDash = false
+				break
+			}
+		}
+		if allDash {
+			return true
+		}
+	}
+	// Pick the most binate variable (appears in both polarities most).
+	bestV, bestScore := -1, -1
+	for v := 0; v < nVars; v++ {
+		zeros, ones := 0, 0
+		for _, c := range cover {
+			switch c[v] {
+			case lit0:
+				zeros++
+			case lit1:
+				ones++
+			}
+		}
+		if zeros > 0 && ones > 0 {
+			if s := zeros + ones; s > bestScore {
+				bestV, bestScore = v, s
+			}
+		}
+	}
+	if bestV < 0 {
+		// Unate cover without an all-dash row is never a tautology.
+		return false
+	}
+	return tautology(cofactor(cover, bestV, lit0), nVars) &&
+		tautology(cofactor(cover, bestV, lit1), nVars)
+}
+
+// coveredBy reports whether cube q is entirely inside the cover.
+func coveredBy(q cube, cover []cube, nVars int) bool {
+	return tautology(cofactorCube(cover, q), nVars)
+}
+
+// expand raises each cube of f to a prime implicant of f ∪ dc: literals
+// are lifted to dash greedily while the cube stays inside the function.
+// The order of lifting attempts follows varOrder.
+func expand(f, dc []cube, nVars int, varOrder []int) []cube {
+	care := append(append([]cube{}, f...), dc...)
+	out := make([]cube, len(f))
+	for i, c := range f {
+		e := c.clone()
+		for _, v := range varOrder {
+			if e[v] == litDash {
+				continue
+			}
+			saved := e[v]
+			e[v] = litDash
+			if !coveredBy(e, care, nVars) {
+				e[v] = saved
+			}
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// irredundant removes cubes covered by the union of the remaining cubes
+// and the don't-care set, preferring to drop smaller cubes first.
+func irredundant(f, dc []cube, nVars int) []cube {
+	// Sort by ascending freedom (fewer dashes first): small cubes are the
+	// most likely to be redundant, so test them first.
+	idx := make([]int, len(f))
+	for i := range idx {
+		idx[i] = i
+	}
+	dashes := func(c cube) int {
+		d := 0
+		for _, l := range c {
+			if l == litDash {
+				d++
+			}
+		}
+		return d
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return dashes(f[idx[a]]) < dashes(f[idx[b]]) })
+
+	alive := make([]bool, len(f))
+	for i := range alive {
+		alive[i] = true
+	}
+	for _, i := range idx {
+		rest := make([]cube, 0, len(f)+len(dc)-1)
+		for j, c := range f {
+			if j != i && alive[j] {
+				rest = append(rest, c)
+			}
+		}
+		rest = append(rest, dc...)
+		if coveredBy(f[i], rest, nVars) {
+			alive[i] = false
+		}
+	}
+	var out []cube
+	for i, c := range f {
+		if alive[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// dedupe drops duplicate and contained cubes.
+func dedupe(f []cube) []cube {
+	var out []cube
+	for i, c := range f {
+		covered := false
+		for j, d := range f {
+			if i == j {
+				continue
+			}
+			if contains(d, c) && !(contains(c, d) && j > i) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// minimizeSingle runs the expand/irredundant loop on one output's on-set
+// and dc-set until the cover stops shrinking.
+func minimizeSingle(on, dc []cube, nVars int) []cube {
+	if len(on) == 0 {
+		return nil
+	}
+	f := make([]cube, len(on))
+	for i, c := range on {
+		f[i] = c.clone()
+	}
+	f = dedupe(f)
+	orders := [][]int{forwardOrder(nVars), reverseOrder(nVars)}
+	prev := -1
+	for round := 0; len(f) != prev && round < 8; round++ {
+		prev = len(f)
+		f = expand(f, dc, nVars, orders[round%len(orders)])
+		f = dedupe(f)
+		f = irredundant(f, dc, nVars)
+	}
+	return f
+}
+
+func forwardOrder(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+func reverseOrder(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = n - 1 - i
+	}
+	return o
+}
+
+// Minimize returns a prime, irredundant multi-output cover computing the
+// same completely-specified function as t (don't-care output entries may
+// resolve either way). Cubes identical across outputs are merged into
+// single rows.
+func Minimize(t *pla.Table) (*pla.Table, error) {
+	if t.NumIn < 0 || t.NumOut <= 0 {
+		return nil, fmt.Errorf("espresso: malformed table (%d in, %d out)", t.NumIn, t.NumOut)
+	}
+	perOutput := make([][]cube, t.NumOut)
+	for o := 0; o < t.NumOut; o++ {
+		var on, dc []cube
+		for _, c := range t.Cubes {
+			switch c.Out[o] {
+			case '1':
+				on = append(on, cube(c.In))
+			case '-':
+				dc = append(dc, cube(c.In))
+			}
+		}
+		perOutput[o] = minimizeSingle(on, dc, t.NumIn)
+	}
+	// Merge identical input parts across outputs into multi-output rows.
+	rowOf := map[string]int{}
+	out := &pla.Table{
+		Name:     t.Name,
+		NumIn:    t.NumIn,
+		NumOut:   t.NumOut,
+		InNames:  append([]string(nil), t.InNames...),
+		OutNames: append([]string(nil), t.OutNames...),
+	}
+	for o, cubes := range perOutput {
+		for _, c := range cubes {
+			key := string(c)
+			i, ok := rowOf[key]
+			if !ok {
+				i = len(out.Cubes)
+				rowOf[key] = i
+				outPart := make([]byte, t.NumOut)
+				for k := range outPart {
+					outPart[k] = '0'
+				}
+				out.Cubes = append(out.Cubes, pla.Cube{In: key, Out: string(outPart)})
+			}
+			row := []byte(out.Cubes[i].Out)
+			row[o] = '1'
+			out.Cubes[i].Out = string(row)
+		}
+	}
+	out.DeclaredNP = len(out.Cubes)
+	return out, nil
+}
+
+// CountLiterals sums the fixed literals over all cubes, the usual
+// two-level cost metric next to the cube count.
+func CountLiterals(t *pla.Table) int {
+	n := 0
+	for _, c := range t.Cubes {
+		for i := 0; i < len(c.In); i++ {
+			if c.In[i] != '-' {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,251 @@
+package espresso
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"compact/internal/bdd"
+	"compact/internal/logic"
+	"compact/internal/pla"
+)
+
+func parse(t *testing.T, src string) *pla.Table {
+	t.Helper()
+	tab, err := pla.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTautology(t *testing.T) {
+	cases := []struct {
+		cover []cube
+		nVars int
+		want  bool
+	}{
+		{[]cube{cube("--")}, 2, true},
+		{[]cube{cube("1-"), cube("0-")}, 2, true},
+		{[]cube{cube("1-")}, 2, false},
+		{[]cube{cube("11"), cube("10"), cube("01"), cube("00")}, 2, true},
+		{[]cube{cube("11"), cube("10"), cube("01")}, 2, false},
+		{nil, 2, false},
+		{[]cube{cube("1-0"), cube("0--"), cube("--1")}, 3, true},
+	}
+	for i, c := range cases {
+		if got := tautology(c.cover, c.nVars); got != c.want {
+			t.Errorf("case %d: tautology = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestContainsIntersects(t *testing.T) {
+	if !contains(cube("1--"), cube("1-0")) {
+		t.Error("contains wrong")
+	}
+	if contains(cube("1-0"), cube("1--")) {
+		t.Error("reverse contains wrong")
+	}
+	if !intersects(cube("1-0"), cube("-10")) {
+		t.Error("intersects wrong")
+	}
+	if intersects(cube("1-0"), cube("0--")) {
+		t.Error("disjoint cubes intersect")
+	}
+}
+
+func TestMinimizeMergesAdjacent(t *testing.T) {
+	// f = a'b + ab = b; two minterm-ish cubes merge into one.
+	tab := parse(t, ".i 2\n.o 1\n01 1\n11 1\n.e\n")
+	min, err := Minimize(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Cubes) != 1 || min.Cubes[0].In != "-1" {
+		t.Fatalf("minimized cover = %+v, want single cube -1", min.Cubes)
+	}
+}
+
+func TestMinimizeFullTautology(t *testing.T) {
+	// All four minterms: cover collapses to the universal cube.
+	tab := parse(t, ".i 2\n.o 1\n00 1\n01 1\n10 1\n11 1\n.e\n")
+	min, err := Minimize(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Cubes) != 1 || min.Cubes[0].In != "--" {
+		t.Fatalf("cover = %+v, want universal cube", min.Cubes)
+	}
+}
+
+func TestMinimizeUsesDontCares(t *testing.T) {
+	// on = {11}, dc = {10}: the prime is 1-.
+	tab := parse(t, ".i 2\n.o 1\n11 1\n10 -\n.e\n")
+	min, err := Minimize(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Cubes) != 1 || min.Cubes[0].In != "1-" {
+		t.Fatalf("cover = %+v, want 1-", min.Cubes)
+	}
+}
+
+// equivalentTables checks function equality via canonical BDDs, treating
+// '-' outputs in the original as satisfied by any result value.
+func equivalentTables(t *testing.T, orig, min *pla.Table) {
+	t.Helper()
+	nw1, err := orig.Network("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, err := min.Network("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, w, err := bdd.Equivalent(nw1, nw2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("minimization changed the function; witness %v", w)
+	}
+}
+
+func TestMinimizeRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 25; trial++ {
+		nIn := 3 + rng.Intn(4)
+		nOut := 1 + rng.Intn(3)
+		tab := &pla.Table{NumIn: nIn, NumOut: nOut}
+		nCubes := 2 + rng.Intn(10)
+		for c := 0; c < nCubes; c++ {
+			in := make([]byte, nIn)
+			for i := range in {
+				in[i] = "01-"[rng.Intn(3)]
+			}
+			out := make([]byte, nOut)
+			for i := range out {
+				out[i] = "01"[rng.Intn(2)]
+			}
+			tab.Cubes = append(tab.Cubes, pla.Cube{In: string(in), Out: string(out)})
+		}
+		min, err := Minimize(tab)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		equivalentTables(t, tab, min)
+		// Per output, the cover only ever shrinks: EXPAND drops literals,
+		// IRREDUNDANT drops cubes. (The merged multi-output table can grow
+		// in total rows when a shared cube expands differently per output,
+		// so the comparison must be per output.)
+		for o := 0; o < nOut; o++ {
+			if got, orig := perOutputLiterals(min, o), perOutputLiterals(tab, o); got > orig {
+				t.Errorf("trial %d output %d: literals grew %d -> %d", trial, o, orig, got)
+			}
+		}
+	}
+}
+
+func TestMinimizedCoverIsPrimeAndIrredundant(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 10; trial++ {
+		nIn := 4
+		tab := &pla.Table{NumIn: nIn, NumOut: 1}
+		for c := 0; c < 6; c++ {
+			in := make([]byte, nIn)
+			for i := range in {
+				in[i] = "01-"[rng.Intn(3)]
+			}
+			tab.Cubes = append(tab.Cubes, pla.Cube{In: string(in), Out: "1"})
+		}
+		min, err := Minimize(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cover []cube
+		for _, c := range min.Cubes {
+			cover = append(cover, cube(c.In))
+		}
+		// Prime: no literal can be raised without leaving the function.
+		for i, c := range cover {
+			for v := 0; v < nIn; v++ {
+				if c[v] == litDash {
+					continue
+				}
+				raised := c.clone()
+				raised[v] = litDash
+				if coveredBy(raised, cover, nIn) {
+					t.Errorf("trial %d: cube %d not prime (var %d liftable)", trial, i, v)
+				}
+			}
+		}
+		// Irredundant: removing any cube changes the function.
+		for i := range cover {
+			rest := append(append([]cube{}, cover[:i]...), cover[i+1:]...)
+			if coveredBy(cover[i], rest, nIn) {
+				t.Errorf("trial %d: cube %d redundant", trial, i)
+			}
+		}
+	}
+}
+
+func TestMinimizeDecoderStaysMinterms(t *testing.T) {
+	// A decoder's outputs are single minterms: already prime and
+	// irredundant, so minimization must not change the cube count.
+	b := logic.NewBuilder("dec3")
+	sel := b.Inputs("s", 3)
+	for v := 0; v < 8; v++ {
+		lits := make([]int, 3)
+		for i := range lits {
+			if v&(1<<uint(i)) != 0 {
+				lits[i] = sel[i]
+			} else {
+				lits[i] = b.Not(sel[i])
+			}
+		}
+		b.Output("y"+string(rune('0'+v)), b.And(lits...))
+	}
+	nw := b.Build()
+	tab, err := pla.FromNetwork(nw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := Minimize(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Cubes) != 8 {
+		t.Errorf("decoder cover changed: %d cubes, want 8", len(min.Cubes))
+	}
+	equivalentTables(t, tab, min)
+}
+
+func TestMinimizeErrors(t *testing.T) {
+	if _, err := Minimize(&pla.Table{NumIn: -1, NumOut: 1}); err == nil {
+		t.Error("malformed table accepted")
+	}
+}
+
+func TestCountLiterals(t *testing.T) {
+	tab := parse(t, ".i 3\n.o 1\n1-0 1\n--- 1\n.e\n")
+	if got := CountLiterals(tab); got != 2 {
+		t.Errorf("literals = %d, want 2", got)
+	}
+}
+
+// perOutputLiterals counts fixed literals over the cubes feeding output o.
+func perOutputLiterals(t *pla.Table, o int) int {
+	n := 0
+	for _, c := range t.Cubes {
+		if c.Out[o] != '1' {
+			continue
+		}
+		for i := 0; i < len(c.In); i++ {
+			if c.In[i] != '-' {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,243 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"compact/internal/bench"
+	"compact/internal/core"
+	"compact/internal/labeling"
+	"compact/internal/magic"
+)
+
+// Fig9 reproduces the paper's Figure 9: the non-dominated (rows, columns)
+// designs obtained by sweeping γ over [0, 1] on cavlc and int2float.
+func Fig9(cfg Config) (*Table, error) {
+	t := &Table{
+		Name:    "Figure 9: non-dominated designs under gamma sweep",
+		Columns: []string{"benchmark", "gamma", "rows", "cols", "dominated"},
+	}
+	names := []string{"cavlc", "int2float"}
+	gammas := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	if cfg.Quick {
+		names = []string{"int2float"}
+		gammas = []float64{0, 0.5, 1}
+	}
+	for _, name := range names {
+		nw := bench.MustBuild(name)
+		type pt struct {
+			gamma      float64
+			rows, cols int
+		}
+		var pts []pt
+		for _, g := range gammas {
+			res, err := core.Synthesize(nw, core.Options{
+				Gamma: g, GammaSet: true,
+				Method:    labeling.MethodMIP,
+				TimeLimit: cfg.timeLimit(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s γ=%v: %w", name, g, err)
+			}
+			st := res.Stats()
+			pts = append(pts, pt{g, st.Rows, st.Cols})
+			cfg.logf("fig9 %s γ=%.2f: %dx%d", name, g, st.Rows, st.Cols)
+		}
+		dominated := func(p pt) bool {
+			for _, q := range pts {
+				if (q.rows < p.rows && q.cols <= p.cols) || (q.rows <= p.rows && q.cols < p.cols) {
+					return true
+				}
+			}
+			return false
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].gamma < pts[j].gamma })
+		for _, p := range pts {
+			t.Rows = append(t.Rows, []string{
+				name, f2(p.gamma), itoa(p.rows), itoa(p.cols), fmt.Sprintf("%v", dominated(p)),
+			})
+		}
+	}
+	return t, t.Write(cfg, "fig9")
+}
+
+// Fig10 reproduces the paper's Figure 10: the solver's convergence on i2c
+// at γ = 0.5 — best integer, best bound and relative gap over time.
+func Fig10(cfg Config) (*Table, error) {
+	// The paper plots i2c; our solver's root relaxation on i2c-sized
+	// models exceeds small budgets, leaving no curve to show, so the
+	// convergence figure uses cavlc — a benchmark where the branch & bound
+	// produces the full incumbent/bound/gap trajectory.
+	name := "cavlc"
+	t := &Table{
+		Name:    fmt.Sprintf("Figure 10: solver convergence on %s (gamma = 0.5)", name),
+		Columns: []string{"elapsed", "best_integer", "best_bound", "rel_gap", "nodes"},
+		Notes:   []string{"the paper's Figure 10 uses i2c; see EXPERIMENTS.md for the substitution"},
+	}
+	nw := bench.MustBuild(name)
+	res, err := core.Synthesize(nw, core.Options{
+		Method:    labeling.MethodMIP,
+		TimeLimit: cfg.timeLimit(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig10 %s: %w", name, err)
+	}
+	for _, ev := range res.Labeling.Trace {
+		inc := "inf"
+		if !math.IsInf(ev.Incumbent, 1) {
+			inc = f2(ev.Incumbent)
+		}
+		t.Rows = append(t.Rows, []string{
+			dur(ev.Elapsed), inc, f2(ev.Bound), f3(ev.Gap), itoa(ev.Nodes),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("final: S=%d D=%d optimal=%v", res.Stats().S, res.Stats().D, res.Labeling.Optimal))
+	return t, t.Write(cfg, "fig10")
+}
+
+// fig11Set lists circuits the paper could not close within its 3-hour
+// budget; we report the relative gap remaining at our (smaller) budget.
+var fig11Set = []string{"c499", "c1355", "c7552", "arbiter", "priority", "i2c", "router"}
+
+// Fig11 reproduces the paper's Figure 11: the relative gap at time-out for
+// benchmarks without a proven optimum.
+func Fig11(cfg Config) (*Table, error) {
+	t := &Table{
+		Name:    "Figure 11: relative gap at time-out (gamma = 0.5)",
+		Columns: []string{"benchmark", "graph_nodes", "best_integer", "best_bound", "rel_gap", "optimal"},
+		Notes:   []string{fmt.Sprintf("per-solve time limit %v", cfg.timeLimit())},
+	}
+	names := fig11Set
+	if cfg.Quick {
+		names = []string{"router"}
+	}
+	for _, name := range names {
+		nw := bench.MustBuild(name)
+		res, err := core.Synthesize(nw, core.Options{
+			Method:    labeling.MethodMIP,
+			TimeLimit: cfg.timeLimit(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %s: %w", name, err)
+		}
+		gap, bound, inc := 1.0, math.Inf(-1), math.Inf(1)
+		if n := len(res.Labeling.Trace); n > 0 {
+			last := res.Labeling.Trace[n-1]
+			gap, bound, inc = last.Gap, last.Bound, last.Incumbent
+		}
+		incStr := "inf"
+		if !math.IsInf(inc, 1) {
+			incStr = f2(inc)
+		}
+		boundStr := "-inf"
+		if !math.IsInf(bound, -1) {
+			boundStr = f2(bound)
+		}
+		t.Rows = append(t.Rows, []string{
+			name, itoa(res.Graph.NumNodes()), incStr, boundStr, f3(gap),
+			fmt.Sprintf("%v", res.Labeling.Optimal),
+		})
+		cfg.logf("fig11 %s: gap=%.3f", name, gap)
+	}
+	return t, t.Write(cfg, "fig11")
+}
+
+// Fig12 reproduces the paper's Figure 12: normalized power and computation
+// delay of COMPACT versus the staircase baseline [16]. Power is the number
+// of literal-programmed memristors; delay is rows + 1 (Section VIII).
+func Fig12(cfg Config) (*Table, error) {
+	t := &Table{
+		Name:    "Figure 12: power and delay, COMPACT vs staircase [16]",
+		Columns: []string{"benchmark", "power_stair", "power_compact", "power_ratio", "delay_stair", "delay_compact", "delay_ratio"},
+	}
+	names := quickSubset(benchNames(), cfg.Quick)
+	var powerRatios, delayRatios []float64
+	for _, name := range names {
+		nw := bench.MustBuild(name)
+		// [16] flow: per-output ROBDDs merged by the 1-terminal. That is
+		// where the paper's power gap comes from — COMPACT's shared SBDD
+		// has fewer edges, hence fewer memristors to program.
+		stair, _, err := staircaseBaseline(nw)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %s: %w", name, err)
+		}
+		res, err := core.Synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %s: %w", name, err)
+		}
+		ss, cs := stair.Stats(), res.Stats()
+		pr := float64(cs.Power) / float64(max(1, ss.Power))
+		dr := float64(cs.Delay) / float64(max(1, ss.Delay))
+		powerRatios = append(powerRatios, pr)
+		delayRatios = append(delayRatios, dr)
+		t.Rows = append(t.Rows, []string{
+			name, itoa(ss.Power), itoa(cs.Power), f3(pr),
+			itoa(ss.Delay), itoa(cs.Delay), f3(dr),
+		})
+		cfg.logf("fig12 %s: power %.3f delay %.3f", name, pr, dr)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("geomean power ratio %.3f, delay ratio %.3f (paper: power -19%%, delay -56%%)",
+			geomean(powerRatios), geomean(delayRatios)))
+	return t, t.Write(cfg, "fig12")
+}
+
+// Fig13 reproduces the paper's Figure 13: power and delay of COMPACT
+// versus the MAGIC-based CONTRA baseline on the EPFL control benchmarks,
+// with CONTRA's published parameters (k = 4, spacing = 6, 128x128).
+func Fig13(cfg Config) (*Table, error) {
+	t := &Table{
+		Name:    "Figure 13: power and delay, COMPACT vs CONTRA (EPFL control)",
+		Columns: []string{"benchmark", "power_contra", "power_compact", "power_ratio", "delay_contra", "delay_compact", "delay_ratio"},
+	}
+	var names []string
+	for _, g := range bench.BySuite("epfl") {
+		names = append(names, g.Name)
+	}
+	names = quickSubset(names, cfg.Quick)
+	var powerRatios, delayRatios []float64
+	for _, name := range names {
+		nw := bench.MustBuild(name)
+		contra, err := magic.Synthesize(nw, magic.Options{K: 4, Spacing: 6, CrossbarDim: 128})
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s contra: %w", name, err)
+		}
+		res, err := core.Synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s compact: %w", name, err)
+		}
+		cs := res.Stats()
+		pr := float64(cs.Power) / float64(max(1, contra.Ops))
+		dr := float64(cs.Delay) / float64(max(1, contra.Steps))
+		powerRatios = append(powerRatios, pr)
+		delayRatios = append(delayRatios, dr)
+		t.Rows = append(t.Rows, []string{
+			name, itoa(contra.Ops), itoa(cs.Power), f3(pr),
+			itoa(contra.Steps), itoa(cs.Delay), f3(dr),
+		})
+		cfg.logf("fig13 %s: power %.3f delay %.3f", name, pr, dr)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("geomean power ratio %.3f, delay ratio %.3f (paper: power -55%%, delay -87%%)",
+			geomean(powerRatios), geomean(delayRatios)))
+	return t, t.Write(cfg, "fig13")
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(math.Max(x, 1e-12))
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package graph
+
+// MaxMatching computes a maximum matching of the bipartite graph g using
+// the Hopcroft–Karp algorithm. color must be a proper 2-coloring of g (as
+// returned by TwoColor); vertices with color 0 form the left side. The
+// result maps every vertex to its mate, or -1 if unmatched.
+func MaxMatching(g *Graph, color []int) []int {
+	n := g.N()
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	var left []int
+	for v := 0; v < n; v++ {
+		if color[v] == 0 && g.Degree(v) > 0 {
+			left = append(left, v)
+		}
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+
+	bfs := func() bool {
+		queue := make([]int, 0, len(left))
+		for _, u := range left {
+			if mate[u] < 0 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Adj(u) {
+				w := mate[v]
+				if w < 0 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range g.Adj(u) {
+			w := mate[v]
+			if w < 0 || (dist[w] == dist[u]+1 && dfs(w)) {
+				mate[u] = v
+				mate[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for _, u := range left {
+			if mate[u] < 0 {
+				dfs(u)
+			}
+		}
+	}
+	return mate
+}
+
+// MatchingSize returns the number of matched pairs in a mate array.
+func MatchingSize(mate []int) int {
+	c := 0
+	for v, m := range mate {
+		if m > v {
+			c++
+		}
+	}
+	return c
+}
+
+// KonigCover computes a minimum vertex cover of the bipartite graph g from
+// a maximum matching, via König's theorem: with Z the set of vertices
+// reachable from unmatched left vertices by alternating paths, the cover is
+// (L \ Z) ∪ (R ∩ Z). color and mate must come from TwoColor and MaxMatching.
+func KonigCover(g *Graph, color, mate []int) map[int]bool {
+	n := g.N()
+	inZ := make([]bool, n)
+	var queue []int
+	for v := 0; v < n; v++ {
+		if color[v] == 0 && mate[v] < 0 && g.Degree(v) > 0 {
+			inZ[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if color[u] == 0 {
+			// Follow non-matching edges left -> right.
+			for _, v := range g.Adj(u) {
+				if mate[u] != v && !inZ[v] {
+					inZ[v] = true
+					queue = append(queue, v)
+				}
+			}
+		} else if m := mate[u]; m >= 0 && !inZ[m] {
+			// Follow the matching edge right -> left.
+			inZ[m] = true
+			queue = append(queue, m)
+		}
+	}
+	cover := make(map[int]bool)
+	for v := 0; v < n; v++ {
+		if g.Degree(v) == 0 {
+			continue
+		}
+		if color[v] == 0 && !inZ[v] {
+			cover[v] = true
+		} else if color[v] == 1 && inZ[v] {
+			cover[v] = true
+		}
+	}
+	return cover
+}
+
+// MinVertexCoverBipartite computes a minimum vertex cover of a bipartite
+// graph directly (TwoColor + Hopcroft–Karp + König). It panics if g is not
+// bipartite.
+func MinVertexCoverBipartite(g *Graph) map[int]bool {
+	color, ok := g.TwoColor()
+	if !ok {
+		panic("graph: MinVertexCoverBipartite on non-bipartite graph")
+	}
+	mate := MaxMatching(g, color)
+	return KonigCover(g, color, mate)
+}
+
+// LPRelaxVC solves the LP relaxation of minimum vertex cover on an
+// arbitrary graph via the bipartite double cover (the relaxation is
+// half-integral). The result assigns each vertex 0, 1 or 2 representing
+// x=0, x=1/2, x=1 (doubled to stay integral).
+//
+// This is the Nemhauser–Trotter step: x=1 vertices belong to some optimal
+// cover, x=0 vertices avoid some optimal cover, and the kernel is the x=1/2
+// set.
+func LPRelaxVC(g *Graph) []int {
+	n := g.N()
+	// Double cover: left copy v, right copy v+n; edge (u,v) gives
+	// (u, v+n) and (v, u+n).
+	h := New(2 * n)
+	for _, e := range g.Edges() {
+		h.AddEdge(e[0], e[1]+n)
+		h.AddEdge(e[1], e[0]+n)
+	}
+	color := make([]int, 2*n)
+	for v := n; v < 2*n; v++ {
+		color[v] = 1
+	}
+	mate := MaxMatching(h, color)
+	cover := KonigCover(h, color, mate)
+	x := make([]int, n)
+	for v := 0; v < n; v++ {
+		c := 0
+		if cover[v] {
+			c++
+		}
+		if cover[v+n] {
+			c++
+		}
+		x[v] = c
+	}
+	return x
+}

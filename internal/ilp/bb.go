@@ -1,0 +1,304 @@
+package ilp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// objectiveGrid returns g > 0 when every variable is integral and every
+// objective coefficient is an integer multiple of g; otherwise 0.
+func objectiveGrid(mod *Model) float64 {
+	g := 0.0
+	for j, c := range mod.obj {
+		if c == 0 {
+			continue
+		}
+		if mod.vtype[j] == Continuous {
+			return 0
+		}
+		g = fgcd(g, math.Abs(c))
+		if g < 1e-6 {
+			return 0
+		}
+	}
+	return g
+}
+
+func fgcd(a, b float64) float64 {
+	for b > 1e-7 {
+		a, b = b, math.Mod(a, b)
+	}
+	return a
+}
+
+// boundFix is one branching decision: variable v gets a new lower or upper
+// bound.
+type boundFix struct {
+	v    int
+	isUB bool
+	val  float64
+}
+
+type bbNode struct {
+	fixes []boundFix
+	bound float64 // LP bound inherited from the parent
+	depth int
+	seq   int
+}
+
+type nodeHeap []*bbNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*bbNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Solve minimizes the model by LP-based best-first branch & bound. It never
+// returns an invalid incumbent: Solution.X (when Status is Optimal or
+// Feasible) satisfies all constraints and integrality.
+func Solve(mod *Model, opts Options) (*Solution, error) {
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+
+	sol := &Solution{Status: StatusNoSolution, Obj: math.Inf(1), Bound: math.Inf(-1)}
+	incumbent := math.Inf(1)
+	var incumbentX []float64
+	if opts.Incumbent != nil {
+		if err := mod.Feasible(opts.Incumbent, feasTol, false); err == nil {
+			incumbentX = append([]float64(nil), opts.Incumbent...)
+			incumbent = mod.Objective(incumbentX)
+		}
+	}
+
+	trace := func(bound float64, nodes int) {
+		sol.Trace = append(sol.Trace, TraceEvent{
+			Elapsed:   time.Since(start),
+			Incumbent: incumbent,
+			Bound:     bound,
+			Gap:       relGap(incumbent, bound),
+			Nodes:     nodes,
+		})
+	}
+
+	// Root relaxation.
+	rootLB := append([]float64(nil), mod.lb...)
+	rootUB := append([]float64(nil), mod.ub...)
+	res, err := solveLP(mod, rootLB, rootUB, deadline)
+	if err != nil {
+		if errors.Is(err, errTimeLimit) && incumbentX != nil {
+			sol.Status = StatusFeasible
+			sol.X, sol.Obj = incumbentX, incumbent
+			sol.Gap = 1
+			sol.Elapsed = time.Since(start)
+			trace(sol.Bound, 0)
+			return sol, nil
+		}
+		if errors.Is(err, errTimeLimit) {
+			sol.Elapsed = time.Since(start)
+			sol.Gap = 1
+			return sol, nil
+		}
+		return nil, fmt.Errorf("root relaxation: %w", err)
+	}
+	// Objective granularity: with all variables integral and every
+	// objective coefficient a multiple of g, any feasible objective lies
+	// on the g-grid, so LP bounds round up to the next grid point.
+	grid := objectiveGrid(mod)
+	snap := func(v float64) float64 {
+		if grid <= 0 {
+			return v
+		}
+		return math.Ceil(v/grid-1e-7) * grid
+	}
+	res.obj = snap(res.obj)
+	sol.Iters += res.iters
+	switch res.status {
+	case StatusInfeasible:
+		if incumbentX != nil {
+			// The provided incumbent is feasible, so the model cannot be
+			// infeasible; treat as numerical trouble and keep the incumbent.
+			sol.Status = StatusFeasible
+			sol.X, sol.Obj, sol.Bound = incumbentX, incumbent, math.Inf(-1)
+			sol.Gap = 1
+			sol.Elapsed = time.Since(start)
+			return sol, nil
+		}
+		sol.Status = StatusInfeasible
+		sol.Elapsed = time.Since(start)
+		return sol, nil
+	case StatusUnbounded:
+		sol.Status = StatusUnbounded
+		sol.Elapsed = time.Since(start)
+		return sol, nil
+	}
+
+	h := &nodeHeap{}
+	heap.Init(h)
+	seq := 0
+	heap.Push(h, &bbNode{bound: res.obj, seq: seq})
+	globalBound := res.obj
+	trace(globalBound, 0)
+
+	applyFixes := func(fixes []boundFix) ([]float64, []float64) {
+		lbs := append([]float64(nil), rootLB...)
+		ubs := append([]float64(nil), rootUB...)
+		for _, f := range fixes {
+			if f.isUB {
+				if f.val < ubs[f.v] {
+					ubs[f.v] = f.val
+				}
+			} else if f.val > lbs[f.v] {
+				lbs[f.v] = f.val
+			}
+		}
+		return lbs, ubs
+	}
+
+	nodes := 0
+	timedOut := false
+	for h.Len() > 0 {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			timedOut = true
+			break
+		}
+		if opts.MaxNodes > 0 && nodes >= opts.MaxNodes {
+			timedOut = true
+			break
+		}
+		node := heap.Pop(h).(*bbNode)
+		if node.bound >= incumbent-1e-9 {
+			// Best-first: every remaining node is at least as bad.
+			globalBound = incumbent
+			break
+		}
+		if node.bound > globalBound {
+			globalBound = node.bound
+			trace(globalBound, nodes)
+		}
+		if opts.GapLimit > 0 && relGap(incumbent, globalBound) <= opts.GapLimit {
+			break
+		}
+		nodes++
+		lbs, ubs := applyFixes(node.fixes)
+		res, err := solveLP(mod, lbs, ubs, deadline)
+		if err != nil {
+			// Time limit or numerical trouble on one node: put it back so
+			// the reported global bound stays honest, then stop.
+			heap.Push(h, node)
+			timedOut = true
+			break
+		}
+		sol.Iters += res.iters
+		if res.status == StatusInfeasible {
+			continue
+		}
+		if res.status == StatusUnbounded {
+			sol.Status = StatusUnbounded
+			sol.Elapsed = time.Since(start)
+			return sol, nil
+		}
+		res.obj = snap(res.obj)
+		if res.obj >= incumbent-1e-9 {
+			continue
+		}
+		// Find the most fractional integer variable.
+		branchVar, frac := -1, 0.0
+		for j := 0; j < mod.NumVars(); j++ {
+			if mod.vtype[j] == Continuous {
+				continue
+			}
+			f := math.Abs(res.x[j] - math.Round(res.x[j]))
+			if f > 1e-6 && f > frac {
+				branchVar, frac = j, f
+			}
+		}
+		if branchVar < 0 {
+			// Integral solution: new incumbent.
+			xi := roundIntegral(mod, res.x)
+			if err := mod.Feasible(xi, 1e-5, false); err == nil {
+				if obj := mod.Objective(xi); obj < incumbent-1e-9 {
+					incumbent = obj
+					incumbentX = xi
+					trace(globalBound, nodes)
+				}
+			}
+			continue
+		}
+		down := append(append([]boundFix(nil), node.fixes...),
+			boundFix{v: branchVar, isUB: true, val: math.Floor(res.x[branchVar])})
+		up := append(append([]boundFix(nil), node.fixes...),
+			boundFix{v: branchVar, isUB: false, val: math.Ceil(res.x[branchVar])})
+		seq++
+		heap.Push(h, &bbNode{fixes: down, bound: res.obj, depth: node.depth + 1, seq: seq})
+		seq++
+		heap.Push(h, &bbNode{fixes: up, bound: res.obj, depth: node.depth + 1, seq: seq})
+	}
+
+	if !timedOut && h.Len() == 0 {
+		// Search exhausted: the incumbent (if any) is optimal.
+		if incumbentX != nil {
+			globalBound = incumbent
+		}
+	} else if h.Len() > 0 {
+		if top := (*h)[0].bound; top > globalBound {
+			globalBound = top
+		}
+	}
+	sol.Nodes = nodes
+	sol.Bound = globalBound
+	sol.Elapsed = time.Since(start)
+	if incumbentX == nil {
+		if !timedOut && h.Len() == 0 {
+			// Search exhausted without any integral solution: infeasible.
+			sol.Status = StatusInfeasible
+		} else {
+			sol.Status = StatusNoSolution
+			sol.Gap = 1
+		}
+		trace(globalBound, nodes)
+		return sol, nil
+	}
+	sol.X = incumbentX
+	sol.Obj = incumbent
+	sol.Gap = relGap(incumbent, globalBound)
+	if !timedOut && (sol.Gap <= 1e-9 || h.Len() == 0) {
+		sol.Status = StatusOptimal
+		sol.Bound = incumbent
+		sol.Gap = 0
+	} else if opts.GapLimit > 0 && sol.Gap <= opts.GapLimit {
+		sol.Status = StatusOptimal
+	} else {
+		sol.Status = StatusFeasible
+	}
+	trace(sol.Bound, nodes)
+	return sol, nil
+}
+
+// roundIntegral snaps near-integral integer variables exactly.
+func roundIntegral(mod *Model, x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for j := range out {
+		if mod.vtype[j] != Continuous {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}

@@ -1,0 +1,406 @@
+// Package logic provides a combinational Boolean network intermediate
+// representation used throughout the COMPACT reproduction. A Network is a
+// directed acyclic graph of gates over named primary inputs and outputs.
+// Networks are immutable once built; use Builder to construct them.
+//
+// The representation is deliberately simple: every gate is identified by a
+// dense integer id, fanins always have smaller ids than the gates they feed
+// (topological by construction), and simulation is available both one vector
+// at a time and 64 vectors in parallel.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GateType enumerates the supported combinational gate kinds.
+type GateType uint8
+
+// Gate kinds. Input gates have no fanin; Const0/Const1 are nullary
+// constants; Buf/Not are unary; And/Or/Nand/Nor/Xor/Xnor are n-ary (n >= 1);
+// Mux is ternary with fanin order (sel, d0, d1) computing sel ? d1 : d0.
+const (
+	Input GateType = iota
+	Const0
+	Const1
+	Buf
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+	Mux
+)
+
+var gateNames = [...]string{
+	Input: "input", Const0: "const0", Const1: "const1", Buf: "buf",
+	Not: "not", And: "and", Or: "or", Nand: "nand", Nor: "nor",
+	Xor: "xor", Xnor: "xnor", Mux: "mux",
+}
+
+// String returns the lowercase mnemonic of the gate type.
+func (t GateType) String() string {
+	if int(t) < len(gateNames) {
+		return gateNames[t]
+	}
+	return fmt.Sprintf("gate(%d)", uint8(t))
+}
+
+// Arity bounds for each gate type; -1 means any arity >= 1.
+func (t GateType) arity() (min, max int) {
+	switch t {
+	case Input, Const0, Const1:
+		return 0, 0
+	case Buf, Not:
+		return 1, 1
+	case Mux:
+		return 3, 3
+	default:
+		return 1, -1
+	}
+}
+
+// Gate is a single node of the network. Fanin ids always refer to gates
+// with strictly smaller ids.
+type Gate struct {
+	Type  GateType
+	Fanin []int
+	Name  string // optional; always set for Input gates
+}
+
+// Network is an immutable combinational Boolean network.
+type Network struct {
+	Name        string
+	Gates       []Gate
+	Inputs      []int // ids of Input gates in declaration order
+	Outputs     []int // ids of gates driving each primary output
+	OutputNames []string
+}
+
+// NumInputs returns the number of primary inputs.
+func (n *Network) NumInputs() int { return len(n.Inputs) }
+
+// NumOutputs returns the number of primary outputs.
+func (n *Network) NumOutputs() int { return len(n.Outputs) }
+
+// NumGates returns the total number of gates including inputs and constants.
+func (n *Network) NumGates() int { return len(n.Gates) }
+
+// InputNames returns the primary input names in declaration order.
+func (n *Network) InputNames() []string {
+	names := make([]string, len(n.Inputs))
+	for i, id := range n.Inputs {
+		names[i] = n.Gates[id].Name
+	}
+	return names
+}
+
+// InputIndex returns the position of the named primary input, or -1.
+func (n *Network) InputIndex(name string) int {
+	for i, id := range n.Inputs {
+		if n.Gates[id].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// OutputIndex returns the position of the named primary output, or -1.
+func (n *Network) OutputIndex(name string) int {
+	for i, nm := range n.OutputNames {
+		if nm == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural invariants: topological fanin order, arity
+// bounds, input bookkeeping and output references. Networks produced by
+// Builder always validate.
+func (n *Network) Validate() error {
+	inputSeen := make(map[int]bool)
+	for gi, g := range n.Gates {
+		mn, mx := g.Type.arity()
+		if len(g.Fanin) < mn || (mx >= 0 && len(g.Fanin) > mx) {
+			return fmt.Errorf("gate %d (%s): bad arity %d", gi, g.Type, len(g.Fanin))
+		}
+		for _, f := range g.Fanin {
+			if f < 0 || f >= gi {
+				return fmt.Errorf("gate %d (%s): fanin %d not topological", gi, g.Type, f)
+			}
+		}
+		if g.Type == Input {
+			if g.Name == "" {
+				return fmt.Errorf("gate %d: unnamed input", gi)
+			}
+			inputSeen[gi] = true
+		}
+	}
+	for _, id := range n.Inputs {
+		if id < 0 || id >= len(n.Gates) || n.Gates[id].Type != Input {
+			return fmt.Errorf("inputs list references non-input gate %d", id)
+		}
+		delete(inputSeen, id)
+	}
+	if len(inputSeen) > 0 {
+		return fmt.Errorf("%d input gates missing from Inputs list", len(inputSeen))
+	}
+	if len(n.Outputs) != len(n.OutputNames) {
+		return fmt.Errorf("outputs/names length mismatch: %d vs %d", len(n.Outputs), len(n.OutputNames))
+	}
+	for i, id := range n.Outputs {
+		if id < 0 || id >= len(n.Gates) {
+			return fmt.Errorf("output %d (%s) references invalid gate %d", i, n.OutputNames[i], id)
+		}
+	}
+	return nil
+}
+
+// evalGate computes one gate's value given fanin values.
+func evalGate(t GateType, in []bool) bool {
+	switch t {
+	case Const0:
+		return false
+	case Const1:
+		return true
+	case Buf:
+		return in[0]
+	case Not:
+		return !in[0]
+	case And, Nand:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		if t == Nand {
+			return !v
+		}
+		return v
+	case Or, Nor:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		if t == Nor {
+			return !v
+		}
+		return v
+	case Xor, Xnor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		if t == Xnor {
+			return !v
+		}
+		return v
+	case Mux:
+		if in[0] {
+			return in[2]
+		}
+		return in[1]
+	}
+	panic("logic: evalGate on input gate")
+}
+
+// Eval simulates the network on a single input vector (one bool per primary
+// input, in declaration order) and returns one bool per primary output.
+func (n *Network) Eval(inputs []bool) []bool {
+	if len(inputs) != len(n.Inputs) {
+		panic(fmt.Sprintf("logic: Eval got %d inputs, want %d", len(inputs), len(n.Inputs)))
+	}
+	vals := make([]bool, len(n.Gates))
+	for i, id := range n.Inputs {
+		vals[id] = inputs[i]
+	}
+	var buf [8]bool
+	for gi, g := range n.Gates {
+		if g.Type == Input {
+			continue
+		}
+		in := buf[:0]
+		for _, f := range g.Fanin {
+			in = append(in, vals[f])
+		}
+		vals[gi] = evalGate(g.Type, in)
+	}
+	out := make([]bool, len(n.Outputs))
+	for i, id := range n.Outputs {
+		out[i] = vals[id]
+	}
+	return out
+}
+
+// Eval64 simulates 64 input vectors in parallel. inputs[i] carries the 64
+// values of primary input i, one per bit. The result holds one word per
+// primary output.
+func (n *Network) Eval64(inputs []uint64) []uint64 {
+	if len(inputs) != len(n.Inputs) {
+		panic(fmt.Sprintf("logic: Eval64 got %d inputs, want %d", len(inputs), len(n.Inputs)))
+	}
+	vals := make([]uint64, len(n.Gates))
+	for i, id := range n.Inputs {
+		vals[id] = inputs[i]
+	}
+	for gi, g := range n.Gates {
+		var v uint64
+		switch g.Type {
+		case Input:
+			continue
+		case Const0:
+			v = 0
+		case Const1:
+			v = ^uint64(0)
+		case Buf:
+			v = vals[g.Fanin[0]]
+		case Not:
+			v = ^vals[g.Fanin[0]]
+		case And, Nand:
+			v = ^uint64(0)
+			for _, f := range g.Fanin {
+				v &= vals[f]
+			}
+			if g.Type == Nand {
+				v = ^v
+			}
+		case Or, Nor:
+			for _, f := range g.Fanin {
+				v |= vals[f]
+			}
+			if g.Type == Nor {
+				v = ^v
+			}
+		case Xor, Xnor:
+			for _, f := range g.Fanin {
+				v ^= vals[f]
+			}
+			if g.Type == Xnor {
+				v = ^v
+			}
+		case Mux:
+			s, d0, d1 := vals[g.Fanin[0]], vals[g.Fanin[1]], vals[g.Fanin[2]]
+			v = (s & d1) | (^s & d0)
+		}
+		vals[gi] = v
+	}
+	out := make([]uint64, len(n.Outputs))
+	for i, id := range n.Outputs {
+		out[i] = vals[id]
+	}
+	return out
+}
+
+// Levels returns, for every gate, its logic depth (inputs and constants are
+// level 0; every other gate is 1 + max fanin level).
+func (n *Network) Levels() []int {
+	lv := make([]int, len(n.Gates))
+	for gi, g := range n.Gates {
+		if len(g.Fanin) == 0 {
+			continue
+		}
+		m := 0
+		for _, f := range g.Fanin {
+			if lv[f] > m {
+				m = lv[f]
+			}
+		}
+		lv[gi] = m + 1
+	}
+	return lv
+}
+
+// Depth returns the maximum logic level over all primary outputs.
+func (n *Network) Depth() int {
+	lv := n.Levels()
+	d := 0
+	for _, id := range n.Outputs {
+		if lv[id] > d {
+			d = lv[id]
+		}
+	}
+	return d
+}
+
+// FanoutCounts returns the number of gate fanouts of every gate (primary
+// output references are not counted).
+func (n *Network) FanoutCounts() []int {
+	fo := make([]int, len(n.Gates))
+	for _, g := range n.Gates {
+		for _, f := range g.Fanin {
+			fo[f]++
+		}
+	}
+	return fo
+}
+
+// Cone returns the set of gate ids in the transitive fanin cone of root
+// (inclusive), in ascending id order.
+func (n *Network) Cone(root int) []int {
+	seen := make(map[int]bool)
+	var stack []int
+	stack = append(stack, root)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, n.Gates[id].Fanin...)
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Stats summarizes network size.
+type Stats struct {
+	Inputs  int
+	Outputs int
+	Gates   int // excluding Input gates and constants
+	Depth   int
+}
+
+// Stats computes summary statistics.
+func (n *Network) Stats() Stats {
+	g := 0
+	for _, gate := range n.Gates {
+		switch gate.Type {
+		case Input, Const0, Const1:
+		default:
+			g++
+		}
+	}
+	return Stats{Inputs: len(n.Inputs), Outputs: len(n.Outputs), Gates: g, Depth: n.Depth()}
+}
+
+// String returns a compact one-line summary.
+func (n *Network) String() string {
+	s := n.Stats()
+	return fmt.Sprintf("%s: %d inputs, %d outputs, %d gates, depth %d", n.Name, s.Inputs, s.Outputs, s.Gates, s.Depth)
+}
+
+// Dump writes a human-readable listing of all gates, useful in tests.
+func (n *Network) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".network %s\n", n.Name)
+	for gi, g := range n.Gates {
+		fmt.Fprintf(&b, "%4d %-6s %v", gi, g.Type, g.Fanin)
+		if g.Name != "" {
+			fmt.Fprintf(&b, " %q", g.Name)
+		}
+		b.WriteByte('\n')
+	}
+	for i, id := range n.Outputs {
+		fmt.Fprintf(&b, ".out %s = %d\n", n.OutputNames[i], id)
+	}
+	return b.String()
+}

@@ -1,0 +1,289 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildMajority(t *testing.T) *Network {
+	t.Helper()
+	b := NewBuilder("maj3")
+	a, bb, c := b.Input("a"), b.Input("b"), b.Input("c")
+	m := b.Or(b.And(a, bb), b.And(a, c), b.And(bb, c))
+	b.Output("maj", m)
+	return b.Build()
+}
+
+func TestEvalMajority(t *testing.T) {
+	n := buildMajority(t)
+	for v := 0; v < 8; v++ {
+		a, bb, c := v&1 != 0, v&2 != 0, v&4 != 0
+		got := n.Eval([]bool{a, bb, c})[0]
+		want := (a && bb) || (a && c) || (bb && c)
+		if got != want {
+			t.Errorf("maj(%v,%v,%v) = %v, want %v", a, bb, c, got, want)
+		}
+	}
+}
+
+func TestGateSemantics(t *testing.T) {
+	cases := []struct {
+		typ  GateType
+		eval func(in []bool) bool
+		ar   int
+	}{
+		{And, func(in []bool) bool { return in[0] && in[1] && in[2] }, 3},
+		{Or, func(in []bool) bool { return in[0] || in[1] || in[2] }, 3},
+		{Nand, func(in []bool) bool { return !(in[0] && in[1] && in[2]) }, 3},
+		{Nor, func(in []bool) bool { return !(in[0] || in[1] || in[2]) }, 3},
+		{Xor, func(in []bool) bool { return in[0] != in[1] != in[2] }, 3},
+		{Xnor, func(in []bool) bool { return !(in[0] != in[1] != in[2]) }, 3},
+		{Mux, func(in []bool) bool {
+			if in[0] {
+				return in[2]
+			}
+			return in[1]
+		}, 3},
+	}
+	for _, tc := range cases {
+		b := NewBuilder("g")
+		ids := b.Inputs("x", tc.ar)
+		var g int
+		if tc.typ == Mux {
+			g = b.Mux(ids[0], ids[1], ids[2])
+		} else {
+			g = b.nary(tc.typ, ids)
+		}
+		b.Output("f", g)
+		n := b.Build()
+		for v := 0; v < 1<<tc.ar; v++ {
+			in := make([]bool, tc.ar)
+			for i := range in {
+				in[i] = v&(1<<i) != 0
+			}
+			if got, want := n.Eval(in)[0], tc.eval(in); got != want {
+				t.Errorf("%s%v = %v, want %v", tc.typ, in, got, want)
+			}
+		}
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	b := NewBuilder("h")
+	x, y := b.Input("x"), b.Input("y")
+	g1 := b.And(x, y)
+	g2 := b.And(x, y)
+	if g1 != g2 {
+		t.Errorf("identical AND gates not hashed: %d vs %d", g1, g2)
+	}
+	if b.And(y, x) == g1 {
+		t.Errorf("AND(y,x) unexpectedly hashed to AND(x,y); hashing is positional")
+	}
+	if b.Not(b.Not(x)) != x {
+		t.Errorf("double negation not collapsed")
+	}
+}
+
+func TestConstantsAndTrivialGates(t *testing.T) {
+	b := NewBuilder("c")
+	x := b.Input("x")
+	b.Output("t", b.Const1())
+	b.Output("f", b.Const0())
+	b.Output("andx", b.And(x)) // unary AND = buf
+	b.Output("norx", b.Nor(x)) // unary NOR = not
+	b.Output("empty_and", b.And())
+	b.Output("empty_or", b.Or())
+	n := b.Build()
+	for _, x := range []bool{false, true} {
+		out := n.Eval([]bool{x})
+		if !out[0] || out[1] {
+			t.Errorf("constants wrong: %v", out)
+		}
+		if out[2] != x || out[3] != !x {
+			t.Errorf("unary gates wrong for x=%v: %v", x, out)
+		}
+		if !out[4] || out[5] {
+			t.Errorf("empty gates wrong: %v", out)
+		}
+	}
+}
+
+func TestEval64MatchesEval(t *testing.T) {
+	n := randomNetwork(rand.New(rand.NewSource(7)), 6, 40)
+	// 64 random vectors, compared one by one.
+	rng := rand.New(rand.NewSource(8))
+	words := make([]uint64, n.NumInputs())
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	par := n.Eval64(words)
+	for bit := 0; bit < 64; bit++ {
+		in := make([]bool, n.NumInputs())
+		for i := range in {
+			in[i] = words[i]&(1<<bit) != 0
+		}
+		seq := n.Eval(in)
+		for o := range seq {
+			if seq[o] != (par[o]&(1<<bit) != 0) {
+				t.Fatalf("bit %d output %d: Eval=%v Eval64=%v", bit, o, seq[o], par[o]&(1<<bit) != 0)
+			}
+		}
+	}
+}
+
+// randomNetwork builds a random network for differential tests.
+func randomNetwork(rng *rand.Rand, nIn, nGates int) *Network {
+	b := NewBuilder("rand")
+	ids := b.Inputs("i", nIn)
+	pool := append([]int(nil), ids...)
+	types := []GateType{And, Or, Nand, Nor, Xor, Xnor, Not, Mux}
+	for g := 0; g < nGates; g++ {
+		t := types[rng.Intn(len(types))]
+		pick := func() int { return pool[rng.Intn(len(pool))] }
+		var id int
+		switch t {
+		case Not:
+			id = b.Not(pick())
+		case Mux:
+			id = b.Mux(pick(), pick(), pick())
+		default:
+			k := 2 + rng.Intn(3)
+			xs := make([]int, k)
+			for i := range xs {
+				xs[i] = pick()
+			}
+			id = b.nary(t, xs)
+		}
+		pool = append(pool, id)
+	}
+	for o := 0; o < 4; o++ {
+		b.Output(string(rune('w'+o)), pool[len(pool)-1-o])
+	}
+	return b.Build()
+}
+
+func TestValidate(t *testing.T) {
+	n := buildMajority(t)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	bad := &Network{
+		Name:        "bad",
+		Gates:       []Gate{{Type: And, Fanin: []int{0}}}, // self-fanin
+		Outputs:     []int{0},
+		OutputNames: []string{"f"},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("non-topological fanin accepted")
+	}
+	bad2 := &Network{
+		Name:        "bad2",
+		Gates:       []Gate{{Type: Input, Name: "x"}},
+		Outputs:     []int{5},
+		OutputNames: []string{"f"},
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Errorf("dangling output accepted")
+	}
+}
+
+func TestLevelsDepthCone(t *testing.T) {
+	b := NewBuilder("lv")
+	x, y, z := b.Input("x"), b.Input("y"), b.Input("z")
+	g1 := b.And(x, y)
+	g2 := b.Or(g1, z)
+	g3 := b.Xor(g2, x)
+	b.Output("f", g3)
+	n := b.Build()
+	lv := n.Levels()
+	if lv[x] != 0 || lv[g1] != 1 || lv[g2] != 2 || lv[g3] != 3 {
+		t.Errorf("levels wrong: %v", lv)
+	}
+	if n.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", n.Depth())
+	}
+	cone := n.Cone(g1)
+	if len(cone) != 3 { // x, y, g1
+		t.Errorf("cone(g1) = %v", cone)
+	}
+	fo := n.FanoutCounts()
+	if fo[x] != 2 { // feeds g1 and g3
+		t.Errorf("fanout(x) = %d, want 2", fo[x])
+	}
+}
+
+func TestRippleAdder(t *testing.T) {
+	const w = 5
+	b := NewBuilder("add")
+	xs := b.Inputs("x", w)
+	ys := b.Inputs("y", w)
+	sums, cout := b.AddRippleAdder(xs, ys, b.Const0())
+	for i, s := range sums {
+		b.Output(string(rune('s'))+string(rune('0'+i)), s)
+	}
+	b.Output("cout", cout)
+	n := b.Build()
+	for a := 0; a < 1<<w; a++ {
+		for c := 0; c < 1<<w; c++ {
+			in := make([]bool, 2*w)
+			for i := 0; i < w; i++ {
+				in[i] = a&(1<<i) != 0
+				in[w+i] = c&(1<<i) != 0
+			}
+			out := n.Eval(in)
+			got := 0
+			for i := 0; i <= w; i++ {
+				if out[i] {
+					got |= 1 << i
+				}
+			}
+			if got != a+c {
+				t.Fatalf("%d+%d = %d, want %d", a, c, got, a+c)
+			}
+		}
+	}
+}
+
+// Property: Eval is deterministic and consistent with Eval64 for arbitrary
+// input words on a fixed random network.
+func TestQuickEvalConsistency(t *testing.T) {
+	n := randomNetwork(rand.New(rand.NewSource(99)), 5, 30)
+	f := func(w0, w1, w2, w3, w4 uint64) bool {
+		words := []uint64{w0, w1, w2, w3, w4}
+		par := n.Eval64(words)
+		for bit := 0; bit < 64; bit += 17 {
+			in := make([]bool, 5)
+			for i := range in {
+				in[i] = words[i]&(1<<bit) != 0
+			}
+			seq := n.Eval(in)
+			for o := range seq {
+				if seq[o] != (par[o]&(1<<bit) != 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInputOutputLookup(t *testing.T) {
+	n := buildMajority(t)
+	if n.InputIndex("b") != 1 || n.InputIndex("zz") != -1 {
+		t.Errorf("InputIndex wrong")
+	}
+	if n.OutputIndex("maj") != 0 || n.OutputIndex("zz") != -1 {
+		t.Errorf("OutputIndex wrong")
+	}
+	names := n.InputNames()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("InputNames = %v", names)
+	}
+	if n.String() == "" || n.Dump() == "" {
+		t.Errorf("String/Dump empty")
+	}
+}

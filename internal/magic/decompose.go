@@ -1,0 +1,74 @@
+package magic
+
+import (
+	"fmt"
+
+	"compact/internal/logic"
+)
+
+// decompose rewrites the network so that every gate has at most two
+// fanins, the standard technology-independent preparation before cut-based
+// LUT mapping: n-ary associative gates become balanced binary trees and
+// muxes are expanded into AND/OR/NOT.
+func decompose(nw *logic.Network) *logic.Network {
+	b := logic.NewBuilder(nw.Name)
+	remap := make([]int, nw.NumGates())
+	for gi, g := range nw.Gates {
+		fan := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fan[i] = remap[f]
+		}
+		switch g.Type {
+		case logic.Input:
+			remap[gi] = b.Input(g.Name)
+		case logic.Const0:
+			remap[gi] = b.Const0()
+		case logic.Const1:
+			remap[gi] = b.Const1()
+		case logic.Buf:
+			remap[gi] = b.Buf(fan[0])
+		case logic.Not:
+			remap[gi] = b.Not(fan[0])
+		case logic.And:
+			remap[gi] = tree(b, fan, b.And)
+		case logic.Or:
+			remap[gi] = tree(b, fan, b.Or)
+		case logic.Xor:
+			remap[gi] = tree(b, fan, b.Xor)
+		case logic.Nand:
+			remap[gi] = b.Not(tree(b, fan, b.And))
+		case logic.Nor:
+			remap[gi] = b.Not(tree(b, fan, b.Or))
+		case logic.Xnor:
+			remap[gi] = b.Not(tree(b, fan, b.Xor))
+		case logic.Mux:
+			s, d0, d1 := fan[0], fan[1], fan[2]
+			remap[gi] = b.Or(b.And(s, d1), b.And(b.Not(s), d0))
+		default:
+			panic(fmt.Sprintf("magic: unknown gate type %v", g.Type))
+		}
+	}
+	for i, o := range nw.Outputs {
+		b.Output(nw.OutputNames[i], remap[o])
+	}
+	return b.Build()
+}
+
+// tree folds operands into a balanced binary tree of 2-input gates.
+func tree(b *logic.Builder, xs []int, op func(...int) int) int {
+	switch len(xs) {
+	case 0, 1, 2:
+		return op(xs...)
+	}
+	for len(xs) > 1 {
+		var next []int
+		for i := 0; i+1 < len(xs); i += 2 {
+			next = append(next, op(xs[i], xs[i+1]))
+		}
+		if len(xs)%2 == 1 {
+			next = append(next, xs[len(xs)-1])
+		}
+		xs = next
+	}
+	return xs[0]
+}

@@ -1,0 +1,529 @@
+// Package magic models the MAGIC-style in-memory computing baseline that
+// COMPACT is compared against in Section VIII-E: CONTRA (reference [34]),
+// a LUT-based mapper for NOR-centric stateful logic on a bounded crossbar.
+//
+// The pipeline mirrors CONTRA's structure: the Boolean network is covered
+// with k-input LUTs (k-feasible cut enumeration + depth-oriented
+// selection); each LUT is synthesized into MAGIC-executable operations
+// (NOT = 1-input NOR, minterm NORs, and a collecting NOR, picking the
+// cheaper of on-set and off-set forms); operands are aligned with COPY
+// operations; and primary inputs are written with INPUT operations. Power
+// is modeled as the total number of write operations and delay as the
+// number of scheduled time steps, with LUTs of one logic level executing
+// in parallel lanes limited by the crossbar dimension and the row spacing
+// between LUTs — the same cost accounting the paper uses for Figure 13.
+package magic
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"compact/internal/logic"
+)
+
+// Options configures the mapper; zero values take CONTRA's defaults from
+// the paper (k=4, spacing=6, 128x128 crossbar).
+type Options struct {
+	K           int // LUT input count
+	Spacing     int // rows between LUTs on the crossbar
+	CrossbarDim int // crossbar rows/columns
+	MaxCuts     int // cut-set pruning bound per node (default 8)
+}
+
+func (o *Options) defaults() {
+	if o.K <= 0 {
+		o.K = 4
+	}
+	if o.Spacing <= 0 {
+		o.Spacing = 6
+	}
+	if o.CrossbarDim <= 0 {
+		o.CrossbarDim = 128
+	}
+	if o.MaxCuts <= 0 {
+		o.MaxCuts = 8
+	}
+}
+
+// LUT is one lookup table of the cover.
+type LUT struct {
+	Root   int   // network gate realized by this LUT
+	Inputs []int // network gates feeding it (≤ K)
+	// TT is the truth table over Inputs: bit m is the value when input i
+	// takes bit i of m.
+	TT uint64
+	// NORs is the number of MAGIC operations (NOTs + minterm NORs +
+	// collector) to evaluate the LUT.
+	NORs int
+	// Copies is the number of COPY alignment operations (one per input).
+	Copies int
+	// Level is the LUT network depth (1 = fed only by primary inputs).
+	Level int
+}
+
+// Result is the mapped design plus its cost model.
+type Result struct {
+	LUTs   []LUT
+	Levels int
+	// InputOps counts INPUT write operations (one per primary input).
+	InputOps int
+	// CopyOps and NOROps total the per-LUT counts.
+	CopyOps int
+	NOROps  int
+	// Ops is the paper's power proxy: all write operations.
+	Ops int
+	// Steps is the paper's delay proxy: scheduled time steps with
+	// level-parallel execution in bounded lanes.
+	Steps int
+
+	nw     *logic.Network
+	byRoot map[int]*LUT
+}
+
+// Synthesize maps the network onto the MAGIC cost model.
+func Synthesize(nw *logic.Network, opts Options) (*Result, error) {
+	opts.defaults()
+	if opts.K > 6 {
+		return nil, fmt.Errorf("magic: K=%d exceeds the 6-input truth-table limit", opts.K)
+	}
+	if opts.K < 2 {
+		return nil, fmt.Errorf("magic: K=%d below the 2-input minimum", opts.K)
+	}
+	nw = decompose(nw)
+	cuts, err := enumerateCuts(nw, opts)
+	if err != nil {
+		return nil, err
+	}
+	cover := selectCover(nw, cuts)
+	res := &Result{nw: nw, byRoot: make(map[int]*LUT)}
+	for _, root := range cover {
+		cut := cuts[root].best
+		tt, err := cutTruthTable(nw, root, cut)
+		if err != nil {
+			return nil, err
+		}
+		l := LUT{Root: root, Inputs: cut, TT: tt, Copies: len(cut)}
+		l.NORs = norCost(tt, len(cut))
+		res.LUTs = append(res.LUTs, l)
+	}
+	sort.Slice(res.LUTs, func(i, j int) bool { return res.LUTs[i].Root < res.LUTs[j].Root })
+	for i := range res.LUTs {
+		res.byRoot[res.LUTs[i].Root] = &res.LUTs[i]
+	}
+	res.assignLevels()
+	res.schedule(opts)
+	return res, nil
+}
+
+// cutSet is the pruned cut collection of one gate.
+type cutSet struct {
+	cuts  [][]int
+	best  []int // selected (min-depth, then min-size) cut
+	depth int
+}
+
+// enumerateCuts computes k-feasible cuts bottom-up with pruning.
+func enumerateCuts(nw *logic.Network, opts Options) ([]cutSet, error) {
+	sets := make([]cutSet, nw.NumGates())
+	depth := make([]int, nw.NumGates())
+	for gi, g := range nw.Gates {
+		switch g.Type {
+		case logic.Input:
+			sets[gi] = cutSet{cuts: [][]int{{gi}}, best: []int{gi}}
+			continue
+		case logic.Const0, logic.Const1:
+			sets[gi] = cutSet{cuts: [][]int{{}}, best: []int{}}
+			continue
+		}
+		// Fold fanin cut sets pairwise.
+		acc := [][]int{{}}
+		for _, f := range g.Fanin {
+			var next [][]int
+			for _, a := range acc {
+				for _, b := range sets[f].cuts {
+					if m := mergeCut(a, b, opts.K); m != nil {
+						next = append(next, m)
+					}
+				}
+			}
+			next = pruneCuts(next, opts.MaxCuts)
+			if len(next) == 0 {
+				// No k-feasible merge survives; fall back to the trivial
+				// cut of each fanin (always possible since K >= 2... K>=1).
+				next = [][]int{}
+				base := []int{}
+				ok := true
+				for _, ff := range g.Fanin {
+					base = mergeCut(base, []int{ff}, opts.K)
+					if base == nil {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					next = [][]int{base}
+				}
+			}
+			acc = next
+			if len(acc) == 0 {
+				break
+			}
+		}
+		// Trivial cut {gi} is always available.
+		acc = append(acc, []int{gi})
+		acc = pruneCuts(acc, opts.MaxCuts+1)
+		// Choose the best non-trivial cut by mapped depth.
+		bestDepth := int(^uint(0) >> 1)
+		var best []int
+		for _, c := range acc {
+			if len(c) == 1 && c[0] == gi {
+				continue
+			}
+			d := 0
+			for _, leaf := range c {
+				if depth[leaf]+1 > d {
+					d = depth[leaf] + 1
+				}
+			}
+			if d < bestDepth || (d == bestDepth && len(c) < len(best)) {
+				bestDepth, best = d, c
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("magic: gate %d has no %d-feasible cut", gi, opts.K)
+		}
+		depth[gi] = bestDepth
+		sets[gi] = cutSet{cuts: acc, best: best, depth: bestDepth}
+	}
+	return sets, nil
+}
+
+// mergeCut unions two sorted cuts, nil if the result exceeds k leaves.
+func mergeCut(a, b []int, k int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i == len(a):
+			out = append(out, b[j])
+			j++
+		case j == len(b):
+			out = append(out, a[i])
+			i++
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+		if len(out) > k {
+			return nil
+		}
+	}
+	return out
+}
+
+// pruneCuts dedupes and keeps the `limit` smallest cuts.
+func pruneCuts(cuts [][]int, limit int) [][]int {
+	seen := make(map[string]bool)
+	uniq := cuts[:0]
+	for _, c := range cuts {
+		key := fmt.Sprint(c)
+		if !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, c)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if len(uniq[i]) != len(uniq[j]) {
+			return len(uniq[i]) < len(uniq[j])
+		}
+		return fmt.Sprint(uniq[i]) < fmt.Sprint(uniq[j])
+	})
+	if len(uniq) > limit {
+		uniq = uniq[:limit]
+	}
+	return uniq
+}
+
+// selectCover walks back from the outputs choosing each required gate's
+// best cut; cut leaves become required in turn.
+func selectCover(nw *logic.Network, cuts []cutSet) []int {
+	required := make([]bool, nw.NumGates())
+	for _, o := range nw.Outputs {
+		if nw.Gates[o].Type != logic.Input {
+			required[o] = true
+		}
+	}
+	for gi := nw.NumGates() - 1; gi >= 0; gi-- {
+		if !required[gi] || nw.Gates[gi].Type == logic.Input {
+			continue
+		}
+		for _, leaf := range cuts[gi].best {
+			if nw.Gates[leaf].Type != logic.Input {
+				required[leaf] = true
+			}
+		}
+	}
+	var cover []int
+	for gi, r := range required {
+		if r {
+			cover = append(cover, gi)
+		}
+	}
+	return cover
+}
+
+// cutTruthTable simulates the cone between cut leaves and root.
+func cutTruthTable(nw *logic.Network, root int, cut []int) (uint64, error) {
+	if len(cut) > 6 {
+		return 0, fmt.Errorf("magic: cut of size %d too wide", len(cut))
+	}
+	leafIdx := make(map[int]int, len(cut))
+	for i, l := range cut {
+		leafIdx[l] = i
+	}
+	var tt uint64
+	memo := make(map[int]bool)
+	var eval func(g int, m int) bool
+	eval = func(g int, m int) bool {
+		if i, ok := leafIdx[g]; ok {
+			return m&(1<<uint(i)) != 0
+		}
+		if v, ok := memo[g]; ok {
+			return v
+		}
+		gate := nw.Gates[g]
+		in := make([]bool, len(gate.Fanin))
+		for i, f := range gate.Fanin {
+			in[i] = eval(f, m)
+		}
+		var v bool
+		switch gate.Type {
+		case logic.Const0:
+			v = false
+		case logic.Const1:
+			v = true
+		case logic.Buf:
+			v = in[0]
+		case logic.Not:
+			v = !in[0]
+		case logic.And, logic.Nand:
+			v = true
+			for _, b := range in {
+				v = v && b
+			}
+			if gate.Type == logic.Nand {
+				v = !v
+			}
+		case logic.Or, logic.Nor:
+			for _, b := range in {
+				v = v || b
+			}
+			if gate.Type == logic.Nor {
+				v = !v
+			}
+		case logic.Xor, logic.Xnor:
+			for _, b := range in {
+				v = v != b
+			}
+			if gate.Type == logic.Xnor {
+				v = !v
+			}
+		case logic.Mux:
+			if in[0] {
+				v = in[2]
+			} else {
+				v = in[1]
+			}
+		default:
+			panic(fmt.Sprintf("magic: cone reached input gate %d outside cut", g))
+		}
+		memo[g] = v
+		return v
+	}
+	for m := 0; m < 1<<uint(len(cut)); m++ {
+		memo = make(map[int]bool)
+		if eval(root, m) {
+			tt |= 1 << uint(m)
+		}
+	}
+	return tt, nil
+}
+
+// norCost counts MAGIC operations to realize tt over nIn inputs: the
+// cheaper of the on-set form (NOTs + minterm NORs + collector NOR + final
+// NOT) and off-set form (NOTs + minterm NORs + collector NOR).
+func norCost(tt uint64, nIn int) int {
+	size := 1 << uint(nIn)
+	mask := uint64(1)<<uint(size) - 1
+	on := bits.OnesCount64(tt & mask)
+	off := size - on
+	if on == 0 || off == 0 {
+		return 1 // constant: a single write
+	}
+	cost := func(minterms uint64, needFinalNot bool) int {
+		nots := 0
+		for i := 0; i < nIn; i++ {
+			// Input i is needed complemented if it appears positively
+			// (bit set) in any chosen minterm.
+			for m := 0; m < size; m++ {
+				if minterms&(1<<uint(m)) != 0 && m&(1<<uint(i)) != 0 {
+					nots++
+					break
+				}
+			}
+		}
+		c := nots + bits.OnesCount64(minterms&mask) + 1
+		if needFinalNot {
+			c++
+		}
+		return c
+	}
+	onCost := cost(tt&mask, true)
+	offCost := cost(^tt&mask, false)
+	if offCost < onCost {
+		return offCost
+	}
+	return onCost
+}
+
+// assignLevels computes each LUT's depth in the LUT network.
+func (r *Result) assignLevels() {
+	memo := make(map[int]int)
+	var level func(root int) int
+	level = func(root int) int {
+		if v, ok := memo[root]; ok {
+			return v
+		}
+		l, ok := r.byRoot[root]
+		if !ok {
+			return 0 // primary input
+		}
+		memo[root] = 0 // break accidental cycles defensively
+		d := 0
+		for _, in := range l.Inputs {
+			if ld := level(in); ld > d {
+				d = ld
+			}
+		}
+		memo[root] = d + 1
+		return d + 1
+	}
+	for i := range r.LUTs {
+		r.LUTs[i].Level = level(r.LUTs[i].Root)
+		if r.LUTs[i].Level > r.Levels {
+			r.Levels = r.LUTs[i].Level
+		}
+	}
+}
+
+// schedule computes the operation totals and the step count. The MAGIC
+// execution model is write-op-serial with one exception: the same NOR
+// applied to identically-shaped LUTs (equal truth tables, hence equal
+// operation sequences) in different row lanes of the crossbar can fire in
+// one cycle. COPY realignment ops always serialize — each moves data from
+// a different source — which is exactly the bottleneck the paper describes
+// for MAGIC-style mapping ("subsequent time steps will be spent attempting
+// to realign the data").
+func (r *Result) schedule(opts Options) {
+	r.InputOps = r.nw.NumInputs()
+	for _, l := range r.LUTs {
+		r.CopyOps += l.Copies
+		r.NOROps += l.NORs
+	}
+	r.Ops = r.InputOps + r.CopyOps + r.NOROps
+
+	lanes := opts.CrossbarDim / (opts.Spacing + 1)
+	if lanes < 1 {
+		lanes = 1
+	}
+	// Inputs are written one wordline per step, CrossbarDim bits at a time.
+	steps := (r.nw.NumInputs() + opts.CrossbarDim - 1) / opts.CrossbarDim
+	type group struct {
+		count int
+		nors  int
+	}
+	byLevel := make(map[int]map[uint64]*group)
+	copies := make(map[int]int)
+	for _, l := range r.LUTs {
+		g := byLevel[l.Level]
+		if g == nil {
+			g = make(map[uint64]*group)
+			byLevel[l.Level] = g
+		}
+		// Group key: truth table + arity (same function => same op chain).
+		key := l.TT ^ uint64(len(l.Inputs))<<60
+		if g[key] == nil {
+			g[key] = &group{}
+		}
+		g[key].count++
+		if l.NORs > g[key].nors {
+			g[key].nors = l.NORs
+		}
+		copies[l.Level] += l.Copies
+	}
+	for lv := 1; lv <= r.Levels; lv++ {
+		steps += copies[lv] // alignment is serial
+		var keys []uint64
+		for k := range byLevel[lv] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			g := byLevel[lv][k]
+			waves := (g.count + lanes - 1) / lanes
+			steps += waves * g.nors
+		}
+	}
+	r.Steps = steps
+}
+
+// Eval evaluates the LUT network on a primary-input assignment, for
+// verifying that the cover preserves the function.
+func (r *Result) Eval(inputs []bool) []bool {
+	memo := make(map[int]bool)
+	var eval func(g int) bool
+	eval = func(g int) bool {
+		if v, ok := memo[g]; ok {
+			return v
+		}
+		if l, ok := r.byRoot[g]; ok {
+			m := 0
+			for i, in := range l.Inputs {
+				if eval(in) {
+					m |= 1 << uint(i)
+				}
+			}
+			v := l.TT&(1<<uint(m)) != 0
+			memo[g] = v
+			return v
+		}
+		// Primary input or constant.
+		switch r.nw.Gates[g].Type {
+		case logic.Input:
+			for i, id := range r.nw.Inputs {
+				if id == g {
+					return inputs[i]
+				}
+			}
+			panic("magic: unmapped input gate")
+		case logic.Const0:
+			return false
+		case logic.Const1:
+			return true
+		}
+		panic(fmt.Sprintf("magic: gate %d not covered by any LUT", g))
+	}
+	out := make([]bool, r.nw.NumOutputs())
+	for i, o := range r.nw.Outputs {
+		out[i] = eval(o)
+	}
+	return out
+}

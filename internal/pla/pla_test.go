@@ -1,0 +1,162 @@
+package pla
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"compact/internal/logic"
+)
+
+const samplePLA = `
+# 2-bit comparator: eq, gt
+.i 4
+.o 2
+.ilb a1 a0 b1 b0
+.ob eq gt
+.p 10
+00-00- 00
+`
+
+func TestParseBasic(t *testing.T) {
+	src := `
+.i 2
+.o 1
+.ilb a b
+.ob f
+.p 2
+1- 1
+-1 1
+.e
+`
+	tab, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumIn != 2 || tab.NumOut != 1 || len(tab.Cubes) != 2 {
+		t.Fatalf("parsed %+v", tab)
+	}
+	n, err := tab.Network("or2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		a, b := v&1 != 0, v&2 != 0
+		if got, want := n.Eval([]bool{a, b})[0], a || b; got != want {
+			t.Errorf("f(%v,%v)=%v want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestParseJoinedCube(t *testing.T) {
+	// Cube given as one token of length .i+.o.
+	src := ".i 2\n.o 1\n111\n.e\n"
+	tab, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Cubes) != 1 || tab.Cubes[0].In != "11" || tab.Cubes[0].Out != "1" {
+		t.Fatalf("cubes = %+v", tab.Cubes)
+	}
+}
+
+func TestParseMultiOutput(t *testing.T) {
+	src := `
+.i 2
+.o 2
+.p 3
+11 10
+10 01
+01 01
+.e
+`
+	tab, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tab.Network("xo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// o0 = a&b, o1 = a xor b
+	for v := 0; v < 4; v++ {
+		a, b := v&1 != 0, v&2 != 0
+		out := n.Eval([]bool{a, b})
+		if out[0] != (a && b) || out[1] != (a != b) {
+			t.Errorf("(%v,%v) -> %v", a, b, out)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no decls":  "11 1\n",
+		"bad in":    ".i 2\n.o 1\n12 1\n",
+		"bad out":   ".i 2\n.o 1\n11 2\n",
+		"mismatch":  ".i 3\n.o 1\n11 1\n",
+		"malformed": ".i 2\n.o 1\n1 1 1\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestFromNetworkRoundTrip(t *testing.T) {
+	b := logic.NewBuilder("maj")
+	a, bb, c := b.Input("a"), b.Input("b"), b.Input("c")
+	b.Output("maj", b.Or(b.And(a, bb), b.And(a, c), b.And(bb, c)))
+	b.Output("par", b.Xor(a, bb, c))
+	n := b.Build()
+
+	tab, err := FromNetwork(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	n2, err := tab2.Network("maj2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+		w1, w2 := n.Eval(in), n2.Eval(in)
+		for o := range w1 {
+			if w1[o] != w2[o] {
+				t.Fatalf("output %d differs on %v", o, in)
+			}
+		}
+	}
+}
+
+func TestFromNetworkTooWide(t *testing.T) {
+	b := logic.NewBuilder("wide")
+	ids := b.Inputs("x", 20)
+	b.Output("f", b.And(ids...))
+	if _, err := FromNetwork(b.Build(), 16); err == nil {
+		t.Error("expected enumeration-limit error")
+	}
+}
+
+func TestNamesDefaulting(t *testing.T) {
+	src := ".i 1\n.o 1\n1 1\n.e\n"
+	tab, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tab.Network("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.InputNames()[0] != "i0" || n.OutputNames[0] != "o0" {
+		t.Errorf("default names: %v %v", n.InputNames(), n.OutputNames)
+	}
+}

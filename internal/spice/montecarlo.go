@@ -1,0 +1,92 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"compact/internal/xbar"
+)
+
+// Variation describes log-normal device-to-device spread, the usual model
+// for resistive-RAM cycle and device variation: each device's on and off
+// resistances are multiplied by exp(N(0, sigma)).
+type Variation struct {
+	SigmaOn  float64 // log-std of the on-state resistance
+	SigmaOff float64 // log-std of the off-state resistance
+}
+
+// MonteCarloReport summarizes a variation analysis.
+type MonteCarloReport struct {
+	Trials      int
+	Vectors     int     // input vectors checked per trial
+	FailTrials  int     // trials with at least one misread output
+	WorstMinOn  float64 // lowest logic-1 voltage seen across all trials
+	WorstMaxOff float64 // highest logic-0 voltage seen
+	// Yield is the fraction of trials in which every checked vector was
+	// readable with the trial's best threshold.
+	Yield float64
+}
+
+// MonteCarlo repeats the margin analysis under randomized device
+// variation: each trial perturbs every device's resistances, simulates
+// `vectors` random input vectors, and asks whether a single threshold
+// still separates all observed 0s from 1s. The perturbation is modeled by
+// scaling the whole array's Ron/Roff per cell; since the nodal solver
+// takes one global model, the per-cell spread is approximated by sampling
+// an effective model per trial from the same log-normal — adequate for
+// yield trends, not for per-device hot spots (documented simplification).
+func MonteCarlo(d *xbar.Design, ref func([]bool) []bool, nVars, vectors, trials int,
+	base DeviceModel, v Variation, seed int64) (MonteCarloReport, error) {
+
+	if trials <= 0 || vectors <= 0 {
+		return MonteCarloReport{}, fmt.Errorf("spice: trials and vectors must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rep := MonteCarloReport{
+		Trials:      trials,
+		Vectors:     vectors,
+		WorstMinOn:  math.Inf(1),
+		WorstMaxOff: math.Inf(-1),
+	}
+	for trial := 0; trial < trials; trial++ {
+		model := base
+		model.ROn = base.ROn * math.Exp(rng.NormFloat64()*v.SigmaOn)
+		model.ROff = base.ROff * math.Exp(rng.NormFloat64()*v.SigmaOff)
+		if model.ROff <= model.ROn {
+			// Catastrophic variation: the trial fails outright.
+			rep.FailTrials++
+			continue
+		}
+		minOn, maxOff := math.Inf(1), math.Inf(-1)
+		in := make([]bool, nVars)
+		for s := 0; s < vectors; s++ {
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			want := ref(in)
+			volts, err := Simulate(d, in, model)
+			if err != nil {
+				return rep, err
+			}
+			for o, w := range want {
+				if w {
+					minOn = math.Min(minOn, volts[o])
+				} else {
+					maxOff = math.Max(maxOff, volts[o])
+				}
+			}
+		}
+		if minOn < rep.WorstMinOn {
+			rep.WorstMinOn = minOn
+		}
+		if maxOff > rep.WorstMaxOff {
+			rep.WorstMaxOff = maxOff
+		}
+		if !(minOn > maxOff) {
+			rep.FailTrials++
+		}
+	}
+	rep.Yield = float64(trials-rep.FailTrials) / float64(trials)
+	return rep, nil
+}

@@ -1,0 +1,294 @@
+// Package spice validates flow-based crossbar designs electrically,
+// standing in for the SPICE simulations of the paper (Section VIII, using
+// the memristor model of reference [33]). Every crosspoint of a fabricated
+// crossbar holds a memristor; cells programmed '0' are in the high
+// resistive state, not absent. The package builds the resistive network of
+// a programmed crossbar — input wordline driven through a source
+// resistance, every output wordline loaded by a sense resistor to ground —
+// and solves the nodal equations by dense Gaussian elimination (small
+// designs) or Jacobi-preconditioned conjugate gradient (large ones).
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"compact/internal/xbar"
+)
+
+// DeviceModel collects the electrical parameters of the crossbar.
+type DeviceModel struct {
+	ROn     float64 // low resistive state (ohms)
+	ROff    float64 // high resistive state (ohms)
+	RSense  float64 // sense resistor on each output wordline (ohms)
+	RDriver float64 // source resistance of the Vin driver (ohms)
+	Vin     float64 // drive voltage (volts)
+}
+
+// Default returns parameters in the range of the paper's memristor model:
+// R_on 10 kΩ, R_off 10 MΩ, 1 kΩ sense resistors, 50 Ω driver, 1 V drive.
+// The 10^3 on/off ratio is sufficient for small arrays; larger designs
+// accumulate leakage through the many parallel off-state sneak paths and
+// need HighContrast (see the validate example).
+func Default() DeviceModel {
+	return DeviceModel{ROn: 10e3, ROff: 10e6, RSense: 1e3, RDriver: 50, Vin: 1}
+}
+
+// HighContrast returns a device model with a 10^5 on/off ratio and a
+// larger sense resistor, as demonstrated for HfO2-class devices — the
+// regime where benchmark-scale flow-based designs remain electrically
+// separable.
+func HighContrast() DeviceModel {
+	return DeviceModel{ROn: 10e3, ROff: 1e9, RSense: 10e3, RDriver: 50, Vin: 1}
+}
+
+// Validate checks the model parameters.
+func (m DeviceModel) Validate() error {
+	if m.ROn <= 0 || m.ROff <= 0 || m.RSense <= 0 || m.RDriver <= 0 {
+		return errors.New("spice: resistances must be positive")
+	}
+	if m.ROff <= m.ROn {
+		return errors.New("spice: ROff must exceed ROn")
+	}
+	return nil
+}
+
+// Simulate computes the voltage on every output wordline of the programmed
+// crossbar under the given assignment (indexed by Entry.Var). The returned
+// slice parallels d.OutputRows.
+func Simulate(d *xbar.Design, assignment []bool, model DeviceModel) ([]float64, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	n := d.Rows + d.Cols
+	if n > 6000 {
+		// The nodal matrix is dense; 6000 nodes is already a 288 MB solve.
+		return nil, fmt.Errorf("spice: design with %d nanowires exceeds the dense-solver limit", n)
+	}
+	// Conductance matrix (dense) and current vector.
+	g := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range g {
+		g[i], backing = backing[:n:n], backing[n:]
+	}
+	b := make([]float64, n)
+
+	gOn, gOff := 1/model.ROn, 1/model.ROff
+	for r, row := range d.Cells {
+		for c, e := range row {
+			gc := gOff
+			if e.Conducts(assignment) {
+				gc = gOn
+			}
+			i, j := r, d.Rows+c
+			g[i][i] += gc
+			g[j][j] += gc
+			g[i][j] -= gc
+			g[j][i] -= gc
+		}
+	}
+	// Driver on the input wordline.
+	gd := 1 / model.RDriver
+	g[d.InputRow][d.InputRow] += gd
+	b[d.InputRow] += model.Vin * gd
+	// Sense resistors on output wordlines (one per distinct row; the input
+	// row doubles as the const-1 output row and is not additionally loaded).
+	seen := make(map[int]bool)
+	for _, r := range d.OutputRows {
+		if r == d.InputRow || seen[r] {
+			continue
+		}
+		seen[r] = true
+		g[r][r] += 1 / model.RSense
+	}
+
+	var v []float64
+	var err error
+	if n <= 500 {
+		v, err = solveDense(g, b)
+	} else {
+		v, err = solveCG(g, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(d.OutputRows))
+	for i, r := range d.OutputRows {
+		out[i] = v[r]
+	}
+	return out, nil
+}
+
+// solveDense is Gaussian elimination with partial pivoting (destroys g, b).
+func solveDense(g [][]float64, b []float64) ([]float64, error) {
+	n := len(g)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(g[r][col]) > math.Abs(g[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(g[p][col]) < 1e-18 {
+			return nil, fmt.Errorf("spice: singular conductance matrix at column %d", col)
+		}
+		g[col], g[p] = g[p], g[col]
+		b[col], b[p] = b[p], b[col]
+		inv := 1 / g[col][col]
+		for r := col + 1; r < n; r++ {
+			f := g[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			row, prow := g[r], g[col]
+			for c := col; c < n; c++ {
+				row[c] -= f * prow[c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		row := g[r]
+		for c := r + 1; c < n; c++ {
+			s -= row[c] * x[c]
+		}
+		x[r] = s / row[r]
+	}
+	return x, nil
+}
+
+// solveCG is Jacobi-preconditioned conjugate gradient for the SPD nodal
+// matrix.
+func solveCG(g [][]float64, b []float64) ([]float64, error) {
+	n := len(g)
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	diag := make([]float64, n)
+	for i := range diag {
+		diag[i] = g[i][i]
+		if diag[i] <= 0 {
+			return nil, fmt.Errorf("spice: non-positive diagonal at node %d", i)
+		}
+	}
+	bnorm := 0.0
+	for _, bi := range b {
+		bnorm += bi * bi
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		return x, nil
+	}
+	rz := 0.0
+	for i := range r {
+		z[i] = r[i] / diag[i]
+		p[i] = z[i]
+		rz += r[i] * z[i]
+	}
+	maxIter := 20*n + 100
+	for iter := 0; iter < maxIter; iter++ {
+		// ap = G p.
+		for i := 0; i < n; i++ {
+			s := 0.0
+			row := g[i]
+			for j := 0; j < n; j++ {
+				s += row[j] * p[j]
+			}
+			ap[i] = s
+		}
+		pap := 0.0
+		for i := range p {
+			pap += p[i] * ap[i]
+		}
+		if pap <= 0 {
+			return nil, errors.New("spice: matrix not positive definite")
+		}
+		alpha := rz / pap
+		rnorm := 0.0
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+			rnorm += r[i] * r[i]
+		}
+		if math.Sqrt(rnorm) <= 1e-12*bnorm {
+			return x, nil
+		}
+		rzNew := 0.0
+		for i := range r {
+			z[i] = r[i] / diag[i]
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return nil, errors.New("spice: conjugate gradient did not converge")
+}
+
+// MarginReport summarizes the electrical separability of a design: the
+// lowest output voltage observed for a logical 1 and the highest for a
+// logical 0, per output and overall.
+type MarginReport struct {
+	MinOn     float64 // lowest voltage among logic-1 observations (+Inf if none)
+	MaxOff    float64 // highest voltage among logic-0 observations (-Inf if none)
+	Checked   int     // assignments simulated
+	Separable bool    // MinOn > MaxOff (a sensing threshold exists)
+}
+
+// Margin simulates the design across assignments (exhaustive when nVars <=
+// exhaustiveLimit, else `samples` pseudo-random vectors) using ref for the
+// expected logic values, and reports the worst-case on/off voltages.
+func Margin(d *xbar.Design, ref func([]bool) []bool, nVars, exhaustiveLimit, samples int, model DeviceModel, seed uint64) (MarginReport, error) {
+	rep := MarginReport{MinOn: math.Inf(1), MaxOff: math.Inf(-1)}
+	run := func(in []bool) error {
+		want := ref(in)
+		volts, err := Simulate(d, in, model)
+		if err != nil {
+			return err
+		}
+		for o, w := range want {
+			if w {
+				if volts[o] < rep.MinOn {
+					rep.MinOn = volts[o]
+				}
+			} else if volts[o] > rep.MaxOff {
+				rep.MaxOff = volts[o]
+			}
+		}
+		rep.Checked++
+		return nil
+	}
+	in := make([]bool, nVars)
+	if nVars <= exhaustiveLimit {
+		for a := 0; a < 1<<uint(nVars); a++ {
+			for i := range in {
+				in[i] = a&(1<<uint(i)) != 0
+			}
+			if err := run(in); err != nil {
+				return rep, err
+			}
+		}
+	} else {
+		state := seed | 1
+		for s := 0; s < samples; s++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			for i := range in {
+				state = state*6364136223846793005 + 1442695040888963407
+				in[i] = state>>33&1 != 0
+			}
+			if err := run(in); err != nil {
+				return rep, err
+			}
+		}
+	}
+	rep.Separable = rep.MinOn > rep.MaxOff
+	return rep, nil
+}

@@ -1,0 +1,666 @@
+// Package verilog reads the gate-level structural Verilog subset that
+// synthesis benchmarks use — the third input format the paper lists next
+// to BLIF and PLA. Supported constructs:
+//
+//   - module header with port list, input/output/wire declarations,
+//     including vectors ([msb:lsb], expanded to name[i] bit signals)
+//   - gate primitive instantiations: and, nand, or, nor, xor, xnor,
+//     not, buf (output terminal first, as in the Verilog standard)
+//   - continuous assignments with ~ & ^ | ?: operators, parentheses,
+//     bit-selects and the constants 1'b0 / 1'b1
+//
+// Behavioural constructs (always blocks, registers, arithmetic) are
+// rejected with a descriptive error.
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+
+	"compact/internal/logic"
+)
+
+// Parse reads one module from r and elaborates it into a logic.Network.
+func Parse(r io.Reader) (*logic.Network, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("verilog: read: %w", err)
+	}
+	toks, err := tokenize(string(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseModule()
+}
+
+// --- Lexer ---------------------------------------------------------------
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota
+	tokSymbol
+	tokNumber
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func tokenize(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("verilog: line %d: unterminated block comment", line)
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentChar(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		case c >= '0' && c <= '9':
+			// Number, possibly sized like 1'b0.
+			j := i
+			for j < len(src) && (isIdentChar(rune(src[j])) || src[j] == '\'') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line})
+			i = j
+		case strings.ContainsRune("()[]{},;:=~&|^?.#", rune(c)):
+			toks = append(toks, token{tokSymbol, string(c), line})
+			i++
+		default:
+			return nil, fmt.Errorf("verilog: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '\\' || r == '$'
+}
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}
+
+// --- Parser --------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("verilog: line %d: expected %q, got %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent(s string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != s {
+		return fmt.Errorf("verilog: line %d: expected %q, got %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// statement kinds captured before elaboration.
+type gateInst struct {
+	prim string
+	out  string
+	ins  []string
+	line int
+}
+
+type assignStmt struct {
+	lhs  string
+	rhs  expr
+	line int
+}
+
+// expr is the AST of an assign right-hand side.
+type expr interface{ exprNode() }
+
+type refExpr struct{ name string }
+type constExpr struct{ val bool }
+type unaryExpr struct{ x expr } // ~x
+type binExpr struct {
+	op   byte // '&', '|', '^'
+	a, b expr
+}
+type condExpr struct{ c, t, f expr }
+
+func (refExpr) exprNode()   {}
+func (constExpr) exprNode() {}
+func (unaryExpr) exprNode() {}
+func (binExpr) exprNode()   {}
+func (condExpr) exprNode()  {}
+
+var gatePrims = map[string]logic.GateType{
+	"and": logic.And, "nand": logic.Nand, "or": logic.Or, "nor": logic.Nor,
+	"xor": logic.Xor, "xnor": logic.Xnor, "not": logic.Not, "buf": logic.Buf,
+}
+
+func (p *parser) parseModule() (*logic.Network, error) {
+	if err := p.expectIdent("module"); err != nil {
+		return nil, err
+	}
+	nameTok := p.next()
+	if nameTok.kind != tokIdent {
+		return nil, fmt.Errorf("verilog: line %d: expected module name", nameTok.line)
+	}
+	// Port list (names only; directions come from declarations).
+	if p.acceptSym("(") {
+		for !p.acceptSym(")") {
+			t := p.next()
+			if t.kind == tokEOF {
+				return nil, fmt.Errorf("verilog: unterminated port list")
+			}
+			// Port names and commas; ANSI-style "input a" in the header is
+			// handled by treating direction keywords as declarations below.
+		}
+	}
+	if err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+
+	var inputs, outputs []string
+	declared := map[string]bool{}
+	var gates []gateInst
+	var assigns []assignStmt
+
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			return nil, fmt.Errorf("verilog: missing endmodule")
+		}
+		if t.kind == tokIdent && t.text == "endmodule" {
+			p.pos++
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("verilog: line %d: unexpected token %q", t.line, t.text)
+		}
+		switch t.text {
+		case "input", "output", "wire":
+			kind := t.text
+			p.pos++
+			names, err := p.parseDeclNames()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				switch kind {
+				case "input":
+					if !declared[n] {
+						inputs = append(inputs, n)
+					}
+				case "output":
+					if !declared[n] {
+						outputs = append(outputs, n)
+					}
+				}
+				declared[n] = true
+			}
+		case "assign":
+			p.pos++
+			a, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			assigns = append(assigns, a)
+		case "always", "reg", "initial", "specify", "parameter":
+			return nil, fmt.Errorf("verilog: line %d: behavioural construct %q unsupported (structural subset only)", t.line, t.text)
+		default:
+			if _, ok := gatePrims[t.text]; ok {
+				g, err := p.parseGate()
+				if err != nil {
+					return nil, err
+				}
+				gates = append(gates, g)
+				continue
+			}
+			return nil, fmt.Errorf("verilog: line %d: unsupported statement %q (module instantiation not supported)", t.line, t.text)
+		}
+	}
+	return elaborate(nameTok.text, inputs, outputs, gates, assigns)
+}
+
+// parseDeclNames handles "a, b, c;" and "[3:0] bus, other;".
+func (p *parser) parseDeclNames() ([]string, error) {
+	msb, lsb, hasRange, err := p.parseOptRange()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("verilog: line %d: expected signal name, got %q", t.line, t.text)
+		}
+		if hasRange {
+			lo, hi := lsb, msb
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for i := lo; i <= hi; i++ {
+				names = append(names, fmt.Sprintf("%s[%d]", t.text, i))
+			}
+		} else {
+			names = append(names, t.text)
+		}
+		if p.acceptSym(";") {
+			return names, nil
+		}
+		if err := p.expectSym(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseOptRange() (msb, lsb int, ok bool, err error) {
+	if !p.acceptSym("[") {
+		return 0, 0, false, nil
+	}
+	msb, err = p.parseInt()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if err := p.expectSym(":"); err != nil {
+		return 0, 0, false, err
+	}
+	lsb, err = p.parseInt()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if err := p.expectSym("]"); err != nil {
+		return 0, 0, false, err
+	}
+	return msb, lsb, true, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("verilog: line %d: expected number, got %q", t.line, t.text)
+	}
+	v := 0
+	for _, c := range t.text {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("verilog: line %d: bad index %q", t.line, t.text)
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v, nil
+}
+
+// parseSignalRef reads name or name[i].
+func (p *parser) parseSignalRef() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("verilog: line %d: expected signal, got %q", t.line, t.text)
+	}
+	name := t.text
+	if p.acceptSym("[") {
+		idx, err := p.parseInt()
+		if err != nil {
+			return "", err
+		}
+		if err := p.expectSym("]"); err != nil {
+			return "", err
+		}
+		name = fmt.Sprintf("%s[%d]", name, idx)
+	}
+	return name, nil
+}
+
+// parseGate handles "and g1 (out, in1, in2);" with an optional instance
+// name.
+func (p *parser) parseGate() (gateInst, error) {
+	prim := p.next() // already validated
+	g := gateInst{prim: prim.text, line: prim.line}
+	if t := p.peek(); t.kind == tokIdent {
+		p.pos++ // instance name (ignored)
+	}
+	if err := p.expectSym("("); err != nil {
+		return g, err
+	}
+	var terms []string
+	for {
+		s, err := p.parseSignalRef()
+		if err != nil {
+			return g, err
+		}
+		terms = append(terms, s)
+		if p.acceptSym(")") {
+			break
+		}
+		if err := p.expectSym(","); err != nil {
+			return g, err
+		}
+	}
+	if err := p.expectSym(";"); err != nil {
+		return g, err
+	}
+	if len(terms) < 2 {
+		return g, fmt.Errorf("verilog: line %d: gate needs an output and at least one input", prim.line)
+	}
+	g.out, g.ins = terms[0], terms[1:]
+	return g, nil
+}
+
+func (p *parser) parseAssign() (assignStmt, error) {
+	lhs, err := p.parseSignalRef()
+	if err != nil {
+		return assignStmt{}, err
+	}
+	line := p.peek().line
+	if err := p.expectSym("="); err != nil {
+		return assignStmt{}, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return assignStmt{}, err
+	}
+	if err := p.expectSym(";"); err != nil {
+		return assignStmt{}, err
+	}
+	return assignStmt{lhs: lhs, rhs: rhs, line: line}, nil
+}
+
+// Expression grammar (lowest to highest binding):
+// cond := or ('?' cond ':' cond)?
+// or   := xor ('|' xor)*
+// xor  := and ('^' and)*
+// and  := unary ('&' unary)*
+// unary := '~' unary | '(' cond ')' | const | signal
+func (p *parser) parseExpr() (expr, error) {
+	c, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSym("?") {
+		t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(":"); err != nil {
+			return nil, err
+		}
+		f, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return condExpr{c, t, f}, nil
+	}
+	return c, nil
+}
+
+func (p *parser) parseOr() (expr, error) {
+	a, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSym("|") {
+		b, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		a = binExpr{'|', a, b}
+	}
+	return a, nil
+}
+
+func (p *parser) parseXor() (expr, error) {
+	a, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSym("^") {
+		b, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		a = binExpr{'^', a, b}
+	}
+	return a, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	a, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSym("&") {
+		b, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		a = binExpr{'&', a, b}
+	}
+	return a, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.acceptSym("~") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{x}, nil
+	}
+	if p.acceptSym("(") {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	t := p.peek()
+	if t.kind == tokNumber {
+		p.pos++
+		switch t.text {
+		case "1'b0", "0":
+			return constExpr{false}, nil
+		case "1'b1", "1":
+			return constExpr{true}, nil
+		}
+		return nil, fmt.Errorf("verilog: line %d: unsupported constant %q (only 1-bit)", t.line, t.text)
+	}
+	name, err := p.parseSignalRef()
+	if err != nil {
+		return nil, err
+	}
+	return refExpr{name}, nil
+}
+
+// --- Elaboration -----------------------------------------------------------
+
+// driver is whatever defines a signal: a gate instance or an assign.
+type driver struct {
+	gate   *gateInst
+	assign *assignStmt
+}
+
+func elaborate(name string, inputs, outputs []string, gates []gateInst, assigns []assignStmt) (*logic.Network, error) {
+	drivers := map[string]driver{}
+	addDriver := func(sig string, d driver, line int) error {
+		if _, dup := drivers[sig]; dup {
+			return fmt.Errorf("verilog: line %d: signal %q driven twice", line, sig)
+		}
+		drivers[sig] = d
+		return nil
+	}
+	for i := range gates {
+		if err := addDriver(gates[i].out, driver{gate: &gates[i]}, gates[i].line); err != nil {
+			return nil, err
+		}
+	}
+	for i := range assigns {
+		if err := addDriver(assigns[i].lhs, driver{assign: &assigns[i]}, assigns[i].line); err != nil {
+			return nil, err
+		}
+	}
+
+	b := logic.NewBuilder(name)
+	ids := map[string]int{}
+	for _, in := range inputs {
+		ids[in] = b.Input(in)
+	}
+	var build func(sig string, stack []string) (int, error)
+	var buildExpr func(e expr, stack []string) (int, error)
+	build = func(sig string, stack []string) (int, error) {
+		if id, ok := ids[sig]; ok {
+			return id, nil
+		}
+		for _, s := range stack {
+			if s == sig {
+				return 0, fmt.Errorf("verilog: combinational cycle through %q", sig)
+			}
+		}
+		d, ok := drivers[sig]
+		if !ok {
+			return 0, fmt.Errorf("verilog: signal %q has no driver", sig)
+		}
+		stack = append(stack, sig)
+		var id int
+		var err error
+		if d.gate != nil {
+			fan := make([]int, len(d.gate.ins))
+			for i, in := range d.gate.ins {
+				if fan[i], err = build(in, stack); err != nil {
+					return 0, err
+				}
+			}
+			switch gatePrims[d.gate.prim] {
+			case logic.And:
+				id = b.And(fan...)
+			case logic.Nand:
+				id = b.Nand(fan...)
+			case logic.Or:
+				id = b.Or(fan...)
+			case logic.Nor:
+				id = b.Nor(fan...)
+			case logic.Xor:
+				id = b.Xor(fan...)
+			case logic.Xnor:
+				id = b.Xnor(fan...)
+			case logic.Not:
+				id = b.Not(fan[0])
+			case logic.Buf:
+				id = b.Buf(fan[0])
+			}
+		} else {
+			if id, err = buildExpr(d.assign.rhs, stack); err != nil {
+				return 0, err
+			}
+		}
+		ids[sig] = id
+		return id, nil
+	}
+	buildExpr = func(e expr, stack []string) (int, error) {
+		switch x := e.(type) {
+		case refExpr:
+			return build(x.name, stack)
+		case constExpr:
+			if x.val {
+				return b.Const1(), nil
+			}
+			return b.Const0(), nil
+		case unaryExpr:
+			id, err := buildExpr(x.x, stack)
+			if err != nil {
+				return 0, err
+			}
+			return b.Not(id), nil
+		case binExpr:
+			a, err := buildExpr(x.a, stack)
+			if err != nil {
+				return 0, err
+			}
+			c, err := buildExpr(x.b, stack)
+			if err != nil {
+				return 0, err
+			}
+			switch x.op {
+			case '&':
+				return b.And(a, c), nil
+			case '|':
+				return b.Or(a, c), nil
+			default:
+				return b.Xor(a, c), nil
+			}
+		case condExpr:
+			c, err := buildExpr(x.c, stack)
+			if err != nil {
+				return 0, err
+			}
+			tv, err := buildExpr(x.t, stack)
+			if err != nil {
+				return 0, err
+			}
+			fv, err := buildExpr(x.f, stack)
+			if err != nil {
+				return 0, err
+			}
+			return b.Mux(c, fv, tv), nil
+		}
+		return 0, fmt.Errorf("verilog: unknown expression node %T", e)
+	}
+	for _, out := range outputs {
+		id, err := build(out, nil)
+		if err != nil {
+			return nil, err
+		}
+		b.Output(out, id)
+	}
+	nw := b.Build()
+	if err := nw.Validate(); err != nil {
+		return nil, fmt.Errorf("verilog: %w", err)
+	}
+	return nw, nil
+}

@@ -1,0 +1,184 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGateLevelModule(t *testing.T) {
+	src := `
+// Paper's fig2: f = (a & b) | c
+module fig2 (a, b, c, f);
+  input a, b, c;
+  output f;
+  wire t1;
+  and g1 (t1, a, b);
+  or  g2 (f, t1, c);
+endmodule
+`
+	nw, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Name != "fig2" || nw.NumInputs() != 3 || nw.NumOutputs() != 1 {
+		t.Fatalf("shape wrong: %s", nw)
+	}
+	for v := 0; v < 8; v++ {
+		a, b, c := v&1 != 0, v&2 != 0, v&4 != 0
+		if got, want := nw.Eval([]bool{a, b, c})[0], (a && b) || c; got != want {
+			t.Errorf("f(%v,%v,%v) = %v", a, b, c, got)
+		}
+	}
+}
+
+func TestAssignExpressions(t *testing.T) {
+	src := `
+module expr (a, b, c, f, g, h);
+  input a, b, c;
+  output f, g, h;
+  assign f = ~a & b | c;        /* precedence: (~a & b) | c */
+  assign g = a ^ b ^ c;
+  assign h = a ? b : (c | 1'b0);
+endmodule
+`
+	nw, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		a, b, c := v&1 != 0, v&2 != 0, v&4 != 0
+		out := nw.Eval([]bool{a, b, c})
+		if out[0] != ((!a && b) || c) {
+			t.Errorf("f(%v,%v,%v) = %v", a, b, c, out[0])
+		}
+		if out[1] != (a != b != c) {
+			t.Errorf("g wrong")
+		}
+		want := c
+		if a {
+			want = b
+		}
+		if out[2] != want {
+			t.Errorf("h wrong")
+		}
+	}
+}
+
+func TestVectors(t *testing.T) {
+	src := `
+module vec (x, y);
+  input [2:0] x;
+  output [1:0] y;
+  assign y[0] = x[0] & x[1];
+  assign y[1] = x[1] | x[2];
+endmodule
+`
+	nw, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumInputs() != 3 || nw.NumOutputs() != 2 {
+		t.Fatalf("shape: %s", nw)
+	}
+	if nw.InputIndex("x[0]") < 0 || nw.OutputIndex("y[1]") < 0 {
+		t.Fatalf("bit names wrong: %v / %v", nw.InputNames(), nw.OutputNames)
+	}
+	for v := 0; v < 8; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+		out := nw.Eval(in)
+		if out[0] != (in[0] && in[1]) || out[1] != (in[1] || in[2]) {
+			t.Errorf("vec(%03b) = %v", v, out)
+		}
+	}
+}
+
+func TestGatesWithoutInstanceNames(t *testing.T) {
+	src := `
+module anon (a, b, f);
+  input a, b; output f;
+  nand (f, a, b);
+endmodule
+`
+	nw, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Eval([]bool{true, true})[0] || !nw.Eval([]bool{true, false})[0] {
+		t.Error("nand semantics wrong")
+	}
+}
+
+func TestOutOfOrderAndChains(t *testing.T) {
+	src := `
+module ooo (a, f);
+  input a; output f;
+  wire w1, w2;
+  not (f, w2);
+  buf (w2, w1);
+  not (w1, a);
+endmodule
+`
+	nw, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []bool{false, true} {
+		if nw.Eval([]bool{a})[0] != a {
+			t.Errorf("double negation through chain wrong for %v", a)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"always":     "module m (a); input a; always @(a) x = a; endmodule",
+		"undriven":   "module m (a, f); input a; output f; endmodule",
+		"cycle":      "module m (f); output f; wire w; and (f, w, w); and (w, f, f); endmodule",
+		"double":     "module m (a, f); input a; output f; and (f, a, a); or (f, a, a); endmodule",
+		"no end":     "module m (a); input a;",
+		"submodule":  "module m (a, f); input a; output f; sub u1 (f, a); endmodule",
+		"wide const": "module m (f); output f; assign f = 2'b10; endmodule",
+		"bad char":   "module m (a); input a; @@ endmodule",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+/* header
+   comment */
+module c (a, f); // ports
+  input a; output f;
+  assign f = ~a; // invert
+endmodule
+`
+	nw, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Eval([]bool{false})[0] {
+		t.Error("inverter wrong")
+	}
+}
+
+func TestConstantAssign(t *testing.T) {
+	src := `
+module k (f, g);
+  output f, g;
+  assign f = 1'b1;
+  assign g = 1'b0;
+endmodule
+`
+	nw, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := nw.Eval(nil)
+	if !out[0] || out[1] {
+		t.Errorf("constants: %v", out)
+	}
+}

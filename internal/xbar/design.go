@@ -1,0 +1,283 @@
+// Package xbar represents flow-based-computing crossbar designs and
+// implements COMPACT's crossbar mapping step: binding a VH-labeled BDD
+// graph to wordlines, bitlines and memristors, then evaluating the design
+// by sneak-path reachability.
+//
+// A Design is a matrix of memristor assignments. Each memristor is
+// programmed per evaluation to conduct iff its assigned literal is true
+// (Off cells never conduct, On cells always conduct). Applying Vin to the
+// input wordline, an output reads 1 iff a conducting path reaches its
+// output wordline — computed here with union-find over nanowires.
+package xbar
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EntryKind classifies a crossbar cell.
+type EntryKind uint8
+
+// Cell kinds.
+const (
+	Off EntryKind = iota // always high resistance ('0')
+	On                   // always low resistance ('1')
+	Lit                  // programmed from a Boolean literal
+)
+
+// Entry is one memristor assignment. The struct is kept at 8 bytes (a
+// crossbar design stores Rows x Cols of them, and the largest benchmark
+// produces ~70M cells).
+type Entry struct {
+	Kind EntryKind
+	Neg  bool  // negated literal
+	Var  int32 // variable index for Lit cells
+}
+
+// String renders the entry as in the paper's figures: 0, 1, a, ¬a.
+func (e Entry) String() string { return e.label(nil) }
+
+func (e Entry) label(names []string) string {
+	switch e.Kind {
+	case Off:
+		return "0"
+	case On:
+		return "1"
+	default:
+		name := fmt.Sprintf("x%d", e.Var)
+		if names != nil && int(e.Var) < len(names) {
+			name = names[e.Var]
+		}
+		if e.Neg {
+			return "!" + name
+		}
+		return name
+	}
+}
+
+// Design is a complete crossbar representation of a Boolean function.
+type Design struct {
+	Rows, Cols int
+	// Cells is indexed [row][col]; row 0 is the top-most wordline, row
+	// Rows-1 the bottom-most (the input wordline, per the paper's
+	// alignment convention).
+	Cells [][]Entry
+	// InputRow is the wordline driven with Vin.
+	InputRow int
+	// OutputRows holds one wordline per function output (entries may
+	// repeat when outputs share a BDD root).
+	OutputRows  []int
+	OutputNames []string
+	// VarNames names the literal variables (indexed by Entry.Var).
+	VarNames []string
+
+	// sparse caches the non-Off cells for fast repeated evaluation; it is
+	// built lazily on first Eval, so Cells must not be mutated afterwards.
+	sparse []sparseCell
+}
+
+type sparseCell struct {
+	row, col int
+	e        Entry
+}
+
+func (d *Design) sparseCells() []sparseCell {
+	if d.sparse == nil {
+		for r, row := range d.Cells {
+			for c, e := range row {
+				if e.Kind != Off {
+					d.sparse = append(d.sparse, sparseCell{r, c, e})
+				}
+			}
+		}
+		if d.sparse == nil {
+			d.sparse = []sparseCell{}
+		}
+	}
+	return d.sparse
+}
+
+// NewDesign allocates an all-Off crossbar.
+func NewDesign(rows, cols int) *Design {
+	cells := make([][]Entry, rows)
+	backing := make([]Entry, rows*cols)
+	for r := range cells {
+		cells[r], backing = backing[:cols:cols], backing[cols:]
+	}
+	return &Design{Rows: rows, Cols: cols, Cells: cells}
+}
+
+// Stats summarizes hardware utilization and the paper's cost models.
+type Stats struct {
+	Rows, Cols int
+	S          int // semiperimeter = rows + cols
+	D          int // max dimension
+	Area       int // rows * cols
+	LitCells   int // memristors programmed per evaluation (power model)
+	OnCells    int // statically-on memristors (VH stitches etc.)
+	// Power is the paper's Section VIII power proxy: the number of
+	// memristors programmed from literals per evaluation.
+	Power int
+	// Delay is the paper's computation-delay proxy: one time step per
+	// wordline to program the devices plus one to evaluate.
+	Delay int
+}
+
+// Stats computes the design's summary statistics.
+func (d *Design) Stats() Stats {
+	st := Stats{Rows: d.Rows, Cols: d.Cols}
+	st.S = d.Rows + d.Cols
+	st.D = d.Rows
+	if d.Cols > st.D {
+		st.D = d.Cols
+	}
+	st.Area = d.Rows * d.Cols
+	for _, row := range d.Cells {
+		for _, e := range row {
+			switch e.Kind {
+			case Lit:
+				st.LitCells++
+			case On:
+				st.OnCells++
+			}
+		}
+	}
+	st.Power = st.LitCells
+	st.Delay = d.Rows + 1
+	return st
+}
+
+// Render writes a human-readable matrix view, as in the paper's Figure 2.
+func (d *Design) Render(w io.Writer) error {
+	width := 1
+	labels := make([][]string, d.Rows)
+	for r := range d.Cells {
+		labels[r] = make([]string, d.Cols)
+		for c, e := range d.Cells[r] {
+			s := e.label(d.VarNames)
+			labels[r][c] = s
+			if len(s) > width {
+				width = len(s)
+			}
+		}
+	}
+	outOf := make(map[int][]string)
+	for i, r := range d.OutputRows {
+		name := fmt.Sprintf("f%d", i)
+		if i < len(d.OutputNames) {
+			name = d.OutputNames[i]
+		}
+		outOf[r] = append(outOf[r], name)
+	}
+	for r := 0; r < d.Rows; r++ {
+		for c := 0; c < d.Cols; c++ {
+			fmt.Fprintf(w, "%*s ", width, labels[r][c])
+		}
+		var marks []string
+		if r == d.InputRow {
+			marks = append(marks, "<- Vin")
+		}
+		if names := outOf[r]; len(names) > 0 {
+			marks = append(marks, "-> "+strings.Join(names, ","))
+		}
+		if len(marks) > 0 {
+			fmt.Fprintf(w, " %s", strings.Join(marks, " "))
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Conducts reports whether cell e conducts under the assignment (indexed
+// by Entry.Var).
+func (e Entry) Conducts(assignment []bool) bool {
+	switch e.Kind {
+	case On:
+		return true
+	case Lit:
+		return assignment[e.Var] != e.Neg
+	default:
+		return false
+	}
+}
+
+// Eval evaluates all outputs under the assignment by union-find
+// connectivity over nanowires (rows 0..Rows-1, then cols).
+func (d *Design) Eval(assignment []bool) []bool {
+	parent := make([]int, d.Rows+d.Cols)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, sc := range d.sparseCells() {
+		if sc.e.Conducts(assignment) {
+			union(sc.row, d.Rows+sc.col)
+		}
+	}
+	in := find(d.InputRow)
+	out := make([]bool, len(d.OutputRows))
+	for i, r := range d.OutputRows {
+		out[i] = find(r) == in
+	}
+	return out
+}
+
+// VerifyAgainst checks the design against a reference evaluator over all
+// 2^nVars assignments when nVars <= exhaustiveLimit, or over `samples`
+// pseudo-random assignments (deterministic LCG seeded with seed) otherwise.
+// It returns the first mismatching assignment, or nil if none found.
+func (d *Design) VerifyAgainst(ref func([]bool) []bool, nVars, exhaustiveLimit, samples int, seed uint64) []bool {
+	check := func(in []bool) []bool {
+		want := ref(in)
+		got := d.Eval(in)
+		for o := range want {
+			if want[o] != got[o] {
+				bad := append([]bool(nil), in...)
+				return bad
+			}
+		}
+		return nil
+	}
+	in := make([]bool, nVars)
+	if nVars <= exhaustiveLimit {
+		for a := 0; a < 1<<uint(nVars); a++ {
+			for i := range in {
+				in[i] = a&(1<<uint(i)) != 0
+			}
+			if bad := check(in); bad != nil {
+				return bad
+			}
+		}
+		return nil
+	}
+	state := seed | 1
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state
+	}
+	for s := 0; s < samples; s++ {
+		for i := range in {
+			in[i] = next()>>33&1 != 0
+		}
+		if bad := check(in); bad != nil {
+			return bad
+		}
+	}
+	return nil
+}
