@@ -1,0 +1,44 @@
+#!/bin/sh
+# check.sh — the full verification gate for the COMPACT repo.
+#
+# Runs, in order:
+#   1. gofmt       — no unformatted files
+#   2. go vet      — stdlib static checks
+#   3. build+test  — tier-1: every package compiles and its tests pass
+#   4. -race       — internal packages under the race detector (includes
+#                    the concurrent Synthesize tests)
+#   5. compactlint — the project's own analyzers; any finding fails the gate
+#
+# Usage: ./check.sh [-short]
+#   -short skips the -race pass (the slowest step) for quick local loops.
+set -eu
+
+cd "$(dirname "$0")"
+
+short=0
+[ "${1:-}" = "-short" ] && short=1
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . | grep -v '^internal/lint/testdata/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== build + test =="
+go build ./...
+go test ./...
+
+if [ "$short" -eq 0 ]; then
+    echo "== race detector (internal) =="
+    go test -race ./internal/...
+fi
+
+echo "== compactlint =="
+go run ./cmd/compactlint ./...
+
+echo "OK"

@@ -52,11 +52,14 @@ func main() {
 			os.Exit(1)
 		}
 		if err := blif.Write(f, nw); err != nil {
-			f.Close()
+			_ = f.Close() // the Write error is the one worth reporting
 			fmt.Fprintln(os.Stderr, "benchgen:", err)
 			os.Exit(1)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("wrote %s (%s)\n", path, nw)
 	}
 }

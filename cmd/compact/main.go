@@ -123,7 +123,7 @@ func run(inPath string, gamma float64, method string, robdds, noalign bool,
 			return err
 		}
 		if err := res.WriteBDDDOT(f); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -137,7 +137,7 @@ func run(inPath string, gamma float64, method string, robdds, noalign bool,
 			return err
 		}
 		if err := res.Design.WriteSVG(f); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -162,6 +162,7 @@ func load(path string) (*logic.Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errdrop file opened read-only; Close cannot lose written data
 	defer f.Close()
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".blif":

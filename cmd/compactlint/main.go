@@ -1,0 +1,164 @@
+// Command compactlint runs the repository's project-specific static
+// analyzers (package internal/lint) over the module. It is pure standard
+// library — go/parser, go/ast, go/types, go/importer — so the repo's
+// zero-external-dependency constraint holds for the tooling too.
+//
+// Usage:
+//
+//	compactlint [flags] [patterns]
+//
+// Patterns select which packages' findings are reported ("./..." — the
+// default — means all); the whole module is always loaded and type-checked
+// so whole-program analyses (panicfree) see every edge. Exit status is 0
+// with no findings, 1 with findings, 2 on load/usage errors.
+//
+// Findings are suppressed in source with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"compact/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list = flag.Bool("list", false, "list the configured analyzers and exit")
+		only = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Parse()
+
+	root, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compactlint:", err)
+		return 2
+	}
+	analyzers := lint.DefaultAnalyzers(modPath)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for n := range keep {
+			fmt.Fprintf(os.Stderr, "compactlint: unknown analyzer %q\n", n)
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	prog, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compactlint:", err)
+		return 2
+	}
+	diags := lint.RunAnalyzers(prog, analyzers)
+
+	prefixes, err := patternPrefixes(flag.Args(), root, modPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compactlint:", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	n := 0
+	for _, d := range diags {
+		if !matchesAny(d.Pos.Filename, prefixes) {
+			continue
+		}
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "compactlint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}
+
+// findModule walks up from the working directory to the enclosing go.mod.
+func findModule() (root, modPath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return dir, strings.Trim(strings.TrimSpace(rest), `"`), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module directive in %s", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// patternPrefixes converts package patterns (./..., ./internal/...,
+// ./internal/ilp) into directory prefixes findings must live under. An
+// empty pattern list, "./..." or "all" selects everything.
+func patternPrefixes(patterns []string, root, modPath string) ([]string, error) {
+	var out []string
+	for _, p := range patterns {
+		if p == "./..." || p == "all" || p == modPath+"/..." {
+			return nil, nil // everything
+		}
+		p = strings.TrimSuffix(p, "/...")
+		p = strings.TrimPrefix(p, modPath+"/")
+		p = strings.TrimPrefix(p, "./")
+		dir := filepath.Join(root, filepath.FromSlash(p))
+		if _, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", p, err)
+		}
+		out = append(out, dir)
+	}
+	return out, nil
+}
+
+func matchesAny(filename string, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if strings.HasPrefix(filename, p+string(filepath.Separator)) || filepath.Dir(filename) == p {
+			return true
+		}
+	}
+	return false
+}

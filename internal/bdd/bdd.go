@@ -16,6 +16,7 @@ import (
 	"io"
 	"sort"
 
+	"compact/internal/errio"
 	"compact/internal/logic"
 )
 
@@ -33,6 +34,23 @@ const terminalLevel = ^uint32(0)
 // ErrNodeLimit is returned (wrapped) when a construction exceeds the
 // Manager's configured node limit.
 var ErrNodeLimit = errors.New("bdd: node limit exceeded")
+
+// ErrVarRange reports a variable index outside the manager's declared set.
+var ErrVarRange = errors.New("bdd: variable index out of range")
+
+// BoundaryError implements the package's error-valued panic protocol.
+// Resource and argument violations detected deep inside recursive BDD
+// operations (ErrNodeLimit, ErrVarRange) unwind by panicking with a wrapped
+// error; every exported construction boundary recovers and passes the
+// recovered value here, turning protocol panics back into ordinary errors.
+// Any other value is a foreign panic and is re-raised unchanged.
+func BoundaryError(r any) error {
+	if e, ok := r.(error); ok && (errors.Is(e, ErrNodeLimit) || errors.Is(e, ErrVarRange)) {
+		return e
+	}
+	//lint:ignore panicfree re-raises foreign panics; protocol panics become errors above
+	panic(r)
+}
 
 type nodeData struct {
 	level     uint32
@@ -123,6 +141,7 @@ func (m *Manager) mk(level uint32, low, high Node) Node {
 		return n
 	}
 	if m.limit > 0 && len(m.nodes) >= m.limit {
+		//lint:ignore panicfree error-valued panic unwinding recursive ops; recovered via BoundaryError
 		panic(fmt.Errorf("%w (%d nodes)", ErrNodeLimit, m.limit))
 	}
 	n := Node(len(m.nodes))
@@ -145,7 +164,8 @@ func (m *Manager) NVar(v int) Node {
 
 func (m *Manager) checkVar(v int) {
 	if v < 0 || v >= len(m.varNames) {
-		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, len(m.varNames)))
+		//lint:ignore panicfree error-valued panic unwinding recursive ops; recovered via BoundaryError
+		panic(fmt.Errorf("%w: %d not in [0,%d)", ErrVarRange, v, len(m.varNames)))
 	}
 }
 
@@ -459,25 +479,24 @@ func (m *Manager) CountEdges(roots ...Node) int {
 // WriteDOT emits a Graphviz rendering of the BDDs rooted at roots. Solid
 // edges are high (then) edges, dashed are low (else) edges.
 func (m *Manager) WriteDOT(w io.Writer, roots ...Node) error {
-	if _, err := fmt.Fprintln(w, "digraph bdd {"); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, `  node [shape=circle];`)
-	fmt.Fprintln(w, `  n0 [shape=box,label="0"]; n1 [shape=box,label="1"];`)
+	ew := errio.NewWriter(w)
+	ew.Println("digraph bdd {")
+	ew.Println(`  node [shape=circle];`)
+	ew.Println(`  n0 [shape=box,label="0"]; n1 [shape=box,label="1"];`)
 	for _, n := range m.Reachable(roots...) {
 		if n <= One {
 			continue
 		}
 		d := m.nodes[n]
-		fmt.Fprintf(w, "  n%d [label=%q];\n", n, m.varNames[d.level])
-		fmt.Fprintf(w, "  n%d -> n%d [style=dashed];\n", n, d.low)
-		fmt.Fprintf(w, "  n%d -> n%d;\n", n, d.high)
+		ew.Printf("  n%d [label=%q];\n", n, m.varNames[d.level])
+		ew.Printf("  n%d -> n%d [style=dashed];\n", n, d.low)
+		ew.Printf("  n%d -> n%d;\n", n, d.high)
 	}
 	for i, r := range roots {
-		fmt.Fprintf(w, "  r%d [shape=plaintext,label=\"out%d\"]; r%d -> n%d;\n", i, i, i, r)
+		ew.Printf("  r%d [shape=plaintext,label=\"out%d\"]; r%d -> n%d;\n", i, i, i, r)
 	}
-	_, err := fmt.Fprintln(w, "}")
-	return err
+	ew.Println("}")
+	return ew.Err()
 }
 
 // BuildNetwork constructs a shared BDD (one Manager, one root per primary
@@ -508,11 +527,7 @@ func BuildNetwork(nw *logic.Network, order []int, limit int) (m *Manager, roots 
 	m.SetNodeLimit(limit)
 	defer func() {
 		if r := recover(); r != nil {
-			if e, ok := r.(error); ok && errors.Is(e, ErrNodeLimit) {
-				m, roots, err = nil, nil, e
-				return
-			}
-			panic(r)
+			m, roots, err = nil, nil, BoundaryError(r)
 		}
 	}()
 

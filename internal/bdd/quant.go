@@ -110,7 +110,14 @@ func Equivalent(a, b *logic.Network, nodeLimit int) (equal bool, witness []bool,
 // variables. Used by the symbolic crossbar verifier to compare a design's
 // sneak-path function against its source network inside one canonical
 // node space.
-func (m *Manager) BuildRoots(nw *logic.Network, order []int) ([]Node, error) {
+//
+//lint:ignore ctxbound bounded by the receiving Manager's node limit (SetNodeLimit)
+func (m *Manager) BuildRoots(nw *logic.Network, order []int) (roots []Node, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			roots, err = nil, BoundaryError(r)
+		}
+	}()
 	if order == nil {
 		order = make([]int, nw.NumInputs())
 		for i := range order {

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"compact/internal/errio"
 	"compact/internal/logic"
 )
 
@@ -251,9 +252,10 @@ func buildCover(b *logic.Builder, fan []int, blk *namesBlock) int {
 // emitted under their declared names via buffer blocks when necessary.
 func Write(w io.Writer, n *logic.Network) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, ".model %s\n", sanitize(n.Name))
-	fmt.Fprintf(bw, ".inputs %s\n", strings.Join(n.InputNames(), " "))
-	fmt.Fprintf(bw, ".outputs %s\n", strings.Join(n.OutputNames, " "))
+	ew := errio.NewWriter(bw)
+	ew.Printf(".model %s\n", sanitize(n.Name))
+	ew.Printf(".inputs %s\n", strings.Join(n.InputNames(), " "))
+	ew.Printf(".outputs %s\n", strings.Join(n.OutputNames, " "))
 
 	sig := make([]string, len(n.Gates))
 	inputNames := make(map[string]int)
@@ -291,10 +293,13 @@ func Write(w io.Writer, n *logic.Network) error {
 	// Outputs that alias inputs or already-claimed gates need buffers.
 	for i, id := range n.Outputs {
 		if sig[id] != n.OutputNames[i] {
-			fmt.Fprintf(bw, ".names %s %s\n1 1\n", sig[id], n.OutputNames[i])
+			ew.Printf(".names %s %s\n1 1\n", sig[id], n.OutputNames[i])
 		}
 	}
-	fmt.Fprintln(bw, ".end")
+	ew.Println(".end")
+	if err := ew.Err(); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 

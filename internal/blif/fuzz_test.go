@@ -1,0 +1,47 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the BLIF reader never panics and that any network it
+// accepts survives a Write → Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sampleBLIF,
+		"",
+		"# comment only\n",
+		".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n",
+		".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 1\n.end\n",
+		// Continuation lines.
+		".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n",
+		// Constant covers: always-true and always-false outputs.
+		".model consts\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n",
+		// Truncated and malformed directives.
+		".model\n",
+		".names\n",
+		".inputs a\n.names a f\n1\n",
+		".model m\n.inputs a\n.outputs f\n.names a f\n1- 1\n.end\n",
+		".model m\n.outputs f\n.names f\n2 1\n.end\n",
+		".end\n",
+		".model m\n.inputs a\n.outputs a\n.end\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			t.Fatalf("Write of parsed network failed: %v", err)
+		}
+		if _, err := Parse(&buf); err != nil {
+			t.Fatalf("round trip rejected its own output: %v\n%s", err, buf.String())
+		}
+	})
+}

@@ -79,6 +79,7 @@ type Options struct {
 }
 
 func (o Options) gamma() float64 {
+	//lint:ignore floatcmp zero-value sentinel: Gamma==0 with GammaSet unset means "defaulted"
 	if o.Gamma == 0 && !o.GammaSet {
 		return 0.5
 	}

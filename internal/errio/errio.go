@@ -1,0 +1,48 @@
+// Package errio provides a sticky-error writer for serialization code: a
+// long run of formatted writes followed by a single error check, instead of
+// an `if err != nil` after every line (the errWriter idiom). The first
+// write error latches; every subsequent write is a no-op, so partial output
+// never silently continues past a failure.
+package errio
+
+import (
+	"fmt"
+	"io"
+)
+
+// Writer wraps an io.Writer and records the first write error.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter returns a sticky-error writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Printf formats to the underlying writer unless an earlier write failed.
+func (e *Writer) Printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Println writes the operands followed by a newline unless an earlier
+// write failed.
+func (e *Writer) Println(args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintln(e.w, args...)
+}
+
+// WriteString writes s unless an earlier write failed.
+func (e *Writer) WriteString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+// Err returns the first error encountered by any write, or nil.
+func (e *Writer) Err() error { return e.err }

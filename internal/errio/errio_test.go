@@ -1,0 +1,52 @@
+package errio
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failAfter accepts the first n bytes, then fails every write.
+type failAfter struct {
+	n   int
+	got strings.Builder
+}
+
+var errFull = errors.New("writer full")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.got.Len()+len(p) > f.n {
+		return 0, errFull
+	}
+	f.got.Write(p)
+	return len(p), nil
+}
+
+func TestWriterHappyPath(t *testing.T) {
+	var sb strings.Builder
+	ew := NewWriter(&sb)
+	ew.Printf("a=%d\n", 1)
+	ew.Println("b")
+	ew.WriteString("c")
+	if err := ew.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+	if got, want := sb.String(), "a=1\nb\nc"; got != want {
+		t.Fatalf("output = %q, want %q", got, want)
+	}
+}
+
+func TestWriterSticksOnFirstError(t *testing.T) {
+	fw := &failAfter{n: 4}
+	ew := NewWriter(fw)
+	ew.Printf("1234")
+	ew.Printf("5678") // fails: would exceed capacity
+	ew.Println("never written")
+	ew.WriteString("nor this")
+	if err := ew.Err(); !errors.Is(err, errFull) {
+		t.Fatalf("Err() = %v, want %v", err, errFull)
+	}
+	if got := fw.got.String(); got != "1234" {
+		t.Fatalf("underlying writer got %q, want %q (no writes after failure)", got, "1234")
+	}
+}

@@ -171,7 +171,10 @@ func Ablations(cfg Config) (*Table, error) {
 			variant = "ilp"
 		}
 		start := time.Now()
-		res := oct.Find(bg.G, oct.Options{Backend: backend, TimeLimit: cfg.timeLimit()})
+		res, err := oct.Find(bg.G, oct.Options{Backend: backend, TimeLimit: cfg.timeLimit()})
+		if err != nil {
+			return nil, err
+		}
 		add("OCT backend", variant, fmt.Sprintf("k (opt=%v)", res.Optimal),
 			itoa(len(res.OCT)), time.Since(start))
 	}

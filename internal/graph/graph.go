@@ -47,15 +47,23 @@ func edgeKey(u, v int) [2]int {
 func (g *Graph) HasEdge(u, v int) bool { return g.seen[edgeKey(u, v)] }
 
 // AddEdge inserts the undirected edge {u,v}. Duplicate edges are ignored;
-// self-loops panic (a self-loop has no valid VH-labeling and indicates a
-// caller bug).
-func (g *Graph) AddEdge(u, v int) {
+// self-loops and out-of-range endpoints are rejected with an error (a
+// self-loop has no valid VH-labeling and indicates a caller bug).
+func (g *Graph) AddEdge(u, v int) error {
 	if u == v {
-		panic(fmt.Sprintf("graph: self-loop at %d", u))
+		return fmt.Errorf("graph: self-loop at %d", u)
 	}
 	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
-		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj)))
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj))
 	}
+	g.addEdge(u, v)
+	return nil
+}
+
+// addEdge inserts an already-validated edge. Internal transforms (Clone,
+// InducedSubgraph, CartesianK2, the matching double cover) derive their
+// edges from a graph that passed AddEdge validation, so they skip it.
+func (g *Graph) addEdge(u, v int) {
 	k := edgeKey(u, v)
 	if g.seen[k] {
 		return
@@ -91,7 +99,7 @@ func (g *Graph) Clone() *Graph {
 	for u, ns := range g.adj {
 		for _, v := range ns {
 			if u < v {
-				c.AddEdge(u, v)
+				c.addEdge(u, v)
 			}
 		}
 	}
@@ -111,7 +119,7 @@ func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
 	for i, v := range keep {
 		for _, w := range g.adj[v] {
 			if j, ok := idx[w]; ok && i < j {
-				sub.AddEdge(i, j)
+				sub.addEdge(i, j)
 			}
 		}
 	}
@@ -269,13 +277,13 @@ func (g *Graph) CartesianK2() *Graph {
 	for u, ns := range g.adj {
 		for _, v := range ns {
 			if u < v {
-				p.AddEdge(u, v)
-				p.AddEdge(u+n, v+n)
+				p.addEdge(u, v)
+				p.addEdge(u+n, v+n)
 			}
 		}
 	}
 	for v := 0; v < n; v++ {
-		p.AddEdge(v, v+n)
+		p.addEdge(v, v+n)
 	}
 	return p
 }

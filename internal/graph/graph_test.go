@@ -54,12 +54,15 @@ func TestBasics(t *testing.T) {
 	if len(edges) != 2 || edges[0] != [2]int{0, 1} || edges[1] != [2]int{1, 2} {
 		t.Errorf("Edges = %v", edges)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Errorf("self-loop did not panic")
-		}
-	}()
-	g.AddEdge(2, 2)
+	if err := g.AddEdge(2, 2); err == nil {
+		t.Errorf("self-loop edge did not error")
+	}
+	if err := g.AddEdge(1, 9); err == nil {
+		t.Errorf("out-of-range edge did not error")
+	}
+	if g.M() != 2 {
+		t.Errorf("rejected edges mutated the graph: M = %d, want 2", g.M())
+	}
 }
 
 func TestTwoColor(t *testing.T) {

@@ -4,6 +4,8 @@ package graph
 // the Hopcroft–Karp algorithm. color must be a proper 2-coloring of g (as
 // returned by TwoColor); vertices with color 0 form the left side. The
 // result maps every vertex to its mate, or -1 if unmatched.
+//
+//lint:ignore ctxbound polynomial-time Hopcroft–Karp: O(E√V), needs no budget
 func MaxMatching(g *Graph, color []int) []int {
 	n := g.N()
 	mate := make([]int, n)
@@ -129,6 +131,8 @@ func KonigCover(g *Graph, color, mate []int) map[int]bool {
 // MinVertexCoverBipartite computes a minimum vertex cover of a bipartite
 // graph directly (TwoColor + Hopcroft–Karp + König). It panics if g is not
 // bipartite.
+//
+//lint:ignore ctxbound polynomial-time König construction over one Hopcroft–Karp matching
 func MinVertexCoverBipartite(g *Graph) map[int]bool {
 	color, ok := g.TwoColor()
 	if !ok {
@@ -152,8 +156,8 @@ func LPRelaxVC(g *Graph) []int {
 	// (u, v+n) and (v, u+n).
 	h := New(2 * n)
 	for _, e := range g.Edges() {
-		h.AddEdge(e[0], e[1]+n)
-		h.AddEdge(e[1], e[0]+n)
+		h.addEdge(e[0], e[1]+n)
+		h.addEdge(e[1], e[0]+n)
 	}
 	color := make([]int, 2*n)
 	for v := n; v < 2*n; v++ {

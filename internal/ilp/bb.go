@@ -13,7 +13,7 @@ import (
 func objectiveGrid(mod *Model) float64 {
 	g := 0.0
 	for j, c := range mod.obj {
-		if c == 0 {
+		if zero(c) {
 			continue
 		}
 		if mod.vtype[j] == Continuous {
@@ -53,8 +53,11 @@ type nodeHeap []*bbNode
 
 func (h nodeHeap) Len() int { return len(h) }
 func (h nodeHeap) Less(i, j int) bool {
-	if h[i].bound != h[j].bound {
-		return h[i].bound < h[j].bound
+	if h[i].bound < h[j].bound {
+		return true
+	}
+	if h[j].bound < h[i].bound {
+		return false
 	}
 	return h[i].seq < h[j].seq
 }

@@ -88,6 +88,7 @@ func (m *Model) AddVar(name string, lb, ub float64, typ VarType, obj float64) in
 		lb, ub = math.Max(lb, 0), math.Min(ub, 1)
 	}
 	if lb > ub {
+		//lint:ignore panicfree model-construction precondition: bounds come from code, not input data
 		panic(fmt.Sprintf("ilp: variable %q has lb %v > ub %v", name, lb, ub))
 	}
 	m.obj = append(m.obj, obj)
@@ -110,6 +111,7 @@ func (m *Model) AddConstr(name string, terms []Term, sense Sense, rhs float64) {
 	merged := make(map[int]float64)
 	for _, t := range terms {
 		if t.Var < 0 || t.Var >= len(m.obj) {
+			//lint:ignore panicfree model-construction precondition: term indices come from AddVar results
 			panic(fmt.Sprintf("ilp: constraint %q references unknown variable %d", name, t.Var))
 		}
 		merged[t.Var] += t.Coeff
@@ -117,7 +119,7 @@ func (m *Model) AddConstr(name string, terms []Term, sense Sense, rhs float64) {
 	out := make([]Term, 0, len(merged))
 	for _, t := range terms { // preserve first-occurrence order
 		if c, ok := merged[t.Var]; ok {
-			if c != 0 {
+			if !zero(c) {
 				out = append(out, Term{t.Var, c})
 			}
 			delete(merged, t.Var)

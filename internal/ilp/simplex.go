@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"compact/internal/invariant"
 )
 
 // The LP core: a dense bounded-variable two-phase primal simplex.
@@ -19,6 +21,15 @@ const (
 	pivotTol = 1e-8
 	feasTol  = 1e-6
 )
+
+// zero reports whether x is exactly 0. Simplex and model code skip
+// exact-zero coefficients purely to preserve sparsity and avoid useless
+// arithmetic — it is never a tolerance decision (those use costTol,
+// pivotTol and feasTol). The one deliberate exact float comparison in this
+// package lives here.
+//
+//lint:ignore floatcmp centralized exact-zero sparsity fast path
+func zero(x float64) bool { return x == 0 }
 
 var errIterLimit = errors.New("ilp: simplex iteration limit reached")
 
@@ -151,6 +162,7 @@ func (p *lp) value(j int) float64 {
 			}
 		}
 	}
+	//lint:ignore panicfree defensive invariant: status/basis desync would be a simplex bug, not bad input
 	panic("ilp: basic variable not in basis")
 }
 
@@ -178,7 +190,7 @@ func (p *lp) computeReducedCosts(c []float64) {
 	copy(p.d, c)
 	for i, b := range p.basis {
 		cb := c[b]
-		if cb == 0 {
+		if zero(cb) {
 			continue
 		}
 		row := p.tab[i]
@@ -249,12 +261,12 @@ func (p *lp) chooseEntering(bland bool) (int, float64) {
 		var score, dir float64
 		switch p.status[j] {
 		case atLower:
-			if p.lo[j] == p.up[j] {
+			if zero(p.up[j] - p.lo[j]) {
 				continue // fixed variable can never move
 			}
 			score, dir = -p.d[j], 1
 		case atUpper:
-			if p.lo[j] == p.up[j] {
+			if zero(p.up[j] - p.lo[j]) {
 				continue
 			}
 			score, dir = p.d[j], -1
@@ -350,7 +362,7 @@ func (p *lp) pivot(q int, dir float64, r int, hitUpper bool, t float64) {
 			continue
 		}
 		f := p.tab[i][q]
-		if f == 0 {
+		if zero(f) {
 			continue
 		}
 		row := p.tab[i]
@@ -359,7 +371,7 @@ func (p *lp) pivot(q int, dir float64, r int, hitUpper bool, t float64) {
 		}
 		row[q] = 0
 	}
-	if f := p.d[q]; f != 0 {
+	if f := p.d[q]; !zero(f) {
 		for _, j := range p.cols {
 			p.d[j] -= f * rowR[j]
 		}
@@ -425,5 +437,10 @@ func solveLP(mod *Model, lbs, ubs []float64, deadline time.Time) (lpResult, erro
 		return lpResult{iters: p.iters}, err
 	}
 	x := p.solution()
+	// Exit feasibility: an optimal basis whose solution leaves its box is
+	// a simplex bookkeeping bug, never a property of the model.
+	if err := invariant.BoundedValues("ilp.lp-solution", x, lbs, ubs, 10*feasTol); err != nil {
+		return lpResult{iters: p.iters}, err
+	}
 	return lpResult{status: StatusOptimal, x: x, obj: mod.Objective(x), iters: p.iters}, nil
 }

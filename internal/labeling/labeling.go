@@ -24,6 +24,7 @@ import (
 
 	"compact/internal/graph"
 	"compact/internal/ilp"
+	"compact/internal/invariant"
 	"compact/internal/oct"
 )
 
@@ -234,6 +235,20 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 	if err := Validate(p, sol.Labels); err != nil {
 		return nil, fmt.Errorf("labeling: solver %s produced invalid labeling: %w", sol.Method, err)
 	}
+	hasH := func(v int) bool { return sol.Labels[v].HasH() }
+	hasV := func(v int) bool { return sol.Labels[v].HasV() }
+	if err := invariant.EdgesSpanHV(p.G, hasH, hasV); err != nil {
+		return nil, fmt.Errorf("labeling: solver %s: %w", sol.Method, err)
+	}
+	vh := 0
+	for _, l := range sol.Labels {
+		if l == VH {
+			vh++
+		}
+	}
+	if err := invariant.Semiperimeter(p.G.N(), vh, sol.Stats.S); err != nil {
+		return nil, fmt.Errorf("labeling: solver %s: %w", sol.Method, err)
+	}
 	if (opts.MaxRows > 0 && sol.Stats.Rows > opts.MaxRows) ||
 		(opts.MaxCols > 0 && sol.Stats.Cols > opts.MaxCols) {
 		// Non-MIP methods do not optimize under dimension budgets; their
@@ -252,7 +267,10 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 // the semiperimeter (γ=1 objective) on instances without alignment
 // conflicts; alignment patches may add VH labels.
 func solveOCT(p Problem, opts Options) (*Solution, error) {
-	res := oct.Find(p.G, oct.Options{Backend: opts.OCTBackend, TimeLimit: opts.TimeLimit})
+	res, err := oct.Find(p.G, oct.Options{Backend: opts.OCTBackend, TimeLimit: opts.TimeLimit})
+	if err != nil {
+		return nil, err
+	}
 	labels, upgrades := orientAndBalance(p, res)
 	st := ComputeStats(labels)
 	// The method proves minimality of S (= n + k*) when the OCT is proven
@@ -261,7 +279,7 @@ func solveOCT(p Problem, opts Options) (*Solution, error) {
 	// analytic floor ⌈S/2⌉ (then γS + (1−γ)D equals the valid lower bound
 	// γ(n+k*) + (1−γ)⌈(n+k*)/2⌉ for every γ).
 	gamma := opts.Gamma
-	optimal := res.Optimal && upgrades == 0 && (gamma == 1 || st.D == (st.S+1)/2)
+	optimal := res.Optimal && upgrades == 0 && (gamma >= 1 || st.D == (st.S+1)/2)
 	return &Solution{
 		Labels:  labels,
 		Stats:   st,
@@ -542,7 +560,10 @@ func solveMIP(p Problem, opts Options) (*Solution, error) {
 	if opts.TimeLimit > 0 && opts.TimeLimit/2 < octBudget {
 		octBudget = opts.TimeLimit / 2
 	}
-	octRes := oct.Find(p.G, oct.Options{Backend: opts.OCTBackend, TimeLimit: octBudget})
+	octRes, err := oct.Find(p.G, oct.Options{Backend: opts.OCTBackend, TimeLimit: octBudget})
+	if err != nil {
+		return nil, err
+	}
 	if octRes.Optimal && len(octRes.OCT) > kLB {
 		kLB = len(octRes.OCT)
 	}
@@ -598,7 +619,7 @@ func solveMIP(p Problem, opts Options) (*Solution, error) {
 		return &Solution{
 			Labels:  best.Labels,
 			Stats:   best.Stats,
-			Optimal: gap == 0,
+			Optimal: gap <= 1e-9,
 			Method:  "mip-bounded",
 			Trace: []ilp.TraceEvent{{
 				Incumbent: obj,

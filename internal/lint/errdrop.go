@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errdrop flags call statements that silently discard a returned error: a
+// call whose result list includes an error, used as a bare statement (or
+// deferred). Assigning the error to the blank identifier (`_ = f()`) is an
+// explicit, visible discard and is not flagged.
+//
+// Calls that provably cannot fail are exempt: fmt.Fprint* writing to a
+// *strings.Builder or *bytes.Buffer, and methods on those two types (their
+// Write methods are documented to never return a non-nil error). Print
+// functions on the standard streams — fmt.Print/Printf/Println, and
+// fmt.Fprint* directly to os.Stdout or os.Stderr — follow the standard
+// library's own idiom (package flag drops these errors too) and are also
+// exempt.
+func Errdrop() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "flags statements that discard a returned error",
+		Run:  runErrdrop,
+	}
+}
+
+func runErrdrop(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(pass.Pkg.Info, call) || errdropExempt(pass.Pkg.Info, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "returned error is silently discarded; handle it or assign it to _ explicitly")
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result list contains an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// errdropExempt identifies calls whose error is statically known to be nil
+// or idiomatically ignored.
+func errdropExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	if pkg == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println":
+			return true // stdout printing, standard-library idiom
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) == 0 {
+				return false
+			}
+			return isInfallibleWriter(info.Types[call.Args[0]].Type) || isStdStream(info, call.Args[0])
+		}
+		return false
+	}
+	// Methods on infallible writers (strings.Builder, bytes.Buffer).
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil && isInfallibleWriter(sig.Recv().Type()) {
+		return true
+	}
+	return false
+}
+
+// isStdStream reports whether the expression is exactly os.Stdout or
+// os.Stderr.
+func isStdStream(info *types.Info, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr")
+}
+
+// isInfallibleWriter reports whether t is *strings.Builder or *bytes.Buffer
+// (whose Write methods never return a non-nil error).
+func isInfallibleWriter(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}

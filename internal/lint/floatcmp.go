@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Floatcmp flags exact == / != comparisons between floating-point values.
+// Exact float equality is almost always a latent bug in the simplex /
+// branch-and-bound / electrical code: two mathematically equal quantities
+// computed along different paths differ in ulps, so exact comparisons make
+// feasibility and optimality decisions non-deterministic. Compare against a
+// tolerance instead, or suppress deliberate exact-zero fast paths with
+// //lint:ignore floatcmp <reason>.
+//
+// Comparisons where both operands are compile-time constants are exempt
+// (they are evaluated exactly, once).
+func Floatcmp() *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc:  "flags exact ==/!= comparisons on floating-point operands",
+		Run:  runFloatcmp,
+	}
+}
+
+func runFloatcmp(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := info.Types[be.X], info.Types[be.Y]
+			if xt.Type == nil || yt.Type == nil {
+				return true
+			}
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant expression, evaluated exactly
+			}
+			pass.Reportf(be.OpPos, "exact %s comparison on floating-point operands; use a tolerance (or suppress a deliberate exact-zero fast path)", be.Op)
+			return true
+		})
+	}
+}

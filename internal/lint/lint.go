@@ -1,0 +1,249 @@
+// Package lint is a zero-dependency static-analysis framework for the
+// COMPACT repository, built purely on the standard library's go/parser,
+// go/ast, go/types and go/importer. It exists because COMPACT's correctness
+// rests on invariants the compiler cannot see — exact float comparisons in
+// the simplex, panics escaping the library façade, package-level mutable
+// state that would break concurrent Synthesize calls — and those classes of
+// bugs are cheap to machine-check at the source level.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis without
+// importing it: an Analyzer inspects one type-checked package through a
+// Pass (or, for whole-program analyses such as call-graph reachability, the
+// entire Program) and reports Diagnostics. Findings can be suppressed at
+// the source line with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. A directive
+// without a reason is itself reported as a finding, so every suppression in
+// the tree documents why the rule does not apply.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, located in the program's file set.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path  string // import path ("compact/internal/ilp")
+	Name  string // package name
+	Dir   string // directory the files were read from
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a set of type-checked packages sharing one file set.
+type Program struct {
+	Fset   *token.FileSet
+	Pkgs   []*Package // sorted by import path
+	byPath map[string]*Package
+}
+
+// Lookup returns the package with the given import path, or nil.
+func (p *Program) Lookup(path string) *Package { return p.byPath[path] }
+
+// Pass carries one package (for per-package analyzers) or the whole program
+// (Pkg == nil, for program analyzers) plus the report sink.
+type Pass struct {
+	Prog     *Program
+	Pkg      *Package
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one lint rule. Exactly one of Run (invoked once per package)
+// and RunProgram (invoked once with Pkg == nil) must be set.
+type Analyzer struct {
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*Pass)
+}
+
+// ignoreDirective is a parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool // names, or {"*": true}
+	reason    string
+	used      bool
+}
+
+// collectIgnores maps filename → line → directive for every
+// //lint:ignore comment in the program. Malformed directives (no reason)
+// are reported directly.
+func collectIgnores(prog *Program, diags *[]Diagnostic) map[string]map[int]*ignoreDirective {
+	out := make(map[string]map[int]*ignoreDirective)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						*diags = append(*diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lintdirective",
+							Message:  "malformed //lint:ignore: need \"//lint:ignore <analyzer> <reason>\"",
+						})
+						continue
+					}
+					d := &ignoreDirective{analyzers: make(map[string]bool), reason: strings.Join(fields[1:], " ")}
+					for _, name := range strings.Split(fields[0], ",") {
+						d.analyzers[name] = true
+					}
+					if out[pos.Filename] == nil {
+						out[pos.Filename] = make(map[int]*ignoreDirective)
+					}
+					out[pos.Filename][pos.Line] = d
+				}
+			}
+		}
+	}
+	return out
+}
+
+// matches reports whether the directive suppresses the given analyzer.
+func (d *ignoreDirective) matches(analyzer string) bool {
+	return d.analyzers["*"] || d.analyzers[analyzer]
+}
+
+// RunAnalyzers applies every analyzer to the program and returns the
+// surviving (non-suppressed) diagnostics, sorted by position.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		switch {
+		case a.RunProgram != nil:
+			a.RunProgram(&Pass{Prog: prog, analyzer: a.Name, diags: &raw})
+		case a.Run != nil:
+			for _, pkg := range prog.Pkgs {
+				a.Run(&Pass{Prog: prog, Pkg: pkg, analyzer: a.Name, diags: &raw})
+			}
+		}
+	}
+
+	var out []Diagnostic
+	ignores := collectIgnores(prog, &out)
+	for _, d := range raw {
+		if dir := lookupIgnore(ignores, d.Pos.Filename, d.Pos.Line); dir != nil && dir.matches(d.Analyzer) {
+			dir.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// lookupIgnore finds a directive covering the given line: on the line
+// itself (trailing comment) or the line directly above.
+func lookupIgnore(ignores map[string]map[int]*ignoreDirective, file string, line int) *ignoreDirective {
+	byLine := ignores[file]
+	if byLine == nil {
+		return nil
+	}
+	if d := byLine[line]; d != nil {
+		return d
+	}
+	return byLine[line-1]
+}
+
+// --- small shared helpers used by several analyzers ----------------------
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeFunc resolves the static callee of a call expression, or nil for
+// dynamic calls (function values, interface methods are still resolved to
+// the interface method object).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// funcDisplayName renders fn as pkg.Func or pkg.(Recv).Method.
+func funcDisplayName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	pkg := fn.Pkg().Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if n, ok := rt.(*types.Named); ok {
+			return fmt.Sprintf("%s.(%s).%s", pkg, n.Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + "." + fn.Name()
+}

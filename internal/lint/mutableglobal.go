@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Mutableglobal flags package-level variables that are written to outside
+// package initialization (var initializers and init functions). A global
+// mutated at runtime is shared state across every caller — exactly the kind
+// of hidden coupling that breaks once Synthesize is called from multiple
+// goroutines. Read-only lookup tables initialized at package init are fine
+// and are not flagged.
+//
+// Writes counted: assignment (including op-assign), ++/--, and taking the
+// variable as an explicit target of range/append re-assignment. Writes via
+// an alias (pointer taken elsewhere) are out of scope; the analyzer is a
+// tripwire, not an escape analysis. main packages are exempt (a CLI driver
+// is single-threaded by construction).
+func Mutableglobal() *Analyzer {
+	return &Analyzer{
+		Name: "mutableglobal",
+		Doc:  "flags package-level variables written outside package initialization",
+		Run:  runMutableglobal,
+	}
+}
+
+func runMutableglobal(pass *Pass) {
+	if pass.Pkg.Name == "main" {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name == "init" && fd.Recv == nil {
+				continue
+			}
+			fnName := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if v := globalTarget(info, lhs); v != nil {
+							pass.Reportf(lhs.Pos(), "package-level variable %q is written in %s; package state breaks concurrent use", v.Name(), fnName)
+						}
+					}
+				case *ast.IncDecStmt:
+					if v := globalTarget(info, st.X); v != nil {
+						pass.Reportf(st.X.Pos(), "package-level variable %q is written in %s; package state breaks concurrent use", v.Name(), fnName)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// globalTarget resolves the root of an assignment target to a package-level
+// variable object, or nil. Element writes (x[i] = …, x.f = …, *x = …) count
+// as writes to the root variable.
+func globalTarget(info *types.Info, expr ast.Expr) *types.Var {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			// Only follow selectors that name a variable's field, not
+			// package-qualified identifiers (pkg.Var handled via Ident).
+			if _, ok := info.Uses[e.Sel].(*types.Var); ok {
+				if isPkgLevelVar(info, e.Sel) {
+					return info.Uses[e.Sel].(*types.Var)
+				}
+			}
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok && isPkgLevel(v) {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func isPkgLevelVar(info *types.Info, id *ast.Ident) bool {
+	v, ok := info.Uses[id].(*types.Var)
+	return ok && isPkgLevel(v)
+}
+
+// isPkgLevel reports whether v is declared at package scope.
+func isPkgLevel(v *types.Var) bool {
+	if v.Pkg() == nil || v.IsField() {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}

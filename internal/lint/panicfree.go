@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Panicfree proves (up to static-call-graph approximation) that no panic()
+// is reachable from the public façade of the configured root package. A
+// panic that escapes the library boundary crashes whatever service embeds
+// the synthesizer; COMPACT's contract is that every failure mode — node
+// limits, infeasible budgets, malformed networks — surfaces as a returned
+// error.
+//
+// The root set is every exported function of the root package, plus the
+// exported methods of every named type transitively reachable through root
+// signatures (results and parameters) — the API surface a downstream user
+// can actually touch, e.g. compact.Synthesize → *core.Result →
+// Result.Verify → logic.Network.Eval.
+//
+// The call graph is a static over/under-approximation: direct function and
+// method calls are followed (interface callees resolve to the interface
+// method only, function values are not tracked), and panics inside function
+// literals are attributed to the enclosing declared function. Deliberate
+// panics — recover-based control flow à la encoding/json, or preconditions
+// on programmer-controlled arguments — are suppressed in place with
+// //lint:ignore panicfree <reason>.
+func Panicfree(rootPkgPath string) *Analyzer {
+	return &Analyzer{
+		Name: "panicfree",
+		Doc:  "flags panic() calls reachable from the root package's exported API",
+		RunProgram: func(pass *Pass) {
+			runPanicfree(pass, rootPkgPath)
+		},
+	}
+}
+
+// callGraph is a static call graph over declared functions.
+type callGraph struct {
+	calls  map[*types.Func][]*types.Func
+	panics map[*types.Func][]token.Pos
+}
+
+func buildCallGraph(prog *Program) *callGraph {
+	cg := &callGraph{
+		calls:  make(map[*types.Func][]*types.Func),
+		panics: make(map[*types.Func][]token.Pos),
+	}
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if isBuiltin(info, call, "panic") {
+						cg.panics[fn] = append(cg.panics[fn], call.Pos())
+						return true
+					}
+					if callee := calleeFunc(info, call); callee != nil {
+						cg.calls[fn] = append(cg.calls[fn], callee)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return cg
+}
+
+func runPanicfree(pass *Pass, rootPkgPath string) {
+	root := pass.Prog.Lookup(rootPkgPath)
+	if root == nil {
+		return
+	}
+	cg := buildCallGraph(pass.Prog)
+	roots := apiSurface(root.Types)
+
+	// BFS over the call graph, recording one (shortest) parent chain per
+	// reached function for the report.
+	parent := make(map[*types.Func]*types.Func)
+	seen := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for _, fn := range roots {
+		if !seen[fn] {
+			seen[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range cg.calls[fn] {
+			if !seen[callee] {
+				seen[callee] = true
+				parent[callee] = fn
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for fn, sites := range cg.panics {
+		if !seen[fn] {
+			continue
+		}
+		chain := callChain(parent, fn)
+		for _, pos := range sites {
+			pass.Reportf(pos, "panic reachable from the %s façade (%s); return an error instead", root.Types.Name(), chain)
+		}
+	}
+}
+
+// apiSurface collects the exported functions of pkg plus exported methods
+// of every named type transitively reachable through their signatures.
+func apiSurface(pkg *types.Package) []*types.Func {
+	var fns []*types.Func
+	seenFn := make(map[*types.Func]bool)
+	seenType := make(map[*types.Named]bool)
+
+	var addFunc func(fn *types.Func)
+	var addType func(t types.Type)
+
+	addFunc = func(fn *types.Func) {
+		if fn == nil || seenFn[fn] {
+			return
+		}
+		seenFn[fn] = true
+		fns = append(fns, fn)
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			addType(sig.Params().At(i).Type())
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			addType(sig.Results().At(i).Type())
+		}
+	}
+	addType = func(t types.Type) {
+		switch tt := types.Unalias(t).(type) {
+		case *types.Pointer:
+			addType(tt.Elem())
+		case *types.Slice:
+			addType(tt.Elem())
+		case *types.Array:
+			addType(tt.Elem())
+		case *types.Map:
+			addType(tt.Key())
+			addType(tt.Elem())
+		case *types.Chan:
+			addType(tt.Elem())
+		case *types.Named:
+			if seenType[tt] {
+				return
+			}
+			seenType[tt] = true
+			ms := types.NewMethodSet(types.NewPointer(tt))
+			for i := 0; i < ms.Len(); i++ {
+				if m, ok := ms.At(i).Obj().(*types.Func); ok && m.Exported() {
+					addFunc(m)
+				}
+			}
+			if st, ok := tt.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					if st.Field(i).Exported() {
+						addType(st.Field(i).Type())
+					}
+				}
+			}
+		}
+	}
+
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			addFunc(o)
+		case *types.TypeName:
+			addType(o.Type())
+		}
+	}
+	return fns
+}
+
+// callChain renders the parent chain root → … → fn, capped for legibility.
+func callChain(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var rev []string
+	for f := fn; f != nil; f = parent[f] {
+		rev = append(rev, funcDisplayName(f))
+		if len(rev) > 8 {
+			rev = append(rev, "…")
+			break
+		}
+	}
+	var b strings.Builder
+	b.WriteString("via ")
+	for i := len(rev) - 1; i >= 0; i-- {
+		b.WriteString(rev[i])
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+	}
+	return b.String()
+}

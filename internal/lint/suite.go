@@ -1,0 +1,27 @@
+package lint
+
+// DefaultAnalyzers returns the repository's configured analyzer suite for
+// the module with the given root import path (e.g. "compact"):
+//
+//	floatcmp      exact float ==/!= anywhere in the module
+//	panicfree     panics reachable from the modPath façade package
+//	errdrop       silently discarded error returns
+//	mutableglobal package-level state written at runtime
+//	ctxbound      solver entry points without a resource bound
+func DefaultAnalyzers(modPath string) []*Analyzer {
+	solverPkgs := []string{
+		modPath + "/internal/ilp",
+		modPath + "/internal/graph",
+		modPath + "/internal/oct",
+		modPath + "/internal/labeling",
+		modPath + "/internal/bdd",
+		modPath + "/internal/xbar",
+	}
+	return []*Analyzer{
+		Floatcmp(),
+		Panicfree(modPath),
+		Errdrop(),
+		Mutableglobal(),
+		Ctxbound(solverPkgs),
+	}
+}

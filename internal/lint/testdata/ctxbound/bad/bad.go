@@ -1,0 +1,13 @@
+// Package ctxbad exercises exported solver entry points with no resource
+// bound anywhere in their signatures.
+package ctxbad
+
+func SolveEverything(n int) int { return n } // want ctxbound
+
+func FindWitness(name string) bool { return name != "" } // want ctxbound
+
+func BuildClosure(xs []int) []int { return xs } // want ctxbound
+
+type opts struct{ Verbose bool }
+
+func SearchDeep(o opts) int { return 0 } // want ctxbound

@@ -1,0 +1,30 @@
+// Package ctxgood holds solver entry points the ctxbound analyzer must
+// accept: explicit limits, deadlines, option structs, non-solver names and
+// unexported helpers.
+package ctxgood
+
+import "time"
+
+// Opts carries a recognized bound field.
+type Opts struct {
+	TimeLimit time.Duration
+	Verbose   bool
+}
+
+func SolveBounded(n, nodeLimit int) int { return n + nodeLimit }
+
+func FindWithin(d time.Duration) bool { return d > 0 }
+
+func SearchOpts(o Opts) int { return 0 }
+
+func BuildUntil(deadline time.Time) int { return 0 }
+
+func MaxIterCapped(maxIters int) int { return maxIters }
+
+// Render is exported but has no solver prefix.
+func Render(s string) string { return s }
+
+// solve is unexported: entry-point rule does not apply.
+func solve(n int) int { return n }
+
+var _ = solve

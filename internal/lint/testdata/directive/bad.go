@@ -1,0 +1,8 @@
+// Package directive exercises malformed suppression directives: an ignore
+// without a reason is itself a finding and suppresses nothing.
+package directive
+
+//lint:ignore floatcmp
+func eq(a, b float64) bool { return a == b }
+
+var _ = eq

@@ -1,0 +1,29 @@
+// Package errdropbad exercises the statement shapes that silently discard
+// a returned error.
+package errdropbad
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func fail() error { return errors.New("x") }
+
+func pair() (int, error) { return 0, errors.New("y") }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func use() {
+	fail()       // want errdrop
+	pair()       // want errdrop
+	defer fail() // want errdrop
+	var c closer
+	c.Close()                                           // want errdrop
+	defer c.Close()                                     // want errdrop
+	fmt.Fprintf(os.NewFile(3, "f"), "not a std stream") // want errdrop
+}
+
+var _ = use

@@ -1,0 +1,34 @@
+// Package errdropgood holds error handling the errdrop analyzer must
+// accept: checked errors, explicit discards, and infallible writers.
+package errdropgood
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("x") }
+
+func use() {
+	if err := fail(); err != nil {
+		_ = err
+	}
+	_ = fail() // explicit, visible discard
+
+	fmt.Println("standard-stream printing is the stdlib's own idiom")
+	fmt.Fprintln(os.Stderr, "so is this")
+	fmt.Fprintf(os.Stdout, "and this\n")
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "strings.Builder writes never fail")
+	sb.WriteString("nor do its methods")
+
+	var buf bytes.Buffer
+	buf.WriteByte('z')
+	fmt.Fprintln(&buf, "bytes.Buffer too")
+}
+
+var _ = use

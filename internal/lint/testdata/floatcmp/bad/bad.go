@@ -1,0 +1,18 @@
+// Package floatbad exercises every shape of exact float comparison the
+// floatcmp analyzer must flag.
+package floatbad
+
+func eq(a, b float64) bool { return a == b } // want floatcmp
+
+func ne(a, b float32) bool { return a != b } // want floatcmp
+
+func mixed(a float64, b int) bool { return a == float64(b) } // want floatcmp
+
+func viaName(x myFloat, y myFloat) bool { return x == y } // want floatcmp
+
+type myFloat float64
+
+var _ = eq
+var _ = ne
+var _ = mixed
+var _ = viaName

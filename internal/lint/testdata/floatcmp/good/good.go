@@ -1,0 +1,24 @@
+// Package floatgood holds float handling the floatcmp analyzer must accept.
+package floatgood
+
+import "math"
+
+const eps = 1e-9
+
+func close(a, b float64) bool { return math.Abs(a-b) < eps }
+
+func ints(a, b int) bool { return a == b }
+
+func strs(a, b string) bool { return a == b }
+
+// Both operands are untyped constants: folded at compile time, exempt.
+func consts() bool { return 0.5 == 1.0/2.0 }
+
+//lint:ignore floatcmp deliberate exact-zero fast path, suppressed for the test
+func zero(x float64) bool { return x == 0 }
+
+var _ = close
+var _ = ints
+var _ = strs
+var _ = consts
+var _ = zero

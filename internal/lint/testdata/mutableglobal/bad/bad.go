@@ -1,0 +1,22 @@
+// Package mutbad exercises runtime writes to package-level state.
+package mutbad
+
+var counter int
+
+var table = map[string]int{}
+
+var cfg = &config{}
+
+var slice = make([]int, 4)
+
+type config struct{ n int }
+
+func bump() {
+	counter++      // want mutableglobal
+	counter = 5    // want mutableglobal
+	table["k"] = 1 // want mutableglobal
+	cfg.n = 2      // want mutableglobal
+	slice[0] = 3   // want mutableglobal
+}
+
+var _ = bump

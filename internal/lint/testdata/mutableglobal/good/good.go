@@ -1,0 +1,24 @@
+// Package mutgood holds package-level state usage the mutableglobal
+// analyzer must accept: init-time writes, constants, reads, and locals.
+package mutgood
+
+const limit = 10
+
+var defaultSize = 8 // written only during init
+
+var lookup = map[string]int{"a": 1}
+
+func init() {
+	defaultSize = 16
+	lookup["b"] = 2
+}
+
+func use() int {
+	local := defaultSize + lookup["a"]
+	local++
+	shadow := lookup
+	_ = shadow
+	return local + limit
+}
+
+var _ = use

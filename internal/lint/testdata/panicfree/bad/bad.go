@@ -1,0 +1,27 @@
+// Package panicbad exercises panics reachable from the exported API
+// surface: through a call chain, and through a method of a returned type.
+package panicbad
+
+// Do is exported API; the panic two calls down must be attributed to it.
+func Do() {
+	helper()
+}
+
+func helper() {
+	deeper()
+}
+
+func deeper() {
+	panic("boom") // want panicfree
+}
+
+// T joins the API surface through New's result type.
+type T struct{}
+
+// New returns T, pulling its exported methods into the root set.
+func New() *T { return &T{} }
+
+// Boom is reachable through New's result type.
+func (t *T) Boom() {
+	panic("method boom") // want panicfree
+}

@@ -1,0 +1,23 @@
+// Package panicgood holds panic usage the panicfree analyzer must accept:
+// errors at the boundary, unreachable panics, and a documented suppression.
+package panicgood
+
+import "errors"
+
+// Do is exported and returns errors instead of panicking.
+func Do() error { return errors.New("no") }
+
+// dead panics but is never called from the API surface.
+func dead() {
+	panic("unreachable")
+}
+
+// Checked is exported; its panic is suppressed with a documented reason.
+func Checked(ok bool) {
+	if !ok {
+		//lint:ignore panicfree testdata: documented precondition suppression
+		panic("contract")
+	}
+}
+
+var _ = dead

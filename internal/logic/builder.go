@@ -36,6 +36,7 @@ func NewBuilder(name string) *Builder {
 func (b *Builder) check(ids ...int) {
 	for _, id := range ids {
 		if id < 0 || id >= len(b.gates) {
+			//lint:ignore panicfree documented Builder contract: misuse of the fluent API is a generator bug
 			panic(fmt.Sprintf("logic: invalid gate id %d", id))
 		}
 	}
@@ -66,6 +67,7 @@ func hashKey(t GateType, fanin []int) string {
 // Input declares (or returns the existing) primary input with this name.
 func (b *Builder) Input(name string) int {
 	if name == "" {
+		//lint:ignore panicfree documented Builder contract: misuse of the fluent API is a generator bug
 		panic("logic: empty input name")
 	}
 	if id, ok := b.inNames[name]; ok {
@@ -178,6 +180,7 @@ func (b *Builder) Output(name string, id int) {
 	b.check(id)
 	for _, nm := range b.onames {
 		if nm == name {
+			//lint:ignore panicfree documented Builder contract: misuse of the fluent API is a generator bug
 			panic(fmt.Sprintf("logic: duplicate output %q", name))
 		}
 	}
@@ -200,6 +203,7 @@ func (b *Builder) Build() *Network {
 		OutputNames: append([]string(nil), b.onames...),
 	}
 	if err := n.Validate(); err != nil {
+		//lint:ignore panicfree unreachable unless the Builder itself is buggy: every id was checked on entry
 		panic(fmt.Sprintf("logic: builder produced invalid network: %v", err))
 	}
 	return n
@@ -216,6 +220,7 @@ func (b *Builder) AddFullAdder(x, y, cin int) (sum, cout int) {
 // operand slices (LSB first) and returns the sum bits and the carry out.
 func (b *Builder) AddRippleAdder(xs, ys []int, cin int) (sums []int, cout int) {
 	if len(xs) != len(ys) {
+		//lint:ignore panicfree documented Builder contract: misuse of the fluent API is a generator bug
 		panic("logic: AddRippleAdder operand width mismatch")
 	}
 	c := cin

@@ -205,6 +205,7 @@ func evalGate(t GateType, in []bool) bool {
 		}
 		return in[1]
 	}
+	//lint:ignore panicfree unreachable: Eval/Eval64 skip Input gates before dispatching here
 	panic("logic: evalGate on input gate")
 }
 
@@ -212,6 +213,7 @@ func evalGate(t GateType, in []bool) bool {
 // input, in declaration order) and returns one bool per primary output.
 func (n *Network) Eval(inputs []bool) []bool {
 	if len(inputs) != len(n.Inputs) {
+		//lint:ignore panicfree hot-path precondition on a per-vector simulation call; wrong width is a caller bug
 		panic(fmt.Sprintf("logic: Eval got %d inputs, want %d", len(inputs), len(n.Inputs)))
 	}
 	vals := make([]bool, len(n.Gates))
@@ -241,6 +243,7 @@ func (n *Network) Eval(inputs []bool) []bool {
 // primary output.
 func (n *Network) Eval64(inputs []uint64) []uint64 {
 	if len(inputs) != len(n.Inputs) {
+		//lint:ignore panicfree hot-path precondition on a per-vector simulation call; wrong width is a caller bug
 		panic(fmt.Sprintf("logic: Eval64 got %d inputs, want %d", len(inputs), len(n.Inputs)))
 	}
 	vals := make([]uint64, len(n.Gates))

@@ -16,6 +16,7 @@ import (
 
 	"compact/internal/graph"
 	"compact/internal/ilp"
+	"compact/internal/invariant"
 )
 
 // Backend selects the minimum-vertex-cover engine.
@@ -46,22 +47,30 @@ type Result struct {
 
 // Find computes an odd cycle transversal of g. Without a time limit the
 // result is a minimum OCT; with one, it is a valid OCT that may be larger.
-func Find(g *graph.Graph, opts Options) Result {
+// The residual-bipartiteness postcondition is re-verified on every exit; a
+// violation (an invariant.Error) means a solver bug, not bad input.
+func Find(g *graph.Graph, opts Options) (Result, error) {
+	var res Result
 	if g.IsBipartite() {
 		color, _ := g.TwoColor()
-		return Result{OCT: map[int]bool{}, Side: color, Optimal: true}
+		res = Result{OCT: map[int]bool{}, Side: color, Optimal: true}
+	} else {
+		p := g.CartesianK2()
+		var cover map[int]bool
+		var optimal bool
+		switch opts.Backend {
+		case BackendILP:
+			cover, optimal = coverILP(p, opts.TimeLimit)
+		default:
+			r := graph.MinVertexCover(p, graph.VCOptions{TimeLimit: opts.TimeLimit})
+			cover, optimal = r.Cover, r.Optimal
+		}
+		res = fromCover(g, cover, optimal)
 	}
-	p := g.CartesianK2()
-	var cover map[int]bool
-	var optimal bool
-	switch opts.Backend {
-	case BackendILP:
-		cover, optimal = coverILP(p, opts.TimeLimit)
-	default:
-		res := graph.MinVertexCover(p, graph.VCOptions{TimeLimit: opts.TimeLimit})
-		cover, optimal = res.Cover, res.Optimal
+	if err := invariant.ResidualBipartite(g, res.OCT, res.Side); err != nil {
+		return Result{}, err
 	}
-	return fromCover(g, cover, optimal)
+	return res, nil
 }
 
 // fromCover converts a vertex cover of G □ K2 into an OCT and 2-coloring.

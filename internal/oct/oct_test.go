@@ -62,7 +62,10 @@ func tryK(g *graph.Graph, k, from int, removed map[int]bool) bool {
 }
 
 func TestBipartiteGraphEmptyOCT(t *testing.T) {
-	res := Find(cycle(8), Options{})
+	res, err := Find(cycle(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.OCT) != 0 || !res.Optimal {
 		t.Errorf("C8 OCT = %v", res.OCT)
 	}
@@ -74,7 +77,10 @@ func TestBipartiteGraphEmptyOCT(t *testing.T) {
 func TestOddCycleOCT(t *testing.T) {
 	for _, n := range []int{3, 5, 7, 9} {
 		g := cycle(n)
-		res := Find(g, Options{})
+		res, err := Find(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(res.OCT) != 1 || !res.Optimal {
 			t.Errorf("C%d: OCT size %d, want 1", n, len(res.OCT))
 		}
@@ -92,7 +98,10 @@ func TestCompleteGraphOCT(t *testing.T) {
 			g.AddEdge(i, j)
 		}
 	}
-	res := Find(g, Options{})
+	res, err := Find(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.OCT) != 4 || !res.Optimal {
 		t.Errorf("K6: OCT size %d, want 4", len(res.OCT))
 	}
@@ -102,7 +111,10 @@ func TestFindMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	for trial := 0; trial < 30; trial++ {
 		g := randomGraph(rng, 9, 0.3)
-		res := Find(g, Options{})
+		res, err := Find(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !res.Optimal {
 			t.Fatalf("trial %d: not optimal", trial)
 		}
@@ -119,8 +131,11 @@ func TestILPBackendAgrees(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	for trial := 0; trial < 10; trial++ {
 		g := randomGraph(rng, 8, 0.35)
-		a := Find(g, Options{Backend: BackendBB})
-		b := Find(g, Options{Backend: BackendILP})
+		a, errA := Find(g, Options{Backend: BackendBB})
+		b, errB := Find(g, Options{Backend: BackendILP})
+		if errA != nil || errB != nil {
+			t.Fatalf("trial %d: Find errors: %v / %v", trial, errA, errB)
+		}
 		if !Verify(g, a) || !Verify(g, b) {
 			t.Fatalf("trial %d: invalid result", trial)
 		}
@@ -159,7 +174,10 @@ func TestHeuristicOnOddCycle(t *testing.T) {
 func TestTimeLimitStillValid(t *testing.T) {
 	rng := rand.New(rand.NewSource(24))
 	g := randomGraph(rng, 60, 0.2)
-	res := Find(g, Options{TimeLimit: time.Millisecond})
+	res, err := Find(g, Options{TimeLimit: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !Verify(g, res) {
 		t.Fatal("time-limited OCT invalid")
 	}

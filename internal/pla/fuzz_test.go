@@ -1,0 +1,47 @@
+package pla
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the PLA reader never panics and that any table it
+// accepts survives a Write → Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		samplePLA,
+		"",
+		"# comment\n",
+		".i 2\n.o 1\n.p 2\n1- 1\n-1 1\n.e\n",
+		".i 2\n.o 1\n.ilb a b\n.ob f\n1- 1\n.e\n",
+		// Bare directives (no operand) and bad operands.
+		".p\n",
+		".i\n.o\n",
+		".i x\n",
+		".i -3\n",
+		".i 999999999999999999999999\n",
+		// Cube width mismatches and stray characters.
+		".i 2\n.o 1\n111 1\n",
+		".i 2\n.o 1\n1- 2\n",
+		".i 1\n.o 1\n~ 1\n",
+		".e\n",
+		".type fr\n.i 1\n.o 1\n1 1\n.e\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tbl, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tbl); err != nil {
+			t.Fatalf("Write of parsed table failed: %v", err)
+		}
+		if _, err := Parse(&buf); err != nil {
+			t.Fatalf("round trip rejected its own output: %v\n%s", err, buf.String())
+		}
+	})
+}

@@ -9,10 +9,24 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
+	"compact/internal/errio"
 	"compact/internal/logic"
 )
+
+// directiveInt parses the single integer operand of a .i/.o/.p directive.
+func directiveInt(fields []string, lineNo int) (int, error) {
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("line %d: malformed %s", lineNo, fields[0])
+	}
+	v, err := strconv.Atoi(fields[1])
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("line %d: %s wants a non-negative integer, got %q", lineNo, fields[0], fields[1])
+	}
+	return v, nil
+}
 
 // Table is a parsed PLA: a multi-output SOP cover.
 type Table struct {
@@ -49,19 +63,20 @@ func Parse(r io.Reader) (*Table, error) {
 			continue
 		}
 		fields := strings.Fields(line)
+		var err error
 		switch fields[0] {
 		case ".i":
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("line %d: malformed .i", lineNo)
+			if t.NumIn, err = directiveInt(fields, lineNo); err != nil {
+				return nil, err
 			}
-			fmt.Sscanf(fields[1], "%d", &t.NumIn)
 		case ".o":
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("line %d: malformed .o", lineNo)
+			if t.NumOut, err = directiveInt(fields, lineNo); err != nil {
+				return nil, err
 			}
-			fmt.Sscanf(fields[1], "%d", &t.NumOut)
 		case ".p":
-			fmt.Sscanf(fields[1], "%d", &t.DeclaredNP)
+			if t.DeclaredNP, err = directiveInt(fields, lineNo); err != nil {
+				return nil, err
+			}
 		case ".ilb":
 			t.InNames = fields[1:]
 		case ".ob":
@@ -214,17 +229,21 @@ func FromNetwork(n *logic.Network, maxInputs int) (*Table, error) {
 // Write serializes the table in PLA format.
 func Write(w io.Writer, t *Table) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, ".i %d\n.o %d\n", t.NumIn, t.NumOut)
+	ew := errio.NewWriter(bw)
+	ew.Printf(".i %d\n.o %d\n", t.NumIn, t.NumOut)
 	if len(t.InNames) == t.NumIn && t.NumIn > 0 {
-		fmt.Fprintf(bw, ".ilb %s\n", strings.Join(t.InNames, " "))
+		ew.Printf(".ilb %s\n", strings.Join(t.InNames, " "))
 	}
 	if len(t.OutNames) == t.NumOut && t.NumOut > 0 {
-		fmt.Fprintf(bw, ".ob %s\n", strings.Join(t.OutNames, " "))
+		ew.Printf(".ob %s\n", strings.Join(t.OutNames, " "))
 	}
-	fmt.Fprintf(bw, ".p %d\n", len(t.Cubes))
+	ew.Printf(".p %d\n", len(t.Cubes))
 	for _, c := range t.Cubes {
-		fmt.Fprintf(bw, "%s %s\n", c.In, c.Out)
+		ew.Printf("%s %s\n", c.In, c.Out)
 	}
-	fmt.Fprintln(bw, ".e")
+	ew.Println(".e")
+	if err := ew.Err(); err != nil {
+		return err
+	}
 	return bw.Flush()
 }

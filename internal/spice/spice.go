@@ -121,6 +121,13 @@ func Simulate(d *xbar.Design, assignment []bool, model DeviceModel) ([]float64, 
 }
 
 // solveDense is Gaussian elimination with partial pivoting (destroys g, b).
+// zero reports whether x is exactly 0 — a sparsity fast path in the linear
+// solvers (skip a zero elimination multiplier, zero RHS shortcut), never a
+// tolerance decision.
+//
+//lint:ignore floatcmp centralized exact-zero sparsity fast path
+func zero(x float64) bool { return x == 0 }
+
 func solveDense(g [][]float64, b []float64) ([]float64, error) {
 	n := len(g)
 	for col := 0; col < n; col++ {
@@ -139,7 +146,7 @@ func solveDense(g [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / g[col][col]
 		for r := col + 1; r < n; r++ {
 			f := g[r][col] * inv
-			if f == 0 {
+			if zero(f) {
 				continue
 			}
 			row, prow := g[r], g[col]
@@ -182,7 +189,7 @@ func solveCG(g [][]float64, b []float64) ([]float64, error) {
 		bnorm += bi * bi
 	}
 	bnorm = math.Sqrt(bnorm)
-	if bnorm == 0 {
+	if zero(bnorm) {
 		return x, nil
 	}
 	rz := 0.0

@@ -1,0 +1,46 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the structural-Verilog reader never panics: every input
+// either yields a network or a plain error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"module m (a, f); input a; output f; assign f = ~a; endmodule",
+		"module fig2 (a, b, c, f);\n input a, b, c;\n output f;\n wire t1;\n and g1 (t1, a, b);\n or g2 (f, t1, c);\nendmodule\n",
+		"module m (f); output f; assign f = 1'b1; endmodule",
+		"module m (f); output f; assign f = 2'b10; endmodule",
+		"module m (a, b, f); input a, b; output f; assign f = a ? b : ~b; endmodule",
+		"module m (a, f); input [3:0] a; output f; assign f = a[0] ^ a[3]; endmodule",
+		// Comments, both kinds, including unterminated.
+		"// line\nmodule m (f); output f; /* block */ assign f = 1'b0; endmodule",
+		"/* unterminated",
+		// Truncations at every structural level.
+		"module",
+		"module m",
+		"module m (",
+		"module m (a, f); input a; output f; assign f = ",
+		"module m (a, f); input a; output f; and g1 (f, a",
+		"module m (a, f); input a; output f; assign f = a; ",
+		// Bad tokens and references.
+		"module m (f); output f; assign f = 9'bx; endmodule",
+		"module m (f); output f; assign f = nosuch; endmodule",
+		"module m (a, f); input [0:3] a; output f; assign f = a[7]; endmodule",
+		"module m (f); output f; xor (); endmodule",
+		"endmodule",
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nw, err := Parse(strings.NewReader(src))
+		if err == nil && nw == nil {
+			t.Fatal("nil network with nil error")
+		}
+	})
+}

@@ -77,7 +77,10 @@ func tokenize(src string) ([]token, error) {
 			line += strings.Count(src[i:i+2+end+2], "\n")
 			i += 2 + end + 2
 		case isIdentStart(rune(c)):
-			j := i
+			// Start at i+1: '\' begins an escaped identifier but is not an
+			// identifier character itself, and the scan must always consume
+			// at least the start byte to make progress.
+			j := i + 1
 			for j < len(src) && isIdentChar(rune(src[j])) {
 				j++
 			}

@@ -94,22 +94,30 @@ func FromBDD(m *bdd.Manager, roots []bdd.Node, outNames []string) (*BDDGraph, er
 			continue
 		}
 		bg.Level[gi] = m.Level(n)
+		var edgeErr error
 		addEdge := func(child bdd.Node, neg bool) {
-			if child == bdd.Zero {
+			if edgeErr != nil || child == bdd.Zero {
 				return
 			}
 			u, v := gi, id[child]
-			bg.G.AddEdge(u, v)
+			if err := bg.G.AddEdge(u, v); err != nil {
+				edgeErr = err
+				return
+			}
 			k := edgeKey(u, v)
 			if _, dup := bg.EdgeLit[k]; dup {
 				// Cannot happen in a reduced BDD (low != high, DAG), but
 				// guard against manager bugs.
-				panic(fmt.Sprintf("xbar: duplicate edge literal for (%d,%d)", u, v))
+				edgeErr = fmt.Errorf("xbar: duplicate edge literal for (%d,%d)", u, v)
+				return
 			}
 			bg.EdgeLit[k] = Entry{Kind: Lit, Var: int32(m.Level(n)), Neg: neg}
 		}
 		addEdge(m.Low(n), true)
 		addEdge(m.High(n), false)
+		if edgeErr != nil {
+			return nil, edgeErr
+		}
 	}
 	for i, r := range roots {
 		switch r {

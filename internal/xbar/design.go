@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"compact/internal/errio"
 )
 
 // EntryKind classifies a crossbar cell.
@@ -170,9 +172,10 @@ func (d *Design) Render(w io.Writer) error {
 		}
 		outOf[r] = append(outOf[r], name)
 	}
+	ew := errio.NewWriter(w)
 	for r := 0; r < d.Rows; r++ {
 		for c := 0; c < d.Cols; c++ {
-			fmt.Fprintf(w, "%*s ", width, labels[r][c])
+			ew.Printf("%*s ", width, labels[r][c])
 		}
 		var marks []string
 		if r == d.InputRow {
@@ -182,13 +185,11 @@ func (d *Design) Render(w io.Writer) error {
 			marks = append(marks, "-> "+strings.Join(names, ","))
 		}
 		if len(marks) > 0 {
-			fmt.Fprintf(w, " %s", strings.Join(marks, " "))
+			ew.Printf(" %s", strings.Join(marks, " "))
 		}
-		if _, err := fmt.Fprintln(w); err != nil {
-			return err
-		}
+		ew.Println()
 	}
-	return nil
+	return ew.Err()
 }
 
 // Conducts reports whether cell e conducts under the assignment (indexed

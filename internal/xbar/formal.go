@@ -31,11 +31,7 @@ func SymbolicOutputs(d *Design, nodeLimit int) (m *bdd.Manager, outs []bdd.Node,
 	m.SetNodeLimit(nodeLimit)
 	defer func() {
 		if r := recover(); r != nil {
-			if e, ok := r.(error); ok && errors.Is(e, bdd.ErrNodeLimit) {
-				m, outs, err = nil, nil, e
-				return
-			}
-			panic(r)
+			m, outs, err = nil, nil, bdd.BoundaryError(r)
 		}
 	}()
 

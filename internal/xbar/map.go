@@ -3,6 +3,7 @@ package xbar
 import (
 	"fmt"
 
+	"compact/internal/invariant"
 	"compact/internal/labeling"
 )
 
@@ -114,6 +115,41 @@ func Map(bg *BDDGraph, labels []labeling.Label) (*Design, error) {
 			return nil, fmt.Errorf("xbar: cell (%d,%d) assigned twice", r, c)
 		}
 		d.Cells[r][c] = lit
+	}
+	// Postconditions: the grid is exactly the one the labeling implies,
+	// and every device (one per edge, one stitch per VH node) landed on
+	// its own wordline×bitline crossing.
+	wantRows, wantCols, vh := 0, 0, 0
+	for v := 0; v < n; v++ {
+		if labels[v].HasH() {
+			wantRows++
+		}
+		if labels[v].HasV() {
+			wantCols++
+		}
+		if labels[v] == labeling.VH {
+			vh++
+		}
+	}
+	if needConst0 {
+		wantRows++
+	}
+	if wantCols == 0 {
+		wantCols = 1
+	}
+	if err := invariant.GridDims(d.Rows, d.Cols, wantRows, wantCols); err != nil {
+		return nil, fmt.Errorf("xbar: %w", err)
+	}
+	programmed := 0
+	for _, row := range d.Cells {
+		for _, e := range row {
+			if e.Kind != Off {
+				programmed++
+			}
+		}
+	}
+	if err := invariant.ProgrammedCells(programmed, bg.G.M(), vh); err != nil {
+		return nil, fmt.Errorf("xbar: %w", err)
 	}
 	return d, nil
 }

@@ -91,7 +91,9 @@ func FromSeparate(singles []bdd.Single, varNames []string) (*BDDGraph, error) {
 	bg.Level = levels
 	bg.G = graph.New(len(levels))
 	for _, e := range edges {
-		bg.G.AddEdge(e.u, e.v)
+		if err := bg.G.AddEdge(e.u, e.v); err != nil {
+			return nil, err
+		}
 		bg.EdgeLit[edgeKey(e.u, e.v)] = e.lit
 	}
 	return bg, nil

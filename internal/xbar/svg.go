@@ -3,6 +3,8 @@ package xbar
 import (
 	"fmt"
 	"io"
+
+	"compact/internal/errio"
 )
 
 // WriteSVG renders the design as a scalable vector graphic: wordlines as
@@ -26,18 +28,19 @@ func (d *Design) WriteSVG(w io.Writer) error {
 	}
 	x := func(c int) int { return margin + c*cell }
 	y := func(r int) int { return margin + r*cell }
+	ew := errio.NewWriter(w)
 
-	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+	ew.Printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
 		width, height, width, height)
-	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	ew.Printf(`<rect width="100%%" height="100%%" fill="white"/>` + "\n")
 
 	// Rails.
 	for r := 0; r < d.Rows; r++ {
-		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444" stroke-width="2"/>`+"\n",
+		ew.Printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444" stroke-width="2"/>`+"\n",
 			x(0)-cell/2, y(r), x(d.Cols-1)+cell/2, y(r))
 	}
 	for c := 0; c < d.Cols; c++ {
-		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999" stroke-width="2"/>`+"\n",
+		ew.Printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999" stroke-width="2"/>`+"\n",
 			x(c), y(0)-cell/2, x(c), y(d.Rows-1)+cell/2)
 	}
 
@@ -57,16 +60,16 @@ func (d *Design) WriteSVG(w io.Writer) error {
 					fill = "#1565c0" // blue
 				}
 			}
-			fmt.Fprintf(w, `<circle cx="%d" cy="%d" r="7" fill="%s"/>`+"\n", x(c), y(r), fill)
+			ew.Printf(`<circle cx="%d" cy="%d" r="7" fill="%s"/>`+"\n", x(c), y(r), fill)
 			if e.Kind == Lit {
-				fmt.Fprintf(w, `<text x="%d" y="%d" font-size="9" font-family="monospace" text-anchor="middle" fill="white">%s</text>`+"\n",
+				ew.Printf(`<text x="%d" y="%d" font-size="9" font-family="monospace" text-anchor="middle" fill="white">%s</text>`+"\n",
 					x(c), y(r)+3, svgEscape(shortLabel(e, d.VarNames)))
 			}
 		}
 	}
 
 	// Ports.
-	fmt.Fprintf(w, `<text x="%d" y="%d" font-size="12" font-family="monospace" text-anchor="end" fill="#2e7d32">Vin&#8594;</text>`+"\n",
+	ew.Printf(`<text x="%d" y="%d" font-size="12" font-family="monospace" text-anchor="end" fill="#2e7d32">Vin&#8594;</text>`+"\n",
 		x(0)-cell/2-4, y(d.InputRow)+4)
 	seen := map[int]bool{}
 	for i, r := range d.OutputRows {
@@ -78,11 +81,11 @@ func (d *Design) WriteSVG(w io.Writer) error {
 		if i < len(d.OutputNames) {
 			name = d.OutputNames[i]
 		}
-		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="12" font-family="monospace" fill="#1565c0">&#8594;%s</text>`+"\n",
+		ew.Printf(`<text x="%d" y="%d" font-size="12" font-family="monospace" fill="#1565c0">&#8594;%s</text>`+"\n",
 			x(d.Cols-1)+cell/2+4, y(r)+4, svgEscape(name))
 	}
-	_, err := fmt.Fprintln(w, "</svg>")
-	return err
+	ew.Println("</svg>")
+	return ew.Err()
 }
 
 // shortLabel abbreviates a literal for the small in-circle text.
