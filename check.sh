@@ -9,14 +9,26 @@
 #                    the concurrent Synthesize tests)
 #   5. compactlint — the project's own analyzers; any finding fails the gate
 #
-# Usage: ./check.sh [-short]
+# Usage: ./check.sh [-short] [-bench]
 #   -short skips the -race pass (the slowest step) for quick local loops.
+#   -bench additionally runs the labeling/ILP hot-path benchmarks and
+#          writes results/BENCH_portfolio.json (via cmd/benchjson).
 set -eu
 
 cd "$(dirname "$0")"
 
 short=0
-[ "${1:-}" = "-short" ] && short=1
+bench=0
+for arg in "$@"; do
+    case "$arg" in
+    -short) short=1 ;;
+    -bench) bench=1 ;;
+    *)
+        echo "usage: ./check.sh [-short] [-bench]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== gofmt =="
 unformatted=$(gofmt -l . | grep -v '^internal/lint/testdata/' || true)
@@ -40,5 +52,15 @@ fi
 
 echo "== compactlint =="
 go run ./cmd/compactlint ./...
+
+if [ "$bench" -eq 1 ]; then
+    echo "== benchmarks (labeling/ILP hot paths) =="
+    mkdir -p results
+    go test -run='^$' -bench=. -benchmem -benchtime=1x \
+        ./internal/labeling ./internal/ilp |
+        tee /dev/stderr |
+        go run ./cmd/benchjson >results/BENCH_portfolio.json
+    echo "wrote results/BENCH_portfolio.json"
+fi
 
 echo "OK"

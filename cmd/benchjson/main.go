@@ -1,0 +1,91 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON array, one object per benchmark result, for CI
+// artifact archiving and cross-run comparison.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson > bench.json
+//
+// Recognized metrics are the standard testing.B columns: ns/op, B/op,
+// allocs/op, plus MB/s when present. Lines that are not benchmark results
+// (package headers, PASS/ok, warnings) are skipped; the current "pkg:"
+// header is attached to each result.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line in JSON form.
+type result struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+func main() {
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) ([]result, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	results := []result{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if p, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(p)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Minimum shape: Name N value ns/op.
+		if len(fields) < 4 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "Benchmarking..." narrative line
+		}
+		r := result{Pkg: pkg, Name: fields[0], Runs: runs}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			case "MB/s":
+				r.MBPerS = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}

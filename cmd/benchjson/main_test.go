@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: compact/internal/labeling
+cpu: Intel(R) Xeon(R)
+BenchmarkSolveHeuristic 	     100	     46766 ns/op	    8208 B/op	     104 allocs/op
+BenchmarkSolveMIP       	       1	 357637733 ns/op	22926592 B/op	   10892 allocs/op
+PASS
+ok  	compact/internal/labeling	0.717s
+pkg: compact/internal/ilp
+BenchmarkSimplexDense            	      50	   1792246 ns/op	  114080 B/op	     116 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	rs, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(rs), rs)
+	}
+	first := rs[0]
+	if first.Pkg != "compact/internal/labeling" || first.Name != "BenchmarkSolveHeuristic" {
+		t.Errorf("first result misattributed: %+v", first)
+	}
+	if first.Runs != 100 || first.NsPerOp != 46766 || first.BytesPerOp != 8208 || first.AllocsPerOp != 104 {
+		t.Errorf("first result metrics wrong: %+v", first)
+	}
+	if rs[2].Pkg != "compact/internal/ilp" {
+		t.Errorf("pkg header not tracked across sections: %+v", rs[2])
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rs, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok x 0.1s\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("got %d results from non-bench input", len(rs))
+	}
+}

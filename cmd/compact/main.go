@@ -4,17 +4,23 @@
 //
 // Usage:
 //
-//	compact -in circuit.blif [-gamma 0.5] [-method auto|oct|mip|heuristic]
+//	compact -in circuit.blif [-gamma 0.5] [-method auto|oct|mip|heuristic|portfolio]
 //	        [-robdds] [-noalign] [-timelimit 60s] [-render] [-dot out.dot]
 //	        [-verify N] [-spice]
+//
+// Interrupting the run (SIGINT/SIGTERM) cancels the synthesis context; the
+// anytime solvers unwind with their best labeling so far where possible.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"compact/internal/blif"
@@ -30,7 +36,7 @@ func main() {
 	var (
 		inPath    = flag.String("in", "", "input circuit (.blif, .pla or structural .v)")
 		gamma     = flag.Float64("gamma", 0.5, "objective weight: 1 minimizes semiperimeter, 0 max dimension")
-		method    = flag.String("method", "auto", "labeling method: auto, oct, mip, heuristic")
+		method    = flag.String("method", "auto", "labeling method: auto, oct, mip, heuristic, portfolio")
 		robdds    = flag.Bool("robdds", false, "use per-output ROBDDs merged by the 1-terminal instead of a shared SBDD")
 		noalign   = flag.Bool("noalign", false, "drop the input/output alignment constraints (Eq. 7)")
 		timeLimit = flag.Duration("timelimit", 60*time.Second, "exact-solver time limit")
@@ -47,13 +53,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*inPath, *gamma, *method, *robdds, *noalign, *timeLimit, *sift, *render, *dotPath, *svgPath, *verifyN, *runSpice, *formal); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *inPath, *gamma, *method, *robdds, *noalign, *timeLimit, *sift, *render, *dotPath, *svgPath, *verifyN, *runSpice, *formal); err != nil {
 		fmt.Fprintln(os.Stderr, "compact:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath string, gamma float64, method string, robdds, noalign bool,
+func run(ctx context.Context, inPath string, gamma float64, method string, robdds, noalign bool,
 	timeLimit time.Duration, sift, render bool, dotPath, svgPath string, verifyN int, runSpice, formal bool) error {
 
 	nw, err := load(inPath)
@@ -72,6 +80,8 @@ func run(inPath string, gamma float64, method string, robdds, noalign bool,
 		m = labeling.MethodMIP
 	case "heuristic":
 		m = labeling.MethodHeuristic
+	case "portfolio":
+		m = labeling.MethodPortfolio
 	default:
 		return fmt.Errorf("unknown method %q", method)
 	}
@@ -85,13 +95,24 @@ func run(inPath string, gamma float64, method string, robdds, noalign bool,
 	if robdds {
 		opts.BDDKind = core.SeparateROBDDs
 	}
-	res, err := core.Synthesize(nw, opts)
+	res, err := core.SynthesizeContext(ctx, nw, opts)
 	if err != nil {
 		return err
 	}
 	st := res.Stats()
 	fmt.Printf("bdd: %d nodes, %d edges (%s)\n", res.BDDNodes, res.BDDEdges, opts.BDDKind)
 	fmt.Printf("labeling: method=%s optimal=%v\n", res.Labeling.Method, res.Labeling.Optimal)
+	for _, er := range res.Labeling.Engines {
+		mark := " "
+		if er.Winner {
+			mark = "*"
+		}
+		detail := fmt.Sprintf("objective=%.2f optimal=%v", er.Objective, er.Optimal)
+		if er.Err != "" {
+			detail = "error: " + er.Err
+		}
+		fmt.Printf("  %s engine %-9s %-32s elapsed=%v\n", mark, er.Method, detail, er.Elapsed.Round(time.Millisecond))
+	}
 	fmt.Printf("crossbar: %d x %d  S=%d  D=%d  area=%d  devices=%d  delay=%d steps\n",
 		st.Rows, st.Cols, st.S, st.D, st.Area, st.LitCells+st.OnCells, st.Delay)
 	fmt.Printf("synthesis time: %v\n", res.SynthTime.Round(time.Millisecond))

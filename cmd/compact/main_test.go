@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,7 @@ func TestRunBLIF(t *testing.T) {
 `)
 	dot := filepath.Join(t.TempDir(), "out.dot")
 	svg := filepath.Join(t.TempDir(), "out.svg")
-	if err := run(path, 0.5, "mip", false, false, 10*time.Second, false, true, dot, svg, 100, true, true); err != nil {
+	if err := run(context.Background(), path, 0.5, "mip", false, false, 10*time.Second, false, true, dot, svg, 100, true, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dot)
@@ -45,7 +46,7 @@ func TestRunBLIF(t *testing.T) {
 
 func TestRunPLA(t *testing.T) {
 	path := writeTemp(t, "and.pla", ".i 2\n.o 1\n11 1\n.e\n")
-	if err := run(path, 1, "oct", false, false, 10*time.Second, false, false, "", "", 10, false, false); err != nil {
+	if err := run(context.Background(), path, 1, "portfolio", false, false, 10*time.Second, false, false, "", "", 10, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -57,24 +58,24 @@ module m (a, b, f);
   assign f = a ^ b;
 endmodule
 `)
-	if err := run(path, 0.5, "heuristic", true, false, 10*time.Second, false, false, "", "", 10, false, false); err != nil {
+	if err := run(context.Background(), path, 0.5, "heuristic", true, false, 10*time.Second, false, false, "", "", 10, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/does/not/exist.blif", 0.5, "auto", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
+	if err := run(context.Background(), "/does/not/exist.blif", 0.5, "auto", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeTemp(t, "x.txt", "hello")
-	if err := run(bad, 0.5, "auto", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
+	if err := run(context.Background(), bad, 0.5, "auto", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
 		t.Error("unknown extension accepted")
 	}
 	blif := writeTemp(t, "m.blif", ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n")
-	if err := run(blif, 0.5, "bogus", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
+	if err := run(context.Background(), blif, 0.5, "bogus", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
 		t.Error("unknown method accepted")
 	}
-	if err := run(blif, 0.5, "mip", true, false, time.Second, false, false, "/tmp/x.dot", "", 0, false, false); err == nil {
+	if err := run(context.Background(), blif, 0.5, "mip", true, false, time.Second, false, false, "/tmp/x.dot", "", 0, false, false); err == nil {
 		t.Error("-dot with -robdds accepted")
 	}
 }

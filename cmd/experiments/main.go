@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"compact/internal/exp"
@@ -45,7 +48,10 @@ func main() {
 	verbose := flag.Bool("v", false, "echo progress to stderr")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg := exp.Config{
+		Ctx:       ctx,
 		TimeLimit: *timeLimit,
 		OutDir:    *outDir,
 		Quick:     *quick,
@@ -59,6 +65,10 @@ func main() {
 		}
 	}
 	for _, name := range want {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(1)
+		}
 		found := false
 		for _, e := range experiments {
 			if e.name != name {

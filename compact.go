@@ -30,6 +30,7 @@
 package compact
 
 import (
+	"context"
 	"io"
 
 	"compact/internal/bench"
@@ -73,12 +74,25 @@ const (
 	MethodOCT       = labeling.MethodOCT
 	MethodMIP       = labeling.MethodMIP
 	MethodHeuristic = labeling.MethodHeuristic
+	// MethodPortfolio races OCT, MIP and the heuristic concurrently with a
+	// shared incumbent, returning the best labeling when the first engine
+	// proves optimality or the time budget expires (anytime contract).
+	MethodPortfolio = labeling.MethodPortfolio
 )
 
 // Synthesize maps a Boolean network to a flow-based crossbar design using
 // the COMPACT framework.
 func Synthesize(nw *Network, opts Options) (*Result, error) {
 	return core.Synthesize(nw, opts)
+}
+
+// SynthesizeContext is Synthesize with cooperative cancellation: ctx (and
+// the deadline derived from Options.TimeLimit, when set) is honored down to
+// individual simplex pivots and branch & bound node expansions. When the
+// budget expires mid-solve, the best labeling found so far is returned; a
+// context that is already dead on entry returns (nil, ctx.Err()) promptly.
+func SynthesizeContext(ctx context.Context, nw *Network, opts Options) (*Result, error) {
+	return core.SynthesizeContext(ctx, nw, opts)
 }
 
 // NewBuilder starts a new Boolean network.

@@ -57,6 +57,7 @@ func TestSynthesizeConcurrentMethods(t *testing.T) {
 	methods := []compact.Options{
 		{Method: compact.MethodOCT},
 		{Method: compact.MethodHeuristic},
+		{Method: compact.MethodPortfolio},
 	}
 	var wg sync.WaitGroup
 	for i, opts := range methods {
@@ -72,6 +73,41 @@ func TestSynthesizeConcurrentMethods(t *testing.T) {
 				t.Errorf("method %d: %v", i, err)
 			}
 		}(i, opts)
+	}
+	wg.Wait()
+}
+
+// TestDesignEvalConcurrentFirstUse evaluates a freshly synthesized design
+// from many goroutines with no prior warm-up call: the very first Eval
+// builds the design's sparse-cell cache lazily, and that build must be safe
+// when several Evals race to trigger it (sync.Once in Design.sparseCells;
+// the race detector enforces it).
+func TestDesignEvalConcurrentFirstUse(t *testing.T) {
+	t.Parallel()
+	nw := buildParity(5)
+	res, err := compact.Synthesize(nw, compact.Options{Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			in := make([]bool, nw.NumInputs())
+			for a := 0; a < 1<<uint(len(in)); a++ {
+				parity := false
+				for i := range in {
+					in[i] = a&(1<<uint(i)) != 0
+					parity = parity != in[i]
+				}
+				out := res.Design.Eval(in)
+				if out[0] != parity {
+					t.Errorf("goroutine %d: Eval(%v) = %v, want %v", g, in, out[0], parity)
+					return
+				}
+			}
+		}(g)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,100 @@
+package compact_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	compact "compact"
+)
+
+// TestSynthesizeContextPreCancelled: a dead context on entry returns its
+// error promptly, before any BDD construction or solving.
+func TestSynthesizeContextPreCancelled(t *testing.T) {
+	nw, ok := compact.Benchmark("ctrl")
+	if !ok {
+		t.Fatal("benchmark ctrl missing")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := compact.SynthesizeContext(ctx, nw, compact.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if e := time.Since(start); e > 100*time.Millisecond {
+		t.Errorf("pre-cancelled synthesis took %v", e)
+	}
+}
+
+// TestSynthesizeTimeLimitBounded: Options.TimeLimit is a deadline on one
+// context shared by the whole pipeline, so synthesis wall clock must not
+// overshoot it by more than a scheduling tolerance even when the exact
+// solver would want far longer.
+func TestSynthesizeTimeLimitBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	nw, ok := compact.Benchmark("int2float")
+	if !ok {
+		t.Fatal("benchmark int2float missing")
+	}
+	budget := 1500 * time.Millisecond
+	start := time.Now()
+	res, err := compact.Synthesize(nw, compact.Options{Method: compact.MethodMIP, TimeLimit: budget})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("budgeted synthesis failed instead of degrading: %v", err)
+	}
+	if limit := budget + budget/5; elapsed > limit {
+		t.Errorf("TimeLimit=%v overshot: elapsed %v > %v", budget, elapsed, limit)
+	}
+	if err := res.Verify(12, 200, 1); err != nil {
+		t.Errorf("degraded design wrong: %v", err)
+	}
+}
+
+// TestPortfolioMatchesBestSingleMethod: on the bundled Table I circuits the
+// portfolio must never produce a worse objective than any single method run
+// with the same time budget — it returns the best of the race.
+func TestPortfolioMatchesBestSingleMethod(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-solve comparison")
+	}
+	const gamma = 0.5
+	budget := 20 * time.Second
+	for _, name := range []string{"ctrl", "dec", "int2float"} {
+		nw, ok := compact.Benchmark(name)
+		if !ok {
+			t.Fatalf("benchmark %s missing", name)
+		}
+		port, err := compact.Synthesize(nw, compact.Options{
+			Method: compact.MethodPortfolio, Gamma: gamma, GammaSet: true, TimeLimit: budget,
+		})
+		if err != nil {
+			t.Fatalf("%s: portfolio: %v", name, err)
+		}
+		pObj := float64(port.Stats().S)*gamma + float64(port.Stats().D)*(1-gamma)
+		for _, m := range []struct {
+			name   string
+			method compact.Options
+		}{
+			{"oct", compact.Options{Method: compact.MethodOCT}},
+			{"mip", compact.Options{Method: compact.MethodMIP}},
+			{"heuristic", compact.Options{Method: compact.MethodHeuristic}},
+		} {
+			opts := m.method
+			opts.Gamma, opts.GammaSet, opts.TimeLimit = gamma, true, budget
+			single, err := compact.Synthesize(nw, opts)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", name, m.name, err)
+			}
+			sObj := float64(single.Stats().S)*gamma + float64(single.Stats().D)*(1-gamma)
+			if pObj > sObj+1e-9 {
+				t.Errorf("%s: portfolio objective %.2f worse than %s's %.2f",
+					name, pObj, m.name, sObj)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -59,7 +60,11 @@ type Options struct {
 	// NoAlign disables the Eq. 7 alignment constraints (they are on by
 	// default, matching Section VIII).
 	NoAlign bool
-	// TimeLimit bounds exact labeling; zero means unlimited.
+	// TimeLimit bounds the whole synthesis: it becomes a deadline on one
+	// context shared by every stage, so BDD construction time is deducted
+	// from the labeling budget and the total wall clock never exceeds the
+	// limit. Zero means unlimited. Expiry degrades the labeling to the
+	// best feasible solution found (anytime contract), never to an error.
 	TimeLimit time.Duration
 	// VarOrder fixes the BDD variable order (permutation of input
 	// indices); nil uses the DFS fanin-order heuristic.
@@ -110,7 +115,31 @@ func (r *Result) Stats() xbar.Stats { return r.Design.Stats() }
 
 // Synthesize maps the network to a crossbar design.
 func Synthesize(nw *logic.Network, opts Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), nw, opts)
+}
+
+// SynthesizeContext is Synthesize with cooperative cancellation: ctx (plus
+// a deadline derived from opts.TimeLimit, when set) is threaded through the
+// labeling stack down to individual simplex pivots and branch & bound node
+// expansions. When the budget expires mid-solve the best labeling found so
+// far is used; a context that is already dead on entry returns
+// (nil, ctx.Err()) promptly.
+func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.TimeLimit > 0 {
+		// One shared deadline for the whole pipeline; labeling receives it
+		// via ctx (TimeLimit is deliberately NOT passed down as well —
+		// that would restart the clock after BDD construction).
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
+		defer cancel()
+	}
 	if opts.NodeLimit <= 0 {
 		opts.NodeLimit = 4_000_000
 	}
@@ -157,10 +186,9 @@ func Synthesize(nw *logic.Network, opts Options) (*Result, error) {
 		mgrKeep, rootsKeep = m, roots // retained for WriteBDDDOT
 	}
 
-	sol, err := labeling.Solve(bg.Problem(!opts.NoAlign), labeling.Options{
+	sol, err := labeling.SolveContext(ctx, bg.Problem(!opts.NoAlign), labeling.Options{
 		Gamma:          opts.gamma(),
 		Method:         opts.Method,
-		TimeLimit:      opts.TimeLimit,
 		OCTBackend:     opts.OCTBackend,
 		AutoExactLimit: opts.AutoExactLimit,
 		MaxRows:        opts.MaxRows,

@@ -7,15 +7,22 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
+
+	"compact/internal/core"
+	"compact/internal/logic"
 )
 
 // Config tunes experiment scope and budgets.
 type Config struct {
+	// Ctx cancels in-flight experiments cooperatively (nil means
+	// background); each synthesis derives its per-solve deadline from it.
+	Ctx context.Context
 	// TimeLimit bounds each exact labeling solve (default 60s).
 	TimeLimit time.Duration
 	// OutDir receives CSV and text renderings; empty disables writing.
@@ -35,6 +42,19 @@ func (c Config) timeLimit() time.Duration {
 		return 5 * time.Second
 	}
 	return 60 * time.Second
+}
+
+func (c Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// synthesize runs core.SynthesizeContext under the experiment's context, so
+// an interrupted harness stops between (and inside) solves.
+func (c Config) synthesize(nw *logic.Network, opts core.Options) (*core.Result, error) {
+	return core.SynthesizeContext(c.context(), nw, opts)
 }
 
 func (c Config) logf(format string, args ...interface{}) {

@@ -78,7 +78,7 @@ func Baselines(cfg Config) (*Table, error) {
 		}
 		addDesignRow(t, name, "staircase", stair, nw)
 
-		res, err := core.Synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
+		res, err := cfg.synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +124,7 @@ func Ablations(cfg Config) (*Table, error) {
 	// 1. Exact labelers at gamma = 1: same optimum, different run-time.
 	for _, method := range []labeling.Method{labeling.MethodOCT, labeling.MethodMIP} {
 		start := time.Now()
-		sol, err := labeling.Solve(bg.Problem(false), labeling.Options{
+		sol, err := labeling.SolveContext(cfg.context(), bg.Problem(false), labeling.Options{
 			Method: method, Gamma: 1, TimeLimit: cfg.timeLimit(),
 		})
 		if err != nil {
@@ -140,7 +140,7 @@ func Ablations(cfg Config) (*Table, error) {
 			variant = "eq4-helpers"
 		}
 		start := time.Now()
-		sol, err := labeling.Solve(bg.Problem(true), labeling.Options{
+		sol, err := labeling.SolveContext(cfg.context(), bg.Problem(true), labeling.Options{
 			Method: labeling.MethodMIP, Gamma: 0.5,
 			TimeLimit: cfg.timeLimit(), UseEdgeHelpers: helpers,
 		})
@@ -159,7 +159,7 @@ func Ablations(cfg Config) (*Table, error) {
 			variant = "kernel-off"
 		}
 		start := time.Now()
-		res := graph.MinVertexCover(p, graph.VCOptions{TimeLimit: cfg.timeLimit(), DisableKernel: disable})
+		res := graph.MinVertexCoverContext(cfg.context(), p, graph.VCOptions{TimeLimit: cfg.timeLimit(), DisableKernel: disable})
 		add("NT kernelization", variant, fmt.Sprintf("|VC| (opt=%v)", res.Optimal),
 			itoa(len(res.Cover)), time.Since(start))
 	}
@@ -171,7 +171,7 @@ func Ablations(cfg Config) (*Table, error) {
 			variant = "ilp"
 		}
 		start := time.Now()
-		res, err := oct.Find(bg.G, oct.Options{Backend: backend, TimeLimit: cfg.timeLimit()})
+		res, err := oct.FindContext(cfg.context(), bg.G, oct.Options{Backend: backend, TimeLimit: cfg.timeLimit()})
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +182,7 @@ func Ablations(cfg Config) (*Table, error) {
 	// 5. SBDD vs per-output ROBDDs through the whole pipeline.
 	for _, kind := range []core.BDDKind{core.SBDD, core.SeparateROBDDs} {
 		start := time.Now()
-		res, err := core.Synthesize(nw, core.Options{BDDKind: kind, Method: labeling.MethodHeuristic})
+		res, err := cfg.synthesize(nw, core.Options{BDDKind: kind, Method: labeling.MethodHeuristic})
 		if err != nil {
 			return nil, err
 		}
@@ -196,7 +196,7 @@ func Ablations(cfg Config) (*Table, error) {
 			variant = "unaligned"
 		}
 		start := time.Now()
-		sol, err := labeling.Solve(bg.Problem(align), labeling.Options{
+		sol, err := labeling.SolveContext(cfg.context(), bg.Problem(align), labeling.Options{
 			Method: labeling.MethodMIP, Gamma: 0.5, TimeLimit: cfg.timeLimit(),
 		})
 		if err != nil {

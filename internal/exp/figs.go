@@ -32,7 +32,7 @@ func Fig9(cfg Config) (*Table, error) {
 		}
 		var pts []pt
 		for _, g := range gammas {
-			res, err := core.Synthesize(nw, core.Options{
+			res, err := cfg.synthesize(nw, core.Options{
 				Gamma: g, GammaSet: true,
 				Method:    labeling.MethodMIP,
 				TimeLimit: cfg.timeLimit(),
@@ -76,7 +76,7 @@ func Fig10(cfg Config) (*Table, error) {
 		Notes:   []string{"the paper's Figure 10 uses i2c; see EXPERIMENTS.md for the substitution"},
 	}
 	nw := bench.MustBuild(name)
-	res, err := core.Synthesize(nw, core.Options{
+	res, err := cfg.synthesize(nw, core.Options{
 		Method:    labeling.MethodMIP,
 		TimeLimit: cfg.timeLimit(),
 	})
@@ -114,7 +114,7 @@ func Fig11(cfg Config) (*Table, error) {
 	}
 	for _, name := range names {
 		nw := bench.MustBuild(name)
-		res, err := core.Synthesize(nw, core.Options{
+		res, err := cfg.synthesize(nw, core.Options{
 			Method:    labeling.MethodMIP,
 			TimeLimit: cfg.timeLimit(),
 		})
@@ -162,7 +162,7 @@ func Fig12(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig12 %s: %w", name, err)
 		}
-		res, err := core.Synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
+		res, err := cfg.synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
 		if err != nil {
 			return nil, fmt.Errorf("fig12 %s: %w", name, err)
 		}
@@ -203,7 +203,7 @@ func Fig13(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig13 %s contra: %w", name, err)
 		}
-		res, err := core.Synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
+		res, err := cfg.synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
 		if err != nil {
 			return nil, fmt.Errorf("fig13 %s compact: %w", name, err)
 		}

@@ -49,7 +49,7 @@ func Scaling(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
+		res, err := cfg.synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
 		if err != nil {
 			return nil, fmt.Errorf("scaling %s: %w", spec, err)
 		}

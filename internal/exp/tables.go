@@ -82,7 +82,7 @@ func Table2(cfg Config) (*Table, error) {
 	for _, name := range quickSubset(table2Set, cfg.Quick) {
 		nw := bench.MustBuild(name)
 		for _, gamma := range []float64{0, 0.5, 1} {
-			res, err := core.Synthesize(nw, core.Options{
+			res, err := cfg.synthesize(nw, core.Options{
 				Gamma: gamma, GammaSet: true,
 				Method:    labeling.MethodMIP,
 				TimeLimit: cfg.timeLimit(),
@@ -113,7 +113,7 @@ func Table3(cfg Config) (*Table, error) {
 	for _, name := range quickSubset(table3Set, cfg.Quick) {
 		nw := bench.MustBuild(name)
 		for _, kind := range []core.BDDKind{core.SeparateROBDDs, core.SBDD} {
-			res, err := core.Synthesize(nw, core.Options{
+			res, err := cfg.synthesize(nw, core.Options{
 				Method:  labeling.MethodHeuristic,
 				BDDKind: kind,
 			})
@@ -165,7 +165,7 @@ func Table4(cfg Config) (*Table, error) {
 		})
 
 		// COMPACT.
-		res, err := core.Synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
+		res, err := cfg.synthesize(nw, core.Options{TimeLimit: cfg.timeLimit()})
 		if err != nil {
 			return nil, fmt.Errorf("table4 %s compact: %w", name, err)
 		}

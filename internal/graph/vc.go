@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"sort"
 	"time"
 )
@@ -26,9 +27,24 @@ type VCOptions struct {
 // best cover found so far is returned with Optimal=false (it is always a
 // valid cover).
 func MinVertexCover(g *Graph, opts VCOptions) VCResult {
+	return MinVertexCoverContext(context.Background(), g, opts)
+}
+
+// MinVertexCoverContext is MinVertexCover with cooperative cancellation:
+// the effective deadline is the earlier of ctx's deadline and
+// now+opts.TimeLimit, and a cancelled ctx stops the branch & bound at the
+// next step check, returning the best (always valid) cover found so far
+// with Optimal=false.
+func MinVertexCoverContext(ctx context.Context, g *Graph, opts VCOptions) VCResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
 		deadline = time.Now().Add(opts.TimeLimit)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
 	}
 
 	cover := make(map[int]bool)
@@ -50,7 +66,7 @@ func MinVertexCover(g *Graph, opts VCOptions) VCResult {
 		work, orig = g.InducedSubgraph(keep)
 	}
 
-	sub, optimal := branchAndBoundVC(work, deadline)
+	sub, optimal := branchAndBoundVC(ctx, work, deadline)
 	for v := range sub {
 		cover[orig[v]] = true
 	}
@@ -139,8 +155,9 @@ func (s *vcState) lowerBound() int {
 }
 
 // branchAndBoundVC returns a minimum vertex cover of g (as a set over g's
-// vertex ids) and whether optimality was proven before the deadline.
-func branchAndBoundVC(g *Graph, deadline time.Time) (map[int]bool, bool) {
+// vertex ids) and whether optimality was proven before the deadline or
+// cancellation.
+func branchAndBoundVC(ctx context.Context, g *Graph, deadline time.Time) (map[int]bool, bool) {
 	if g.M() == 0 {
 		return map[int]bool{}, true
 	}
@@ -154,10 +171,16 @@ func branchAndBoundVC(g *Graph, deadline time.Time) (map[int]bool, bool) {
 		if timedOut {
 			return true
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if (!deadline.IsZero() && time.Now().After(deadline)) || ctx.Err() != nil {
 			timedOut = true
 		}
 		return timedOut
+	}
+
+	if checkTime() {
+		// Dead on arrival (pre-cancelled context or expired deadline):
+		// return the greedy cover without opening the search.
+		return best, false
 	}
 
 	steps := 0

@@ -2,6 +2,7 @@ package ilp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -75,10 +76,28 @@ func (h *nodeHeap) Pop() interface{} {
 // returns an invalid incumbent: Solution.X (when Status is Optimal or
 // Feasible) satisfies all constraints and integrality.
 func Solve(mod *Model, opts Options) (*Solution, error) {
+	return SolveContext(context.Background(), mod, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the effective
+// deadline is the earlier of ctx's deadline and start+opts.TimeLimit, and a
+// cancelled ctx aborts the search at the next simplex iteration or node
+// expansion, returning the best incumbent found so far. A context that is
+// already dead on entry returns (nil, ctx.Err()) without touching the model.
+func SolveContext(ctx context.Context, mod *Model, opts Options) (*Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
 		deadline = start.Add(opts.TimeLimit)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
 	}
 
 	sol := &Solution{Status: StatusNoSolution, Obj: math.Inf(1), Bound: math.Inf(-1)}
@@ -104,7 +123,7 @@ func Solve(mod *Model, opts Options) (*Solution, error) {
 	// Root relaxation.
 	rootLB := append([]float64(nil), mod.lb...)
 	rootUB := append([]float64(nil), mod.ub...)
-	res, err := solveLP(mod, rootLB, rootUB, deadline)
+	res, err := solveLP(ctx, mod, rootLB, rootUB, deadline)
 	if err != nil {
 		if errors.Is(err, errTimeLimit) && incumbentX != nil {
 			sol.Status = StatusFeasible
@@ -177,8 +196,13 @@ func Solve(mod *Model, opts Options) (*Solution, error) {
 
 	nodes := 0
 	timedOut := false
+	// prunedFloor tracks the smallest LP bound pruned against an *external*
+	// incumbent (opts.BestKnown) below our own: those subtrees may contain
+	// solutions better than our incumbent (though none better than the
+	// external bound), so the proven bound must not rise above it.
+	prunedFloor := math.Inf(1)
 	for h.Len() > 0 {
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if (!deadline.IsZero() && time.Now().After(deadline)) || ctx.Err() != nil {
 			timedOut = true
 			break
 		}
@@ -186,10 +210,28 @@ func Solve(mod *Model, opts Options) (*Solution, error) {
 			timedOut = true
 			break
 		}
+		// The pruning cutoff is the better of our incumbent and any
+		// externally shared one (e.g. a portfolio sibling's labeling).
+		cutoff := incumbent
+		externalCut := false
+		if opts.BestKnown != nil {
+			if b := opts.BestKnown(); b < cutoff {
+				cutoff, externalCut = b, true
+			}
+		}
 		node := heap.Pop(h).(*bbNode)
-		if node.bound >= incumbent-1e-9 {
+		if node.bound >= cutoff-1e-9 {
 			// Best-first: every remaining node is at least as bad.
-			globalBound = incumbent
+			if externalCut && node.bound < incumbent-1e-9 {
+				if node.bound < prunedFloor {
+					prunedFloor = node.bound
+				}
+				if node.bound > globalBound {
+					globalBound = node.bound
+				}
+			} else {
+				globalBound = incumbent
+			}
 			break
 		}
 		if node.bound > globalBound {
@@ -201,7 +243,7 @@ func Solve(mod *Model, opts Options) (*Solution, error) {
 		}
 		nodes++
 		lbs, ubs := applyFixes(node.fixes)
-		res, err := solveLP(mod, lbs, ubs, deadline)
+		res, err := solveLP(ctx, mod, lbs, ubs, deadline)
 		if err != nil {
 			// Time limit or numerical trouble on one node: put it back so
 			// the reported global bound stays honest, then stop.
@@ -219,7 +261,10 @@ func Solve(mod *Model, opts Options) (*Solution, error) {
 			return sol, nil
 		}
 		res.obj = snap(res.obj)
-		if res.obj >= incumbent-1e-9 {
+		if res.obj >= cutoff-1e-9 {
+			if res.obj < incumbent-1e-9 && res.obj < prunedFloor {
+				prunedFloor = res.obj
+			}
 			continue
 		}
 		// Find the most fractional integer variable.
@@ -256,7 +301,9 @@ func Solve(mod *Model, opts Options) (*Solution, error) {
 	}
 
 	if !timedOut && h.Len() == 0 {
-		// Search exhausted: the incumbent (if any) is optimal.
+		// Search exhausted: the incumbent (if any) is optimal, unless
+		// subtrees were pruned against an external bound (prunedFloor caps
+		// the proven bound below).
 		if incumbentX != nil {
 			globalBound = incumbent
 		}
@@ -265,11 +312,14 @@ func Solve(mod *Model, opts Options) (*Solution, error) {
 			globalBound = top
 		}
 	}
+	if globalBound > prunedFloor {
+		globalBound = prunedFloor
+	}
 	sol.Nodes = nodes
 	sol.Bound = globalBound
 	sol.Elapsed = time.Since(start)
 	if incumbentX == nil {
-		if !timedOut && h.Len() == 0 {
+		if !timedOut && h.Len() == 0 && math.IsInf(prunedFloor, 1) {
 			// Search exhausted without any integral solution: infeasible.
 			sol.Status = StatusInfeasible
 		} else {
@@ -282,7 +332,7 @@ func Solve(mod *Model, opts Options) (*Solution, error) {
 	sol.X = incumbentX
 	sol.Obj = incumbent
 	sol.Gap = relGap(incumbent, globalBound)
-	if !timedOut && (sol.Gap <= 1e-9 || h.Len() == 0) {
+	if !timedOut && sol.Gap <= 1e-9 {
 		sol.Status = StatusOptimal
 		sol.Bound = incumbent
 		sol.Gap = 0

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,7 +15,7 @@ func TestLPSimple2D(t *testing.T) {
 	x := m.AddVar("x", 0, 3, Continuous, -1)
 	y := m.AddVar("y", 0, 2, Continuous, -2)
 	m.AddConstr("cap", []Term{{x, 1}, {y, 1}}, LE, 4)
-	res, err := solveLP(m, m.lb, m.ub, time.Time{})
+	res, err := solveLP(context.Background(), m, m.lb, m.ub, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestLPEquality(t *testing.T) {
 	x := m.AddVar("x", 0, 10, Continuous, 1)
 	y := m.AddVar("y", 0, 10, Continuous, 1)
 	m.AddConstr("eq", []Term{{x, 1}, {y, 2}}, EQ, 4)
-	res, err := solveLP(m, m.lb, m.ub, time.Time{})
+	res, err := solveLP(context.Background(), m, m.lb, m.ub, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestLPGE(t *testing.T) {
 	x := m.AddVar("x", 1, 100, Continuous, 3)
 	y := m.AddVar("y", 0, 100, Continuous, 2)
 	m.AddConstr("c", []Term{{x, 1}, {y, 1}}, GE, 5)
-	res, err := solveLP(m, m.lb, m.ub, time.Time{})
+	res, err := solveLP(context.Background(), m, m.lb, m.ub, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestLPInfeasible(t *testing.T) {
 	m := NewModel("inf")
 	x := m.AddVar("x", 0, 1, Continuous, 1)
 	m.AddConstr("c", []Term{{x, 1}}, GE, 2)
-	res, err := solveLP(m, m.lb, m.ub, time.Time{})
+	res, err := solveLP(context.Background(), m, m.lb, m.ub, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestLPUnbounded(t *testing.T) {
 	x := m.AddVar("x", 0, math.Inf(1), Continuous, -1)
 	y := m.AddVar("y", 0, 5, Continuous, 0)
 	m.AddConstr("c", []Term{{x, -1}, {y, 1}}, LE, 3)
-	res, err := solveLP(m, m.lb, m.ub, time.Time{})
+	res, err := solveLP(context.Background(), m, m.lb, m.ub, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestLPNegativeLowerBounds(t *testing.T) {
 	x := m.AddVar("x", -3, 10, Continuous, 1)
 	y := m.AddVar("y", -1, 1, Continuous, 0)
 	m.AddConstr("c", []Term{{x, 1}, {y, 1}}, GE, -2)
-	res, err := solveLP(m, m.lb, m.ub, time.Time{})
+	res, err := solveLP(context.Background(), m, m.lb, m.ub, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestLPDegenerate(t *testing.T) {
 	m.AddConstr("c1", []Term{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0)
 	m.AddConstr("c2", []Term{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0)
 	m.AddConstr("c3", []Term{{x3, 1}}, LE, 1)
-	res, err := solveLP(m, m.lb, m.ub, time.Time{})
+	res, err := solveLP(context.Background(), m, m.lb, m.ub, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +351,7 @@ func TestMergedDuplicateTerms(t *testing.T) {
 	m := NewModel("dup")
 	x := m.AddVar("x", 0, 10, Continuous, 1)
 	m.AddConstr("c", []Term{{x, 1}, {x, 2}}, GE, 6) // 3x >= 6
-	res, err := solveLP(m, m.lb, m.ub, time.Time{})
+	res, err := solveLP(context.Background(), m, m.lb, m.ub, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -233,6 +233,14 @@ type Options struct {
 	// Incumbent optionally provides a known feasible solution to prime the
 	// search (e.g. the all-VH labeling, which is always feasible).
 	Incumbent []float64
+	// BestKnown, when non-nil, is polled at every node expansion and must
+	// return the objective of the best solution known *outside* this solve
+	// (+Inf when none) — e.g. a portfolio sibling's incumbent. Nodes whose
+	// LP bound cannot beat it are pruned, but the reported Bound stays
+	// honest: externally pruned subtrees never raise it above the external
+	// value. The callback must be safe for concurrent use; it is typically
+	// an atomic load.
+	BestKnown func() float64
 }
 
 // relGap computes the relative MIP gap.

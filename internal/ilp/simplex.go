@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -59,7 +60,8 @@ type lp struct {
 	cols     []int     // active (non-pinned) columns scanned by the simplex
 	iters    int
 	maxIters int
-	deadline time.Time // zero = no limit; checked periodically in optimize
+	deadline time.Time       // zero = no limit; checked every iteration in optimize
+	ctx      context.Context // nil = no cancellation; checked every iteration
 }
 
 // lower converts the model (with bound overrides for branch & bound) into
@@ -218,8 +220,19 @@ func (p *lp) optimize(c []float64) error {
 		if p.iters > p.maxIters {
 			return errIterLimit
 		}
-		if p.iters%64 == 0 && !p.deadline.IsZero() && time.Now().After(p.deadline) {
+		// Check the deadline every iteration, not on a stride: one pivot on
+		// a large tableau is O(m·n) — easily milliseconds near the 1 GiB
+		// tableau cap — so a strided check could overshoot the budget by
+		// many seconds while a per-iteration time.Now() costs nanoseconds.
+		if !p.deadline.IsZero() && time.Now().After(p.deadline) {
 			return errTimeLimit
+		}
+		if p.ctx != nil {
+			select {
+			case <-p.ctx.Done():
+				return errTimeLimit
+			default:
+			}
 		}
 		bland := noImprove > blandThreshold
 		q, dir := p.chooseEntering(bland)
@@ -388,8 +401,9 @@ type lpResult struct {
 }
 
 // solveLP solves the LP relaxation of mod with the given bound overrides.
-// A non-zero deadline aborts the solve with errTimeLimit.
-func solveLP(mod *Model, lbs, ubs []float64, deadline time.Time) (lpResult, error) {
+// A non-zero deadline or a cancelled context aborts the solve with
+// errTimeLimit.
+func solveLP(ctx context.Context, mod *Model, lbs, ubs []float64, deadline time.Time) (lpResult, error) {
 	p, err := lower(mod, lbs, ubs)
 	if err != nil {
 		if errors.Is(err, errBoundsInfeasible) {
@@ -398,6 +412,7 @@ func solveLP(mod *Model, lbs, ubs []float64, deadline time.Time) (lpResult, erro
 		return lpResult{}, err
 	}
 	p.deadline = deadline
+	p.ctx = ctx
 	// Phase 1: minimize the sum of artificial variables.
 	phase1 := make([]float64, p.n)
 	for j := p.firstArt; j < p.n; j++ {

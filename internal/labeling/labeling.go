@@ -13,9 +13,17 @@
 //     alignment constraints, solved by the internal branch & bound.
 //   - MethodHeuristic: greedy bipartization plus balancing, for graphs
 //     beyond exact reach.
+//   - MethodPortfolio: a concurrent anytime race of the three — the
+//     heuristic's bound warm-starts the exact engines, incumbents are
+//     shared, and the best labeling wins when the budget expires.
+//
+// Every solver is deadline-honest: SolveContext derives one shared
+// context deadline from Options.TimeLimit, and all sub-solves (including
+// the MIP's OCT warm start) spend from that single budget.
 package labeling
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -133,6 +141,7 @@ const (
 	MethodOCT                     // Section VI-A (γ=1 semantics)
 	MethodMIP                     // Section VI-B (weighted objective)
 	MethodHeuristic               // greedy bipartization + balancing
+	MethodPortfolio               // concurrent anytime race of the above
 )
 
 func (m Method) String() string {
@@ -143,6 +152,8 @@ func (m Method) String() string {
 		return "mip"
 	case MethodHeuristic:
 		return "heuristic"
+	case MethodPortfolio:
+		return "portfolio"
 	default:
 		return "auto"
 	}
@@ -156,8 +167,11 @@ type Options struct {
 	Gamma float64
 	// Method selects the solver (default MethodAuto).
 	Method Method
-	// TimeLimit bounds exact solvers; expired limits degrade to the best
-	// feasible labeling found (never to an invalid one).
+	// TimeLimit bounds the whole solve: it becomes a deadline on one
+	// context shared by every sub-solver (OCT warm start, MIP, portfolio
+	// engines), so the total wall clock never exceeds the budget. Expired
+	// limits degrade to the best feasible labeling found (never to an
+	// invalid one).
 	TimeLimit time.Duration
 	// OCTBackend selects the vertex-cover engine for MethodOCT.
 	OCTBackend oct.Backend
@@ -194,13 +208,41 @@ type Solution struct {
 	Method  string // solver that produced the labeling
 	Elapsed time.Duration
 	// Trace carries the MIP convergence samples (Figure 10/11 data);
-	// empty for non-MIP methods.
+	// empty for non-MIP methods. For MethodPortfolio it is the winning
+	// engine's trace.
 	Trace []ilp.TraceEvent
+	// Engines reports the per-engine outcome of a MethodPortfolio race
+	// (which engine won, each engine's objective and elapsed time); nil for
+	// the single-engine methods.
+	Engines []EngineReport
 }
 
 // Solve computes a VH-labeling of p.
 func Solve(p Problem, opts Options) (*Solution, error) {
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation. Options.TimeLimit
+// becomes a deadline on one context shared by every sub-solver — the OCT
+// warm start, the MIP branch & bound (checked inside simplex pivots) and
+// the portfolio engines all spend from the same budget, so the total wall
+// clock cannot exceed it by more than one pivot. When the budget or ctx
+// expires mid-solve, the best valid labeling found so far is returned
+// (never an error); a context that is already dead on entry returns
+// (nil, ctx.Err()) promptly.
+func SolveContext(ctx context.Context, p Problem, opts Options) (*Solution, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.TimeLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
+		defer cancel()
+	}
 	if opts.AutoExactLimit <= 0 {
 		opts.AutoExactLimit = 600
 	}
@@ -220,11 +262,13 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 	var err error
 	switch method {
 	case MethodOCT:
-		sol, err = solveOCT(p, opts)
+		sol, err = solveOCT(ctx, p, opts)
 	case MethodMIP:
-		sol, err = solveMIP(p, opts)
+		sol, err = solveMIP(ctx, p, opts, nil, nil)
 	case MethodHeuristic:
 		sol = solveHeuristic(p, opts)
+	case MethodPortfolio:
+		sol, err = solvePortfolio(ctx, p, opts)
 	default:
 		return nil, fmt.Errorf("labeling: unknown method %v", method)
 	}
@@ -265,11 +309,19 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 // 2-coloring → V/H, oriented per component to honor alignment and balance
 // the dimensions (the paper's Figure 6 optimization). Optimality refers to
 // the semiperimeter (γ=1 objective) on instances without alignment
-// conflicts; alignment patches may add VH labels.
-func solveOCT(p Problem, opts Options) (*Solution, error) {
-	res, err := oct.Find(p.G, oct.Options{Backend: opts.OCTBackend, TimeLimit: opts.TimeLimit})
+// conflicts; alignment patches may add VH labels. The time budget rides on
+// ctx (set up by SolveContext); a budget that dies mid-search degrades to
+// the greedy OCT rather than erroring.
+func solveOCT(ctx context.Context, p Problem, opts Options) (*Solution, error) {
+	res, err := oct.FindContext(ctx, p.G, oct.Options{Backend: opts.OCTBackend})
 	if err != nil {
-		return nil, err
+		if ctx.Err() == nil {
+			return nil, err
+		}
+		// The shared budget expired before the OCT search even started
+		// (FindContext entry check): anytime contract says degrade, not
+		// error. The greedy OCT is polynomial and always valid.
+		res = oct.Heuristic(p.G)
 	}
 	labels, upgrades := orientAndBalance(p, res)
 	st := ComputeStats(labels)
@@ -439,6 +491,18 @@ func orientAndBalance(p Problem, res oct.Result) ([]Label, int) {
 	return labels, upgrades
 }
 
+// ctxRemaining returns the time left on ctx's deadline (clamped at 0), or
+// 0 when ctx has no deadline.
+func ctxRemaining(ctx context.Context) time.Duration {
+	if d, ok := ctx.Deadline(); ok {
+		if r := time.Until(d); r > 0 {
+			return r
+		}
+		return 0
+	}
+	return 0
+}
+
 func maxDimAfter(r, c int) int {
 	if r > c {
 		return r
@@ -455,8 +519,15 @@ func abs(x int) int {
 
 // solveMIP implements Section VI-B: the Eq. 4 MIP with Eq. 7 alignment,
 // solved by the internal branch & bound, primed with the heuristic
-// labeling as incumbent.
-func solveMIP(p Problem, opts Options) (*Solution, error) {
+// labeling as incumbent. The whole solve — OCT warm start included —
+// spends from the single deadline carried by ctx, so the user's budget is
+// never exceeded (the warm start used to get TimeLimit/2 and the MIP the
+// full TimeLimit again; with one shared deadline that double-spend is
+// impossible by construction). primer, when non-nil, is a valid labeling
+// used as the incumbent instead of recomputing the heuristic; bestKnown,
+// when non-nil, feeds a live external objective bound into the branch &
+// bound (portfolio incumbent sharing).
+func solveMIP(ctx context.Context, p Problem, opts Options, primer *Solution, bestKnown func() float64) (*Solution, error) {
 	gamma := opts.Gamma
 	n := p.G.N()
 	mod := ilp.NewModel("vh-labeling")
@@ -555,26 +626,27 @@ func solveMIP(p Problem, opts Options) (*Solution, error) {
 		mod.AddConstr("oddcyc", terms, ilp.GE, float64(len(cyc)+1))
 	}
 	kLB := len(cycles)
-	octStart := time.Now()
+	// The OCT warm start gets at most half of whatever remains of the
+	// shared budget (capped at 30s); because its deadline is layered on the
+	// same ctx, warm start plus branch & bound together can never spend
+	// more than the user's TimeLimit.
 	octBudget := 30 * time.Second
-	if opts.TimeLimit > 0 && opts.TimeLimit/2 < octBudget {
-		octBudget = opts.TimeLimit / 2
+	if r := ctxRemaining(ctx); r > 0 && r/2 < octBudget {
+		octBudget = r / 2
 	}
-	octRes, err := oct.Find(p.G, oct.Options{Backend: opts.OCTBackend, TimeLimit: octBudget})
+	octCtx, octCancel := context.WithTimeout(ctx, octBudget)
+	octRes, err := oct.FindContext(octCtx, p.G, oct.Options{Backend: opts.OCTBackend})
+	octCancel()
 	if err != nil {
-		return nil, err
+		if ctx.Err() == nil {
+			return nil, err
+		}
+		// Shared budget already exhausted: degrade to the greedy OCT (its
+		// labels still serve as incumbent material below).
+		octRes = oct.Heuristic(p.G)
 	}
 	if octRes.Optimal && len(octRes.OCT) > kLB {
 		kLB = len(octRes.OCT)
-	}
-	// The OCT sub-solve spends part of the overall budget; the branch &
-	// bound gets the remainder (at least a second to return the primer).
-	mipLimit := opts.TimeLimit
-	if mipLimit > 0 {
-		mipLimit -= time.Since(octStart)
-		if mipLimit < time.Second {
-			mipLimit = time.Second
-		}
 	}
 	sTerms := make([]ilp.Term, 0, 2*n)
 	for i := 0; i < n; i++ {
@@ -587,9 +659,13 @@ func solveMIP(p Problem, opts Options) (*Solution, error) {
 	}
 	mod.AddConstr("DgeHalfS", dTerms, ilp.GE, 0)
 
-	// Incumbent: the better of the greedy heuristic and the OCT-derived
-	// labeling (which achieves S = n + k* exactly when the OCT is proven).
-	heur := solveHeuristic(p, opts)
+	// Incumbent: the better of the primer (or greedy heuristic) and the
+	// OCT-derived labeling (which achieves S = n + k* exactly when the OCT
+	// is proven).
+	heur := primer
+	if heur == nil {
+		heur = solveHeuristic(p, opts)
+	}
 	best := heur
 	if octLabels, _ := orientAndBalance(p, octRes); Validate(p, octLabels) == nil {
 		if st := ComputeStats(octLabels); st.Objective(gamma) < best.Stats.Objective(gamma) {
@@ -629,8 +705,14 @@ func solveMIP(p Problem, opts Options) (*Solution, error) {
 		}, nil
 	}
 
-	sol, err := ilp.Solve(mod, ilp.Options{TimeLimit: mipLimit, Incumbent: inc})
+	sol, err := ilp.SolveContext(ctx, mod, ilp.Options{Incumbent: inc, BestKnown: bestKnown})
 	if err != nil {
+		if ctx.Err() != nil {
+			// Budget expired between model build and solve: anytime
+			// contract — return the incumbent rather than an error. (A
+			// fresh Solution: best may alias the portfolio's shared primer.)
+			return &Solution{Labels: best.Labels, Stats: best.Stats, Method: "mip-fallback"}, nil
+		}
 		return nil, fmt.Errorf("labeling: MIP solve: %w", err)
 	}
 	if sol.Status == ilp.StatusInfeasible {
@@ -645,9 +727,7 @@ func solveMIP(p Problem, opts Options) (*Solution, error) {
 	if sol.X == nil {
 		// No incumbent at all (should not happen: all-VH is feasible and
 		// the heuristic always yields one); fall back to the primer.
-		best.Method = "mip-fallback"
-		best.Trace = sol.Trace
-		return best, nil
+		return &Solution{Labels: best.Labels, Stats: best.Stats, Method: "mip-fallback", Trace: sol.Trace}, nil
 	}
 	labels := make([]Label, n)
 	for i := 0; i < n; i++ {

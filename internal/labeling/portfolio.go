@@ -1,0 +1,154 @@
+package labeling
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EngineReport is one engine's outcome in a MethodPortfolio race.
+type EngineReport struct {
+	Method    string        // engine name: heuristic, oct, mip
+	Objective float64       // γ·S + (1−γ)·D of the engine's labeling; +Inf on failure
+	Optimal   bool          // the engine proved its labeling optimal
+	Elapsed   time.Duration // engine wall clock inside the race
+	Winner    bool          // this engine produced the returned labeling
+	Err       string        // non-empty when the engine failed
+}
+
+// sharedIncumbent is the portfolio's cross-engine objective bound: a
+// lock-free monotonically decreasing float64. Engines publish finished
+// labelings with offer; the MIP branch & bound polls get through
+// ilp.Options.BestKnown to prune nodes that cannot beat a sibling.
+type sharedIncumbent struct{ bits atomic.Uint64 }
+
+func newSharedIncumbent() *sharedIncumbent {
+	s := &sharedIncumbent{}
+	s.bits.Store(math.Float64bits(math.Inf(1)))
+	return s
+}
+
+func (s *sharedIncumbent) get() float64 { return math.Float64frombits(s.bits.Load()) }
+
+func (s *sharedIncumbent) offer(v float64) {
+	for {
+		old := s.bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if s.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// solvePortfolio races the OCT and MIP engines in goroutines after priming
+// both with the (fast, polynomial) heuristic labeling. Incumbents are
+// shared: the heuristic warm-starts the MIP via ilp.Options.Incumbent, and
+// any engine that finishes publishes its objective so the MIP's branch &
+// bound prunes against it mid-flight. The race ends when every engine
+// returns, when one proves optimality (the rest are cancelled), or when
+// ctx expires — each engine then unwinds with its best labeling so far,
+// and the portfolio returns the best valid labeling seen, never an error.
+func solvePortfolio(ctx context.Context, p Problem, opts Options) (*Solution, error) {
+	gamma := opts.Gamma
+	shared := newSharedIncumbent()
+
+	fits := func(s *Solution) bool {
+		return (opts.MaxRows <= 0 || s.Stats.Rows <= opts.MaxRows) &&
+			(opts.MaxCols <= 0 || s.Stats.Cols <= opts.MaxCols)
+	}
+	// better orders candidates: respect the dimension caps first, then the
+	// objective, then proven optimality as the tie-break.
+	better := func(a, b *Solution) bool {
+		if fa, fb := fits(a), fits(b); fa != fb {
+			return fa
+		}
+		oa, ob := a.Stats.Objective(gamma), b.Stats.Objective(gamma)
+		if oa < ob-1e-9 {
+			return true
+		}
+		if ob < oa-1e-9 {
+			return false
+		}
+		return a.Optimal && !b.Optimal
+	}
+
+	// The heuristic engine runs first, synchronously: it is polynomial and
+	// near-instant relative to the exact engines, and its bound seeds both
+	// the shared incumbent and the MIP primer.
+	hStart := time.Now()
+	heur := solveHeuristic(p, opts)
+	heur.Elapsed = time.Since(hStart)
+	shared.offer(heur.Stats.Objective(gamma))
+	reports := []EngineReport{{
+		Method:    "heuristic",
+		Objective: heur.Stats.Objective(gamma),
+		Optimal:   heur.Optimal,
+		Elapsed:   heur.Elapsed,
+	}}
+
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	engines := []struct {
+		name string
+		run  func() (*Solution, error)
+	}{
+		{"oct", func() (*Solution, error) { return solveOCT(raceCtx, p, opts) }},
+		{"mip", func() (*Solution, error) { return solveMIP(raceCtx, p, opts, heur, shared.get) }},
+	}
+	type engineResult struct {
+		name    string
+		sol     *Solution
+		err     error
+		elapsed time.Duration
+	}
+	results := make(chan engineResult, len(engines))
+	var wg sync.WaitGroup
+	for _, e := range engines {
+		wg.Add(1)
+		go func(name string, run func() (*Solution, error)) {
+			defer wg.Done()
+			t0 := time.Now()
+			sol, err := run()
+			results <- engineResult{name: name, sol: sol, err: err, elapsed: time.Since(t0)}
+		}(e.name, e.run)
+	}
+
+	best, bestName := heur, "heuristic"
+	for received := 0; received < len(engines); received++ {
+		r := <-results
+		rep := EngineReport{Method: r.name, Elapsed: r.elapsed, Objective: math.Inf(1)}
+		if r.err != nil {
+			rep.Err = r.err.Error()
+		} else if r.sol != nil && Validate(p, r.sol.Labels) == nil {
+			rep.Objective = r.sol.Stats.Objective(gamma)
+			rep.Optimal = r.sol.Optimal
+			shared.offer(rep.Objective)
+			if better(r.sol, best) {
+				best, bestName = r.sol, r.name
+			}
+			if r.sol.Optimal && fits(r.sol) {
+				// Provably optimal within the caps: the race is decided;
+				// cancel the remaining engines so they unwind promptly.
+				cancel()
+			}
+		}
+		reports = append(reports, rep)
+	}
+	wg.Wait()
+
+	for i := range reports {
+		reports[i].Winner = reports[i].Method == bestName
+	}
+	return &Solution{
+		Labels:  best.Labels,
+		Stats:   best.Stats,
+		Optimal: best.Optimal,
+		Method:  "portfolio(" + bestName + ")",
+		Trace:   best.Trace,
+		Engines: reports,
+	}, nil
+}

@@ -18,10 +18,14 @@ import (
 // Solve, Find, Build, Search, Sift, Formal, Min, Max. It satisfies the rule
 // when its signature carries any of:
 //
-//   - a context.Context, time.Duration or time.Time parameter,
+//   - a context.Context, time.Duration or time.Time parameter (aliases of
+//     these count too — the context-accepting SolveContext/FindContext
+//     entry points satisfy the rule this way, since the caller's ctx
+//     carries the deadline),
 //   - an integer parameter whose name contains limit/budget/max, or
 //   - a (pointer-to-)struct parameter with an exported field whose name
-//     contains Limit, Budget or Deadline.
+//     contains Limit, Budget or Deadline, or whose type is one of the
+//     bound types above (e.g. Ctx context.Context).
 //
 // Polynomial-time entry points that genuinely need no budget are suppressed
 // in place with //lint:ignore ctxbound <reason>.
@@ -99,9 +103,10 @@ func signatureHasBound(sig *types.Signature) bool {
 	return false
 }
 
-// typeIsBound recognizes context.Context, time.Duration and time.Time.
+// typeIsBound recognizes context.Context, time.Duration and time.Time,
+// seeing through type aliases (`type Deadline = time.Time` etc.).
 func typeIsBound(t types.Type) bool {
-	switch tt := t.(type) {
+	switch tt := types.Unalias(t).(type) {
 	case *types.Named:
 		obj := tt.Obj()
 		if obj.Pkg() == nil {
@@ -128,8 +133,10 @@ func isBoundFieldName(name string) bool {
 	return strings.Contains(name, "Limit") || strings.Contains(name, "Budget") || strings.Contains(name, "Deadline")
 }
 
-// structUnder unwraps pointers and named types down to a struct, or nil.
+// structUnder unwraps aliases, pointers and named types down to a struct,
+// or nil.
 func structUnder(t types.Type) *types.Struct {
+	t = types.Unalias(t)
 	if p, ok := t.Underlying().(*types.Pointer); ok {
 		t = p.Elem()
 	}

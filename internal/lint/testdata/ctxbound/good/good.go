@@ -3,13 +3,25 @@
 // unexported helpers.
 package ctxgood
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // Opts carries a recognized bound field.
 type Opts struct {
 	TimeLimit time.Duration
 	Verbose   bool
 }
+
+// CtxOpts carries a bound through a context-typed field.
+type CtxOpts struct {
+	Ctx     context.Context
+	Verbose bool
+}
+
+// Deadline is an alias of a bound type; the analyzer must see through it.
+type Deadline = time.Time
 
 func SolveBounded(n, nodeLimit int) int { return n + nodeLimit }
 
@@ -20,6 +32,21 @@ func SearchOpts(o Opts) int { return 0 }
 func BuildUntil(deadline time.Time) int { return 0 }
 
 func MaxIterCapped(maxIters int) int { return maxIters }
+
+// SolveContext carries its budget through ctx (deadline/cancellation), the
+// shape of the repo's context-aware solver entry points.
+func SolveContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// FindConfigured receives a context via an options struct field.
+func FindConfigured(o CtxOpts) int { return 0 }
+
+// SearchUntilAlias bounds through an aliased time.Time.
+func SearchUntilAlias(d Deadline) bool { return d.IsZero() }
 
 // Render is exported but has no solver prefix.
 func Render(s string) string { return s }

@@ -12,6 +12,7 @@
 package oct
 
 import (
+	"context"
 	"time"
 
 	"compact/internal/graph"
@@ -50,6 +51,20 @@ type Result struct {
 // The residual-bipartiteness postcondition is re-verified on every exit; a
 // violation (an invariant.Error) means a solver bug, not bad input.
 func Find(g *graph.Graph, opts Options) (Result, error) {
+	return FindContext(context.Background(), g, opts)
+}
+
+// FindContext is Find with cooperative cancellation: the vertex-cover
+// search honors the earlier of ctx's deadline and opts.TimeLimit, and a
+// cancelled ctx degrades to the best valid OCT found so far. A context that
+// is already dead on entry returns (Result{}, ctx.Err()).
+func FindContext(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	var res Result
 	if g.IsBipartite() {
 		color, _ := g.TwoColor()
@@ -60,9 +75,9 @@ func Find(g *graph.Graph, opts Options) (Result, error) {
 		var optimal bool
 		switch opts.Backend {
 		case BackendILP:
-			cover, optimal = coverILP(p, opts.TimeLimit)
+			cover, optimal = coverILP(ctx, p, opts.TimeLimit)
 		default:
-			r := graph.MinVertexCover(p, graph.VCOptions{TimeLimit: opts.TimeLimit})
+			r := graph.MinVertexCoverContext(ctx, p, graph.VCOptions{TimeLimit: opts.TimeLimit})
 			cover, optimal = r.Cover, r.Optimal
 		}
 		res = fromCover(g, cover, optimal)
@@ -105,7 +120,7 @@ func fromCover(g *graph.Graph, cover map[int]bool, optimal bool) Result {
 
 // coverILP solves minimum vertex cover on p as a 0-1 program, primed with
 // the greedy cover as incumbent.
-func coverILP(p *graph.Graph, limit time.Duration) (map[int]bool, bool) {
+func coverILP(ctx context.Context, p *graph.Graph, limit time.Duration) (map[int]bool, bool) {
 	m := ilp.NewModel("vertex-cover")
 	for v := 0; v < p.N(); v++ {
 		m.AddVar("x", 0, 1, ilp.Binary, 1)
@@ -118,7 +133,7 @@ func coverILP(p *graph.Graph, limit time.Duration) (map[int]bool, bool) {
 	for v := range greedy {
 		inc[v] = 1
 	}
-	sol, err := ilp.Solve(m, ilp.Options{TimeLimit: limit, Incumbent: inc})
+	sol, err := ilp.SolveContext(ctx, m, ilp.Options{TimeLimit: limit, Incumbent: inc})
 	if err != nil || sol.X == nil {
 		return greedy, false
 	}

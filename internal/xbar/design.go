@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"compact/internal/errio"
 )
@@ -75,8 +76,10 @@ type Design struct {
 	VarNames []string
 
 	// sparse caches the non-Off cells for fast repeated evaluation; it is
-	// built lazily on first Eval, so Cells must not be mutated afterwards.
-	sparse []sparseCell
+	// built lazily on first Eval (guarded by sparseOnce so concurrent
+	// first Evals are safe), so Cells must not be mutated afterwards.
+	sparseOnce sync.Once
+	sparse     []sparseCell
 }
 
 type sparseCell struct {
@@ -85,7 +88,7 @@ type sparseCell struct {
 }
 
 func (d *Design) sparseCells() []sparseCell {
-	if d.sparse == nil {
+	d.sparseOnce.Do(func() {
 		for r, row := range d.Cells {
 			for c, e := range row {
 				if e.Kind != Off {
@@ -96,7 +99,7 @@ func (d *Design) sparseCells() []sparseCell {
 		if d.sparse == nil {
 			d.sparse = []sparseCell{}
 		}
-	}
+	})
 	return d.sparse
 }
 
