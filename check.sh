@@ -5,9 +5,11 @@
 #   1. gofmt       — no unformatted files
 #   2. go vet      — stdlib static checks
 #   3. build+test  — tier-1: every package compiles and its tests pass
-#   4. -race       — internal packages under the race detector (includes
-#                    the concurrent Synthesize tests)
-#   5. compactlint — the project's own analyzers; any finding fails the gate
+#   4. selfcheck   — boot compactd on a loopback port and smoke-test the
+#                    health/benchmark/synthesize endpoints + cache contract
+#   5. -race       — internal packages under the race detector (includes
+#                    the concurrent Synthesize and compactd server tests)
+#   6. compactlint — the project's own analyzers; any finding fails the gate
 #
 # Usage: ./check.sh [-short] [-bench]
 #   -short skips the -race pass (the slowest step) for quick local loops.
@@ -44,6 +46,9 @@ go vet ./...
 echo "== build + test =="
 go build ./...
 go test ./...
+
+echo "== compactd selfcheck =="
+go run ./cmd/compactd -selfcheck
 
 if [ "$short" -eq 0 ]; then
     echo "== race detector (internal) =="

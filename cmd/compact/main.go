@@ -18,18 +18,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"strings"
 	"syscall"
 	"time"
 
-	"compact/internal/blif"
 	"compact/internal/core"
-	"compact/internal/labeling"
-	"compact/internal/logic"
-	"compact/internal/pla"
+	"compact/internal/parse"
 	"compact/internal/spice"
-	"compact/internal/verilog"
 )
 
 func main() {
@@ -64,26 +58,15 @@ func main() {
 func run(ctx context.Context, inPath string, gamma float64, method string, robdds, noalign bool,
 	timeLimit time.Duration, sift, render bool, dotPath, svgPath string, verifyN int, runSpice, formal bool) error {
 
-	nw, err := load(inPath)
+	nw, err := parse.ParseFile(inPath)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("circuit: %s\n", nw)
 
-	var m labeling.Method
-	switch method {
-	case "auto":
-		m = labeling.MethodAuto
-	case "oct":
-		m = labeling.MethodOCT
-	case "mip":
-		m = labeling.MethodMIP
-	case "heuristic":
-		m = labeling.MethodHeuristic
-	case "portfolio":
-		m = labeling.MethodPortfolio
-	default:
-		return fmt.Errorf("unknown method %q", method)
+	m, err := core.MethodFromString(method)
+	if err != nil {
+		return err
 	}
 	opts := core.Options{
 		Gamma: gamma, GammaSet: true,
@@ -176,27 +159,4 @@ func run(ctx context.Context, inPath string, gamma float64, method string, robdd
 			rep.MinOn, rep.MaxOff, rep.Separable, rep.Checked)
 	}
 	return nil
-}
-
-func load(path string) (*logic.Network, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	//lint:ignore errdrop file opened read-only; Close cannot lose written data
-	defer f.Close()
-	switch strings.ToLower(filepath.Ext(path)) {
-	case ".blif":
-		return blif.Parse(f)
-	case ".pla":
-		t, err := pla.Parse(f)
-		if err != nil {
-			return nil, err
-		}
-		return t.Network(strings.TrimSuffix(filepath.Base(path), ".pla"))
-	case ".v":
-		return verilog.Parse(f)
-	default:
-		return nil, fmt.Errorf("unsupported input format %q (want .blif, .pla or .v)", filepath.Ext(path))
-	}
 }

@@ -1,0 +1,185 @@
+// Command compactd serves the COMPACT synthesis pipeline over HTTP: POST
+// a circuit (BLIF, PLA or structural Verilog) to /v1/synthesize and get
+// back the crossbar design as JSON. Repeated requests for the same
+// circuit and options are served byte-identically from a
+// content-addressed cache; concurrent identical requests share one solve.
+//
+// Usage:
+//
+//	compactd [-addr :8650] [-workers N] [-default-time-limit 30s] ...
+//	compactd -selfcheck   # boot on a loopback port, run a smoke request, exit
+//
+// See GET /v1/benchmarks for the built-in circuit generators, /healthz
+// for liveness, /debug/vars for metrics and /debug/pprof for profiles.
+// SIGINT/SIGTERM trigger a graceful drain.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"compact/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("compactd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8650", "listen address")
+	workers := fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	cacheEntries := fs.Int("cache-entries", 0, "result cache entry bound (0 = 512)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "result cache byte bound (0 = 256 MiB)")
+	defaultLimit := fs.Duration("default-time-limit", 0, "solve budget for requests that set none (0 = 30s)")
+	maxLimit := fs.Duration("max-time-limit", 0, "largest solve budget a request may ask for (0 = 5m)")
+	selfcheck := fs.Bool("selfcheck", false, "boot on a loopback port, run a smoke request, exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(ctx, server.Config{
+		Workers:          *workers,
+		CacheEntries:     *cacheEntries,
+		CacheBytes:       *cacheBytes,
+		DefaultTimeLimit: *defaultLimit,
+		MaxTimeLimit:     *maxLimit,
+	})
+
+	if *selfcheck {
+		if err := runSelfcheck(ctx, srv); err != nil {
+			log.Printf("compactd: selfcheck FAILED: %v", err)
+			return 1
+		}
+		log.Printf("compactd: selfcheck ok")
+		return 0
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("compactd: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Printf("compactd: serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	log.Printf("compactd: draining (interrupt again to force exit)")
+	stop() // restore default signal handling so a second ^C kills us
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("compactd: shutdown: %v", err)
+		return 1
+	}
+	return 0
+}
+
+// selfcheckBLIF is the smoke circuit: f = (a AND b) OR c.
+const selfcheckBLIF = `.model selfcheck
+.inputs a b c
+.outputs f
+.names a b w
+11 1
+.names w c f
+1- 1
+-1 1
+.end
+`
+
+// runSelfcheck boots the full HTTP stack on an ephemeral loopback port and
+// exercises the health, benchmark and synthesis endpoints, including the
+// miss-then-hit cache contract. Used by CI as a post-build smoke test.
+func runSelfcheck(ctx context.Context, srv *server.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() { _ = httpSrv.Close() }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	status, _, body, err := do(ctx, client, http.MethodGet, base+"/healthz", "")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("healthz: status %d, err %v", status, err)
+	}
+	if !bytes.Contains(body, []byte(`"ok"`)) {
+		return fmt.Errorf("healthz: unexpected body %s", body)
+	}
+
+	status, _, body, err = do(ctx, client, http.MethodGet, base+"/v1/benchmarks", "")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("benchmarks: status %d, err %v", status, err)
+	}
+	if !bytes.Contains(body, []byte(`"ctrl"`)) {
+		return fmt.Errorf("benchmarks: registry missing expected entries: %s", body)
+	}
+
+	req := fmt.Sprintf(`{"circuit": %q, "options": {"method": "heuristic", "time_limit_ms": 10000}}`, selfcheckBLIF)
+	status, disp, first, err := do(ctx, client, http.MethodPost, base+"/v1/synthesize", req)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("synthesize: status %d, err %v, body %s", status, err, first)
+	}
+	if disp != "miss" {
+		return fmt.Errorf("synthesize: first request disposition %q, want miss", disp)
+	}
+	status, disp, second, err := do(ctx, client, http.MethodPost, base+"/v1/synthesize", req)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("synthesize (repeat): status %d, err %v", status, err)
+	}
+	if disp != "hit" {
+		return fmt.Errorf("synthesize (repeat): disposition %q, want hit", disp)
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("cache hit body differs from miss body")
+	}
+	return nil
+}
+
+// do issues one request and returns the status, X-Compactd-Cache header
+// and body.
+func do(ctx context.Context, client *http.Client, method, url, body string) (int, string, []byte, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Compactd-Cache"), data, nil
+}

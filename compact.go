@@ -14,7 +14,7 @@
 //
 // The package exposes the full pipeline:
 //
-//	nw, _ := compact.ParseBLIF(file)
+//	nw, _ := compact.Parse(file, compact.FormatAuto)
 //	res, _ := compact.Synthesize(nw, compact.Options{Gamma: 0.5})
 //	res.Design.Render(os.Stdout)        // the programmed crossbar
 //	out := res.Design.Eval(inputVector) // sneak-path evaluation
@@ -38,9 +38,8 @@ import (
 	"compact/internal/core"
 	"compact/internal/labeling"
 	"compact/internal/logic"
-	"compact/internal/pla"
+	"compact/internal/parse"
 	"compact/internal/spice"
-	"compact/internal/verilog"
 	"compact/internal/xbar"
 )
 
@@ -98,22 +97,64 @@ func SynthesizeContext(ctx context.Context, nw *Network, opts Options) (*Result,
 // NewBuilder starts a new Boolean network.
 func NewBuilder(name string) *Builder { return logic.NewBuilder(name) }
 
+// Format identifies a circuit input format accepted by Parse.
+type Format = parse.Format
+
+// Input formats. FormatAuto detects the format from content: a module
+// keyword or Verilog comment selects Verilog, dot directives distinguish
+// BLIF (.model/.inputs/.names/...) from PLA (.i/.o/.p/...), and bare cube
+// rows select PLA.
+const (
+	FormatAuto    = parse.Auto
+	FormatBLIF    = parse.BLIF
+	FormatPLA     = parse.PLA
+	FormatVerilog = parse.Verilog
+)
+
+// Parse reads one circuit from r in the given format and elaborates it
+// into a Network. It is the unified ingestion entry point shared by the
+// compact and compactd CLIs and the synthesis server; FormatAuto sniffs
+// the format from the content, so callers holding a file of unknown
+// provenance can pass it straight through:
+//
+//	nw, err := compact.Parse(f, compact.FormatAuto)
+//
+// PLA tables carry no model name; Parse names their networks "pla" (use
+// ParsePLA to control the name). The format-specific ParseBLIF, ParsePLA
+// and ParseVerilog entry points remain as thin wrappers but new code
+// should prefer Parse.
+func Parse(r io.Reader, format Format) (*Network, error) {
+	return parse.Parse(r, format)
+}
+
+// ParseFile opens and parses a circuit file, picking the format from the
+// extension (.blif, .pla, .v) and falling back to content sniffing; the
+// base name becomes the model name for formats that need one.
+func ParseFile(path string) (*Network, error) { return parse.ParseFile(path) }
+
 // ParseBLIF reads a combinational BLIF model.
-func ParseBLIF(r io.Reader) (*Network, error) { return blif.Parse(r) }
+//
+// It is a thin wrapper over Parse(r, FormatBLIF), kept for compatibility;
+// new code should prefer Parse.
+func ParseBLIF(r io.Reader) (*Network, error) { return parse.Parse(r, parse.BLIF) }
 
 // WriteBLIF serializes a network as BLIF.
 func WriteBLIF(w io.Writer, nw *Network) error { return blif.Write(w, nw) }
 
 // ParseVerilog reads a gate-level structural Verilog module.
-func ParseVerilog(r io.Reader) (*Network, error) { return verilog.Parse(r) }
+//
+// It is a thin wrapper over Parse(r, FormatVerilog), kept for
+// compatibility; new code should prefer Parse.
+func ParseVerilog(r io.Reader) (*Network, error) { return parse.Parse(r, parse.Verilog) }
 
-// ParsePLA reads a Berkeley PLA table and elaborates it into a network.
+// ParsePLA reads a Berkeley PLA table and elaborates it into a network
+// with the given name.
+//
+// It is a thin wrapper over parse.ParseNamed(r, FormatPLA, name), kept for
+// compatibility and for callers that must control the model name; new
+// code should prefer Parse.
 func ParsePLA(r io.Reader, name string) (*Network, error) {
-	t, err := pla.Parse(r)
-	if err != nil {
-		return nil, err
-	}
-	return t.Network(name)
+	return parse.ParseNamed(r, parse.PLA, name)
 }
 
 // Benchmark builds one of the bundled benchmark circuits by name (the

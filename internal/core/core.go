@@ -83,13 +83,9 @@ type Options struct {
 	MaxRows, MaxCols int
 }
 
-func (o Options) gamma() float64 {
-	//lint:ignore floatcmp zero-value sentinel: Gamma==0 with GammaSet unset means "defaulted"
-	if o.Gamma == 0 && !o.GammaSet {
-		return 0.5
-	}
-	return o.Gamma
-}
+// gamma resolves the effective objective weight via the canonical
+// zero-value rule documented in options.go.
+func (o Options) gamma() float64 { return o.Canonical().Gamma }
 
 // Result is a synthesized crossbar design plus everything the experiments
 // report: BDD statistics, the labeling solution (with solver trace), and
@@ -132,6 +128,9 @@ func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*R
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid options: %w", err)
+	}
 	if opts.TimeLimit > 0 {
 		// One shared deadline for the whole pipeline; labeling receives it
 		// via ctx (TimeLimit is deliberately NOT passed down as well —
@@ -140,9 +139,7 @@ func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*R
 		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
 		defer cancel()
 	}
-	if opts.NodeLimit <= 0 {
-		opts.NodeLimit = 4_000_000
-	}
+	opts = opts.Canonical() // resolve Gamma and NodeLimit defaults once
 	order := opts.VarOrder
 	if order == nil {
 		order = bdd.DFSOrder(nw)

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"compact/internal/labeling"
+	"compact/internal/logic"
+)
+
+func TestOptionsCanonicalGammaRule(t *testing.T) {
+	// Unset gamma resolves to the paper default.
+	c := Options{}.Canonical()
+	if c.Gamma != 0.5 || !c.GammaSet {
+		t.Fatalf("zero options canonicalize to Gamma=%v GammaSet=%v, want 0.5/true", c.Gamma, c.GammaSet)
+	}
+	// Explicit zero survives.
+	c = Options{Gamma: 0, GammaSet: true}.Canonical()
+	if c.Gamma != 0 {
+		t.Fatalf("explicit Gamma=0 canonicalized to %v", c.Gamma)
+	}
+	// Non-zero gamma is literal regardless of GammaSet.
+	c = Options{Gamma: 0.25}.Canonical()
+	if c.Gamma != 0.25 || !c.GammaSet {
+		t.Fatalf("Gamma=0.25 canonicalized to %v/%v", c.Gamma, c.GammaSet)
+	}
+	if c := (Options{}).Canonical(); c.NodeLimit != DefaultNodeLimit {
+		t.Fatalf("NodeLimit default = %d, want %d", c.NodeLimit, DefaultNodeLimit)
+	}
+	// Canonical must not alias the caller's VarOrder.
+	ord := []int{1, 0}
+	c = Options{VarOrder: ord}.Canonical()
+	ord[0] = 99
+	if c.VarOrder[0] != 1 {
+		t.Fatal("Canonical aliased the caller's VarOrder slice")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	valid := []Options{
+		{},
+		{Gamma: 0, GammaSet: true},
+		{Gamma: 1},
+		{Method: labeling.MethodPortfolio, TimeLimit: time.Second},
+		{VarOrder: []int{2, 0, 1}},
+	}
+	for i, o := range valid {
+		if err := o.Validate(); err != nil {
+			t.Errorf("valid options %d rejected: %v", i, err)
+		}
+	}
+	invalid := []struct {
+		o    Options
+		want string
+	}{
+		{Options{Gamma: 1.5}, "outside [0,1]"},
+		{Options{Gamma: -0.1, GammaSet: true}, "outside [0,1]"},
+		{Options{Method: labeling.Method(99)}, "method"},
+		{Options{BDDKind: BDDKind(7)}, "BDDKind"},
+		{Options{TimeLimit: -time.Second}, "TimeLimit"},
+		{Options{NodeLimit: -1}, "NodeLimit"},
+		{Options{MaxRows: -2}, "MaxRows"},
+		{Options{VarOrder: []int{0, 0}}, "permutation"},
+		{Options{VarOrder: []int{0, 2}}, "permutation"},
+	}
+	for i, tc := range invalid {
+		err := tc.o.Validate()
+		if err == nil {
+			t.Errorf("invalid options %d accepted", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("invalid options %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+}
+
+func TestOptionsKeyStability(t *testing.T) {
+	// Spelled-out defaults and the zero value share a key.
+	a := Options{}.Key()
+	b := Options{Gamma: 0.5, GammaSet: true, NodeLimit: DefaultNodeLimit}.Key()
+	if a != b {
+		t.Fatalf("default spellings key differently:\n%s\n%s", a, b)
+	}
+	if !strings.HasPrefix(a, "sha256:") {
+		t.Fatalf("malformed key %q", a)
+	}
+	// Semantic differences change the key.
+	diffs := []Options{
+		{Gamma: 0, GammaSet: true},
+		{Gamma: 0.7},
+		{Method: labeling.MethodMIP},
+		{BDDKind: SeparateROBDDs},
+		{NoAlign: true},
+		{TimeLimit: time.Second},
+		{Sift: true},
+		{VarOrder: []int{0}},
+		{MaxRows: 8},
+	}
+	seen := map[string]int{a: -1}
+	for i, o := range diffs {
+		k := o.Key()
+		if j, dup := seen[k]; dup {
+			t.Errorf("options %d and %d share key %s", i, j, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestSynthesizeRejectsInvalidOptions(t *testing.T) {
+	b := logic.NewBuilder("tiny")
+	b.Output("f", b.And(b.Input("a"), b.Input("b")))
+	nw := b.Build()
+	if _, err := Synthesize(nw, Options{Gamma: 2}); err == nil || !strings.Contains(err.Error(), "invalid options") {
+		t.Fatalf("Synthesize(Gamma=2) = %v, want invalid-options error", err)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"compact/internal/xbar"
+)
+
+// ResultView is the stable, JSON-serializable projection of a Result — the
+// body the compactd server returns from /v1/synthesize and the form in
+// which synthesis outcomes are archived. It carries everything the
+// experiments report (circuit, BDD and crossbar statistics, the labeling
+// outcome with per-engine portfolio reports) plus the full design in the
+// sparse wire format of xbar.Design's MarshalJSON. The view round-trips:
+// decoding the JSON yields a design whose Eval agrees with the original
+// everywhere (asserted by TestResultViewRoundTripEvalParity).
+type ResultView struct {
+	// Fingerprint is the source network's canonical content hash.
+	Fingerprint string      `json:"fingerprint"`
+	Circuit     CircuitView `json:"circuit"`
+	// BDDNodes/BDDEdges use the paper's Table I conventions.
+	BDDNodes int `json:"bdd_nodes"`
+	BDDEdges int `json:"bdd_edges"`
+	// Order is the BDD variable order used (input indices, level order).
+	Order    []int        `json:"order,omitempty"`
+	Labeling LabelingView `json:"labeling"`
+	Crossbar CrossbarView `json:"crossbar"`
+	// SynthMillis is the synthesis wall clock in milliseconds.
+	SynthMillis float64 `json:"synth_ms"`
+	// Design is the programmed crossbar, sparse-encoded.
+	Design *xbar.Design `json:"design,omitempty"`
+}
+
+// CircuitView summarizes the source network.
+type CircuitView struct {
+	Name    string `json:"name"`
+	Inputs  int    `json:"inputs"`
+	Outputs int    `json:"outputs"`
+	Gates   int    `json:"gates"`
+	Depth   int    `json:"depth"`
+}
+
+// LabelingView summarizes the VH-labeling solution.
+type LabelingView struct {
+	Method  string  `json:"method"`
+	Optimal bool    `json:"optimal"`
+	Rows    int     `json:"rows"`
+	Cols    int     `json:"cols"`
+	S       int     `json:"s"`
+	D       int     `json:"d"`
+	Millis  float64 `json:"solve_ms"`
+	// Engines reports the per-engine outcome of a portfolio race; empty
+	// for single-engine methods.
+	Engines []EngineView `json:"engines,omitempty"`
+}
+
+// EngineView is one portfolio engine's outcome. Objective is omitted when
+// the engine produced no labeling (its report carries +Inf, which JSON
+// cannot encode).
+type EngineView struct {
+	Method    string   `json:"method"`
+	Objective *float64 `json:"objective,omitempty"`
+	Optimal   bool     `json:"optimal"`
+	Winner    bool     `json:"winner"`
+	Millis    float64  `json:"elapsed_ms"`
+	Err       string   `json:"error,omitempty"`
+}
+
+// CrossbarView is the design's hardware statistics in wire form.
+type CrossbarView struct {
+	Rows    int `json:"rows"`
+	Cols    int `json:"cols"`
+	S       int `json:"s"`
+	D       int `json:"d"`
+	Area    int `json:"area"`
+	Devices int `json:"devices"`
+	Power   int `json:"power"`
+	Delay   int `json:"delay"`
+}
+
+// View projects the result into its serializable wire form. The returned
+// view shares the Design pointer with the result (designs are effectively
+// immutable after synthesis); everything else is copied.
+func (r *Result) View() ResultView {
+	st := r.Design.Stats()
+	v := ResultView{
+		BDDNodes:    r.BDDNodes,
+		BDDEdges:    r.BDDEdges,
+		Order:       append([]int(nil), r.Order...),
+		SynthMillis: millis(r.SynthTime),
+		Design:      r.Design,
+		Crossbar: CrossbarView{
+			Rows: st.Rows, Cols: st.Cols, S: st.S, D: st.D,
+			Area: st.Area, Devices: st.LitCells + st.OnCells,
+			Power: st.Power, Delay: st.Delay,
+		},
+	}
+	if r.network != nil {
+		ns := r.network.Stats()
+		v.Fingerprint = r.network.Fingerprint()
+		v.Circuit = CircuitView{
+			Name:    r.network.Name,
+			Inputs:  ns.Inputs,
+			Outputs: ns.Outputs,
+			Gates:   ns.Gates,
+			Depth:   ns.Depth,
+		}
+	}
+	if sol := r.Labeling; sol != nil {
+		v.Labeling = LabelingView{
+			Method:  sol.Method,
+			Optimal: sol.Optimal,
+			Rows:    sol.Stats.Rows,
+			Cols:    sol.Stats.Cols,
+			S:       sol.Stats.S,
+			D:       sol.Stats.D,
+			Millis:  millis(sol.Elapsed),
+		}
+		for _, er := range sol.Engines {
+			ev := EngineView{
+				Method:  er.Method,
+				Optimal: er.Optimal,
+				Winner:  er.Winner,
+				Millis:  millis(er.Elapsed),
+				Err:     er.Err,
+			}
+			if !math.IsInf(er.Objective, 0) && !math.IsNaN(er.Objective) {
+				obj := er.Objective
+				ev.Objective = &obj
+			}
+			v.Labeling.Engines = append(v.Labeling.Engines, ev)
+		}
+	}
+	return v
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

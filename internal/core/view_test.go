@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"compact/internal/labeling"
+	"compact/internal/logic"
+)
+
+func synthFig2(t *testing.T, opts Options) (*logic.Network, *Result) {
+	t.Helper()
+	b := logic.NewBuilder("fig2")
+	a, bb, c := b.Input("a"), b.Input("b"), b.Input("c")
+	b.Output("f", b.Or(b.And(a, bb), c))
+	nw := b.Build()
+	res, err := Synthesize(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, res
+}
+
+func TestResultViewRoundTripEvalParity(t *testing.T) {
+	nw, res := synthFig2(t, Options{})
+	data, err := json.Marshal(res.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec ResultView
+	if err := json.Unmarshal(data, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Design == nil {
+		t.Fatal("decoded view has no design")
+	}
+	if dec.Fingerprint != nw.Fingerprint() {
+		t.Fatalf("fingerprint mismatch: %s vs %s", dec.Fingerprint, nw.Fingerprint())
+	}
+	// Eval parity: the decoded design computes exactly the source network.
+	for a := 0; a < 1<<3; a++ {
+		in := []bool{a&1 != 0, a&2 != 0, a&4 != 0}
+		want := nw.Eval(in)
+		got := dec.Design.Eval(in)
+		for o := range want {
+			if want[o] != got[o] {
+				t.Fatalf("decoded design disagrees with network on %v output %d", in, o)
+			}
+		}
+	}
+	if dec.Crossbar.Rows != res.Design.Rows || dec.Crossbar.Cols != res.Design.Cols {
+		t.Fatalf("crossbar view %dx%d vs design %dx%d",
+			dec.Crossbar.Rows, dec.Crossbar.Cols, res.Design.Rows, res.Design.Cols)
+	}
+	if dec.Circuit.Inputs != 3 || dec.Circuit.Outputs != 1 {
+		t.Fatalf("circuit view %+v", dec.Circuit)
+	}
+	if dec.BDDNodes != res.BDDNodes || dec.BDDEdges != res.BDDEdges {
+		t.Fatal("BDD stats lost in round trip")
+	}
+}
+
+func TestResultViewPortfolioEnginesMarshal(t *testing.T) {
+	// Portfolio reports can carry +Inf objectives for losing engines;
+	// the view must stay JSON-encodable regardless.
+	_, res := synthFig2(t, Options{Method: labeling.MethodPortfolio, TimeLimit: 30 * time.Second})
+	v := res.View()
+	if len(v.Labeling.Engines) == 0 {
+		t.Fatal("portfolio result has no engine reports")
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("portfolio view does not marshal: %v", err)
+	}
+	var dec ResultView
+	if err := json.Unmarshal(data, &dec); err != nil {
+		t.Fatal(err)
+	}
+	winners := 0
+	for _, e := range dec.Labeling.Engines {
+		if e.Winner {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("decoded view has %d winning engines, want 1", winners)
+	}
+}

@@ -1,0 +1,129 @@
+package logic
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"sort"
+)
+
+// fingerprintVersion is folded into every hash so the fingerprint can be
+// evolved without silently colliding with values from older releases. Bump
+// it whenever the canonical encoding below changes.
+const fingerprintVersion = "compact-network-v1"
+
+// Fingerprint returns a canonical content hash of the network, as a
+// lowercase hex string prefixed with "sha256:".
+//
+// The hash is structural, not positional: every gate contributes a digest
+// computed from its type and the digests of its fanins, so two networks
+// that differ only in gate numbering (or in the order unrelated gates were
+// declared) fingerprint identically. For symmetric gates (And, Or, Nand,
+// Nor, Xor, Xnor) the fanin digests are sorted first, making the hash
+// invariant under fanin permutation as well; Mux and the unary gates keep
+// their operand order. Primary inputs hash their declaration position and
+// name (both determine Eval semantics for callers indexing assignment
+// vectors), and primary outputs contribute their names and driver digests
+// in declaration order. The network's Name is deliberately excluded:
+// renaming a model does not change what it computes, and content-addressed
+// caches keyed by Fingerprint should not fragment on it.
+//
+// Fingerprint is the network half of the synthesis cache key used by the
+// compactd server; see core.Options.Key for the options half.
+func (n *Network) Fingerprint() string {
+	sum := n.fingerprintSum()
+	const hexdigits = "0123456789abcdef"
+	out := make([]byte, 0, len("sha256:")+2*len(sum))
+	out = append(out, "sha256:"...)
+	for _, b := range sum {
+		out = append(out, hexdigits[b>>4], hexdigits[b&0xf])
+	}
+	return string(out)
+}
+
+func (n *Network) fingerprintSum() [sha256.Size]byte {
+	// Per-gate structural digests, computed in id order (fanins always
+	// have smaller ids, so every child digest is ready when needed).
+	digests := make([][sha256.Size]byte, len(n.Gates))
+	inputPos := make(map[int]int, len(n.Inputs))
+	for pos, id := range n.Inputs {
+		inputPos[id] = pos
+	}
+	var num [8]byte
+	for gi, g := range n.Gates {
+		h := sha256.New()
+		hwrite(h, []byte{byte(g.Type)})
+		switch g.Type {
+		case Input:
+			binary.LittleEndian.PutUint64(num[:], uint64(inputPos[gi]))
+			hwrite(h, num[:])
+			hwrite(h, []byte(g.Name))
+		default:
+			kids := make([][sha256.Size]byte, len(g.Fanin))
+			for i, f := range g.Fanin {
+				kids[i] = digests[f]
+			}
+			if symmetricGate(g.Type) {
+				sort.Slice(kids, func(a, b int) bool {
+					return compareDigests(kids[a], kids[b]) < 0
+				})
+			}
+			for _, k := range kids {
+				hwrite(h, k[:])
+			}
+		}
+		h.Sum(digests[gi][:0])
+	}
+
+	// The network digest: version, input arity, outputs (name + driver, in
+	// order), then the multiset of all gate digests sorted — so dead gates
+	// still contribute content, but never positionally.
+	top := sha256.New()
+	hwrite(top, []byte(fingerprintVersion))
+	binary.LittleEndian.PutUint64(num[:], uint64(len(n.Inputs)))
+	hwrite(top, num[:])
+	binary.LittleEndian.PutUint64(num[:], uint64(len(n.Outputs)))
+	hwrite(top, num[:])
+	for i, id := range n.Outputs {
+		if i < len(n.OutputNames) {
+			hwrite(top, []byte(n.OutputNames[i]))
+		}
+		hwrite(top, []byte{0})
+		hwrite(top, digests[id][:])
+	}
+	all := make([][sha256.Size]byte, len(digests))
+	copy(all, digests)
+	sort.Slice(all, func(a, b int) bool { return compareDigests(all[a], all[b]) < 0 })
+	for _, d := range all {
+		hwrite(top, d[:])
+	}
+	var sum [sha256.Size]byte
+	top.Sum(sum[:0])
+	return sum
+}
+
+// hwrite feeds bytes to a hash. hash.Hash documents that Write never
+// returns an error; the indirection keeps the discard explicit.
+func hwrite(h hash.Hash, b []byte) { _, _ = h.Write(b) }
+
+// symmetricGate reports whether the gate's function is invariant under
+// fanin permutation.
+func symmetricGate(t GateType) bool {
+	switch t {
+	case And, Or, Nand, Nor, Xor, Xnor:
+		return true
+	}
+	return false
+}
+
+func compareDigests(a, b [sha256.Size]byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

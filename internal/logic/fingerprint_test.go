@@ -1,0 +1,126 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildXorShare builds out = (a & b) | (!a & c) with an extra shared
+// conjunction, using the Builder, with gates emitted in the given order of
+// the two AND terms (order=false swaps which AND is constructed first).
+// Both orders describe the same network content under renumbering.
+func buildXorShare(t *testing.T, swap bool) *Network {
+	t.Helper()
+	b := NewBuilder("m")
+	a := b.Input("a")
+	bi := b.Input("b")
+	c := b.Input("c")
+	na := b.Not(a)
+	var t1, t2 int
+	if swap {
+		t2 = b.And(na, c)
+		t1 = b.And(a, bi)
+	} else {
+		t1 = b.And(a, bi)
+		t2 = b.And(na, c)
+	}
+	b.Output("out", b.Or(t1, t2))
+	return b.Build()
+}
+
+func TestFingerprintStableAcrossRenumbering(t *testing.T) {
+	n1 := buildXorShare(t, false)
+	n2 := buildXorShare(t, true)
+	f1, f2 := n1.Fingerprint(), n2.Fingerprint()
+	if f1 != f2 {
+		t.Fatalf("renumbered networks fingerprint differently:\n%s\n%s", f1, f2)
+	}
+	if !strings.HasPrefix(f1, "sha256:") || len(f1) != len("sha256:")+64 {
+		t.Fatalf("malformed fingerprint %q", f1)
+	}
+}
+
+func TestFingerprintFaninPermutation(t *testing.T) {
+	build := func(swap bool) *Network {
+		b := NewBuilder("m")
+		a, c := b.Input("a"), b.Input("b")
+		if swap {
+			b.Output("o", b.And(c, a))
+		} else {
+			b.Output("o", b.And(a, c))
+		}
+		return b.Build()
+	}
+	if build(false).Fingerprint() != build(true).Fingerprint() {
+		t.Fatal("And(a,b) and And(b,a) should fingerprint identically")
+	}
+	// Mux is NOT symmetric: swapping d0/d1 changes the function.
+	mux := func(swap bool) *Network {
+		b := NewBuilder("m")
+		s, d0, d1 := b.Input("s"), b.Input("d0"), b.Input("d1")
+		if swap {
+			b.Output("o", b.Mux(s, d1, d0))
+		} else {
+			b.Output("o", b.Mux(s, d0, d1))
+		}
+		return b.Build()
+	}
+	if mux(false).Fingerprint() == mux(true).Fingerprint() {
+		t.Fatal("mux with swapped data fanins must fingerprint differently")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := buildXorShare(t, false)
+	fp := base.Fingerprint()
+
+	// Network name must not matter.
+	renamed := *base
+	renamed.Name = "other"
+	if renamed.Fingerprint() != fp {
+		t.Fatal("network name leaked into the fingerprint")
+	}
+
+	// Output name must matter (it is part of the wire contract).
+	named := *base
+	named.OutputNames = []string{"different"}
+	if named.Fingerprint() == fp {
+		t.Fatal("output rename did not change the fingerprint")
+	}
+
+	// Gate type must matter.
+	b := NewBuilder("m")
+	a := b.Input("a")
+	bi := b.Input("b")
+	c := b.Input("c")
+	na := b.Not(a)
+	t1 := b.And(a, bi)
+	t2 := b.And(na, c)
+	b.Output("out", b.And(t1, t2)) // Or -> And
+	other := b.Build()
+	if other.Fingerprint() == fp {
+		t.Fatal("gate-type change did not change the fingerprint")
+	}
+
+	// Input order must matter (it changes Eval vector semantics).
+	b2 := NewBuilder("m")
+	c2 := b2.Input("c")
+	a2 := b2.Input("a")
+	b2i := b2.Input("b")
+	na2 := b2.Not(a2)
+	b2.Output("out", b2.Or(b2.And(a2, b2i), b2.And(na2, c2)))
+	reord := b2.Build()
+	if reord.Fingerprint() == fp {
+		t.Fatal("input reordering did not change the fingerprint")
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	n := buildXorShare(t, false)
+	f := n.Fingerprint()
+	for i := 0; i < 10; i++ {
+		if g := n.Fingerprint(); g != f {
+			t.Fatalf("fingerprint not deterministic: %s vs %s", f, g)
+		}
+	}
+}

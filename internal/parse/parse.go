@@ -1,0 +1,211 @@
+// Package parse is the single circuit-ingestion entry point shared by the
+// compact façade, the CLIs and the compactd server. It unifies the three
+// supported input formats — BLIF, Berkeley PLA and gate-level structural
+// Verilog — behind one Parse call with optional format auto-detection, so
+// every consumer resolves formats, model names and parser errors the same
+// way.
+package parse
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"compact/internal/blif"
+	"compact/internal/logic"
+	"compact/internal/pla"
+	"compact/internal/verilog"
+)
+
+// Format identifies a circuit input format.
+type Format uint8
+
+// Supported formats. Auto sniffs the format from content (see Sniff).
+const (
+	Auto Format = iota
+	BLIF
+	PLA
+	Verilog
+)
+
+// String returns the lowercase format name.
+func (f Format) String() string {
+	switch f {
+	case Auto:
+		return "auto"
+	case BLIF:
+		return "blif"
+	case PLA:
+		return "pla"
+	case Verilog:
+		return "verilog"
+	}
+	return fmt.Sprintf("format(%d)", uint8(f))
+}
+
+// FormatFromString parses a format name: auto (or empty), blif, pla,
+// verilog (or v).
+func FormatFromString(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return Auto, nil
+	case "blif":
+		return BLIF, nil
+	case "pla":
+		return PLA, nil
+	case "verilog", "v":
+		return Verilog, nil
+	}
+	return Auto, fmt.Errorf("parse: unknown format %q (want auto, blif, pla or verilog)", s)
+}
+
+// FormatFromPath maps a file extension to its format: .blif, .pla, .v.
+// Unknown extensions return Auto, deferring to content sniffing.
+func FormatFromPath(path string) Format {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".blif":
+		return BLIF
+	case ".pla":
+		return PLA
+	case ".v":
+		return Verilog
+	}
+	return Auto
+}
+
+// maxSniffBytes bounds how much of the input Sniff examines.
+const maxSniffBytes = 1 << 16
+
+// Sniff auto-detects the format of circuit source text by scanning its
+// leading significant lines:
+//
+//   - a "module" keyword, a Verilog comment (// or /*) or a backtick
+//     compiler directive selects Verilog;
+//   - a dot directive distinguishes BLIF (.model, .inputs, .outputs,
+//     .names, .latch, .subckt, .exdc, .end) from PLA (.i, .o, .p, .ilb,
+//     .ob, .type, .mv, .phase, .pair, .symbolic, .e);
+//   - a bare cube row over {0,1,-,~, |} (PLA cover rows may precede any
+//     named directive when .i/.o appear later) selects PLA.
+//
+// Lines starting with '#' are comments in both BLIF and PLA and are
+// skipped. Sniff fails with a descriptive error when nothing recognizable
+// appears in the first 64 KiB.
+func Sniff(src []byte) (Format, error) {
+	if len(src) > maxSniffBytes {
+		src = src[:maxSniffBytes]
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "//") || strings.HasPrefix(line, "/*") ||
+			strings.HasPrefix(line, "`") || strings.HasPrefix(line, "module") {
+			return Verilog, nil
+		}
+		if strings.HasPrefix(line, ".") {
+			directive := line
+			if i := strings.IndexAny(line, " \t"); i >= 0 {
+				directive = line[:i]
+			}
+			switch directive {
+			case ".model", ".inputs", ".outputs", ".names", ".latch",
+				".subckt", ".exdc", ".end", ".wire_load_slope", ".gate":
+				return BLIF, nil
+			case ".i", ".o", ".p", ".ilb", ".ob", ".type", ".mv",
+				".phase", ".pair", ".symbolic", ".e":
+				return PLA, nil
+			default:
+				return Auto, fmt.Errorf("parse: unrecognized dot directive %q", directive)
+			}
+		}
+		if isCubeRow(line) {
+			return PLA, nil
+		}
+		return Auto, fmt.Errorf("parse: cannot detect format from line %q", truncate(line, 40))
+	}
+	return Auto, fmt.Errorf("parse: no recognizable circuit content")
+}
+
+// isCubeRow reports whether the line looks like a PLA cover row.
+func isCubeRow(line string) bool {
+	seen := false
+	for _, r := range line {
+		switch r {
+		case '0', '1', '-', '~', '|':
+			seen = true
+		case ' ', '\t':
+		default:
+			return false
+		}
+	}
+	return seen
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
+}
+
+// Parse reads one circuit from r in the given format (Auto sniffs it from
+// the content) and elaborates it into a logic.Network. It is the entry
+// point behind compact.Parse; see ParseNamed for overriding the model
+// name of formats that do not embed one.
+func Parse(r io.Reader, format Format) (*logic.Network, error) {
+	return ParseNamed(r, format, "")
+}
+
+// ParseNamed is Parse with an explicit model name. PLA tables carry no
+// model name in the format itself, so name (or "pla", when empty) becomes
+// the network name; BLIF and Verilog embed their own names and ignore it.
+func ParseNamed(r io.Reader, format Format, name string) (*logic.Network, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("parse: read: %w", err)
+	}
+	if format == Auto {
+		format, err = Sniff(src)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch format {
+	case BLIF:
+		return blif.Parse(bytes.NewReader(src))
+	case PLA:
+		t, err := pla.Parse(bytes.NewReader(src))
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			name = t.Name
+		}
+		if name == "" {
+			name = "pla"
+		}
+		return t.Network(name)
+	case Verilog:
+		return verilog.Parse(bytes.NewReader(src))
+	}
+	return nil, fmt.Errorf("parse: unsupported format %v", format)
+}
+
+// ParseFile opens and parses path, picking the format from the extension
+// and falling back to content sniffing for unknown extensions. The file
+// base name (without extension) becomes the model name for formats that
+// need one.
+func ParseFile(path string) (*logic.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//lint:ignore errdrop file opened read-only; Close cannot lose written data
+	defer f.Close()
+	base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return ParseNamed(f, FormatFromPath(path), base)
+}

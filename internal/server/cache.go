@@ -1,0 +1,90 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a content-addressed LRU cache of marshaled synthesis
+// responses. Keys are "fingerprint|optionskey" strings (see cacheKey);
+// values are the exact response bodies served to clients, so a cache hit
+// is byte-identical to the miss that populated it. The cache is bounded
+// both by entry count and by total body bytes; inserting past either
+// bound evicts from the least-recently-used end. All methods are safe for
+// concurrent use.
+type resultCache struct {
+	mu       sync.Mutex
+	maxItems int
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache builds a cache bounded by maxItems entries and maxBytes
+// total body bytes; zero or negative bounds disable that dimension's
+// limit (both disabled means unbounded, which only tests should use).
+func newResultCache(maxItems int, maxBytes int64) *resultCache {
+	return &resultCache{
+		maxItems: maxItems,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key and marks it most recently used.
+// The returned slice is shared — callers must not mutate it.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put inserts (or refreshes) key with the given body and evicts as needed.
+// Bodies larger than the byte bound are not cached at all.
+func (c *resultCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(ent.body))
+		ent.body = body
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.items[key] = el
+		c.bytes += int64(len(body))
+	}
+	for (c.maxItems > 0 && c.ll.Len() > c.maxItems) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, ent.key)
+		c.bytes -= int64(len(ent.body))
+	}
+}
+
+// stats returns the current entry count and byte footprint.
+func (c *resultCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEntryBound(t *testing.T) {
+	c := newResultCache(3, 0)
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if _, ok := c.get("k0"); ok {
+		t.Fatalf("k0 should have been evicted as least recently used")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d missing", i)
+		}
+	}
+	// Touch k1, insert k4: k2 is now the LRU victim.
+	c.get("k1")
+	c.get("k3")
+	c.put("k4", []byte{4})
+	if _, ok := c.get("k2"); ok {
+		t.Fatalf("k2 should have been evicted after k1/k3 were touched")
+	}
+	if entries, _ := c.stats(); entries != 3 {
+		t.Fatalf("entries = %d, want 3", entries)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := newResultCache(0, 10)
+	c.put("a", bytes.Repeat([]byte{1}, 6))
+	c.put("b", bytes.Repeat([]byte{2}, 6)) // 12 bytes total: "a" evicted
+	if _, ok := c.get("a"); ok {
+		t.Fatalf("a should have been evicted by the byte bound")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Fatalf("b missing")
+	}
+	if _, bytes := c.stats(); bytes != 6 {
+		t.Fatalf("bytes = %d, want 6", bytes)
+	}
+	// Oversized bodies are not cached at all.
+	c.put("huge", make([]byte, 11))
+	if _, ok := c.get("huge"); ok {
+		t.Fatalf("oversized body should not have been cached")
+	}
+}
+
+func TestCacheRefreshSameKey(t *testing.T) {
+	c := newResultCache(2, 0)
+	c.put("k", []byte("one"))
+	c.put("k", []byte("three"))
+	body, ok := c.get("k")
+	if !ok || string(body) != "three" {
+		t.Fatalf("refresh lost: %q, %v", body, ok)
+	}
+	if entries, total := c.stats(); entries != 1 || total != int64(len("three")) {
+		t.Fatalf("stats = %d entries, %d bytes", entries, total)
+	}
+}

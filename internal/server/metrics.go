@@ -1,0 +1,74 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"runtime"
+)
+
+// metrics is the server's observability surface, built on expvar types
+// (which are individually race-safe) but deliberately NOT registered in
+// the process-global expvar registry: a Server owns its metrics, so tests
+// and embedders can run any number of servers in one process. The
+// /debug/vars handler serves this map plus the runtime memstats, mirroring
+// what the stock expvar handler exposes.
+type metrics struct {
+	vars *expvar.Map
+
+	requests     expvar.Int // HTTP requests accepted on /v1/synthesize
+	cacheHits    expvar.Int // served straight from the result cache
+	cacheMisses  expvar.Int // required a new solve
+	cacheShared  expvar.Int // joined an in-flight identical solve
+	cacheEntries expvar.Int // current cache entry count
+	cacheBytes   expvar.Int // current cache body bytes
+	inflight     expvar.Int // solves currently running or queued
+	solves       expvar.Int // completed SynthesizeContext calls
+	solveErrors  expvar.Int // solves that returned an error
+	badRequests  expvar.Int // 4xx responses
+	solveMillis  expvar.Float
+	parseMillis  expvar.Float
+	engineMillis *expvar.Map // per-engine cumulative wall clock (portfolio)
+}
+
+func newMetrics() *metrics {
+	m := &metrics{vars: new(expvar.Map).Init(), engineMillis: new(expvar.Map).Init()}
+	m.vars.Set("requests_total", &m.requests)
+	m.vars.Set("cache_hits_total", &m.cacheHits)
+	m.vars.Set("cache_misses_total", &m.cacheMisses)
+	m.vars.Set("cache_shared_total", &m.cacheShared)
+	m.vars.Set("cache_entries", &m.cacheEntries)
+	m.vars.Set("cache_bytes", &m.cacheBytes)
+	m.vars.Set("solves_inflight", &m.inflight)
+	m.vars.Set("solves_total", &m.solves)
+	m.vars.Set("solve_errors_total", &m.solveErrors)
+	m.vars.Set("bad_requests_total", &m.badRequests)
+	m.vars.Set("solve_ms_total", &m.solveMillis)
+	m.vars.Set("parse_ms_total", &m.parseMillis)
+	m.vars.Set("engine_ms_total", m.engineMillis)
+	return m
+}
+
+// recordEngine accumulates one portfolio engine's wall clock.
+func (m *metrics) recordEngine(method string, ms float64) {
+	m.engineMillis.AddFloat(method, ms)
+}
+
+// handleVars serves the metrics map as a JSON document, shaped like the
+// stock /debug/vars: the server's counters under "compactd" plus the
+// runtime memstats.
+func (m *metrics) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	doc := struct {
+		Compactd   json.RawMessage `json:"compactd"`
+		Goroutines int             `json:"goroutines"`
+		MemAlloc   uint64          `json:"mem_alloc_bytes"`
+	}{
+		Compactd:   json.RawMessage(m.vars.String()),
+		Goroutines: runtime.NumGoroutine(),
+		MemAlloc:   ms.Alloc,
+	}
+	writeJSON(w, http.StatusOK, doc)
+}

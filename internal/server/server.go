@@ -1,0 +1,342 @@
+// Package server implements compactd, the COMPACT synthesis service: an
+// HTTP JSON API that parses submitted circuits (BLIF, PLA or structural
+// Verilog, auto-detected), synthesizes crossbar designs through the
+// context-cancellable core pipeline on a bounded worker pool, and serves
+// repeated requests from a content-addressed result cache.
+//
+// Three mechanisms amortize solver work across traffic, in order:
+//
+//  1. Content addressing: requests are keyed by
+//     logic.Network.Fingerprint() x core.Options.Key(), so identical
+//     (circuit, options) pairs — regardless of gate numbering, input
+//     format or how defaults were spelled — share one cache slot.
+//  2. An LRU result cache stores the exact marshaled response bodies;
+//     hits are byte-identical to the miss that populated them and skip
+//     the solver entirely.
+//  3. Singleflight deduplication: concurrent identical requests join one
+//     in-flight solve instead of queuing duplicates behind it.
+//
+// Solves run detached from individual request contexts (a client that
+// disconnects does not cancel work others are waiting on); the per-request
+// budget is enforced through core.Options.TimeLimit, whose expiry degrades
+// to the anytime best-so-far result rather than an error. Observability:
+// /debug/vars serves request/cache/solver counters (including per-engine
+// portfolio latencies) and /debug/pprof the standard profiles.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strings"
+	"time"
+
+	"compact/internal/bench"
+	"compact/internal/core"
+	"compact/internal/labeling"
+	"compact/internal/logic"
+	"compact/internal/parse"
+)
+
+// SynthFunc is the synthesis pipeline the server drives; production
+// servers use core.SynthesizeContext, tests may substitute instrumented
+// stand-ins.
+type SynthFunc func(ctx context.Context, nw *logic.Network, opts core.Options) (*core.Result, error)
+
+// Config tunes a Server. The zero value gives production defaults.
+type Config struct {
+	// Workers bounds concurrent solves (default: GOMAXPROCS).
+	Workers int
+	// CacheEntries / CacheBytes bound the result cache (defaults: 512
+	// entries, 256 MiB of response bodies).
+	CacheEntries int
+	CacheBytes   int64
+	// DefaultTimeLimit is the per-request solve budget applied when the
+	// request specifies none (default 30s); MaxTimeLimit clamps what a
+	// request may ask for (default 5m). Both feed core.Options.TimeLimit,
+	// so they are part of the cache key.
+	DefaultTimeLimit time.Duration
+	MaxTimeLimit     time.Duration
+	// MaxBodyBytes caps the request body (default 64 MiB).
+	MaxBodyBytes int64
+	// Synth overrides the synthesis pipeline (tests); nil means
+	// core.SynthesizeContext.
+	Synth SynthFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.DefaultTimeLimit <= 0 {
+		c.DefaultTimeLimit = 30 * time.Second
+	}
+	if c.MaxTimeLimit <= 0 {
+		c.MaxTimeLimit = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Synth == nil {
+		c.Synth = core.SynthesizeContext
+	}
+	return c
+}
+
+// errShuttingDown reports that the server's base context ended.
+var errShuttingDown = errors.New("server: shutting down")
+
+// Server is the compactd request handler. Create with New, mount via
+// Handler. Safe for concurrent use; all mutable state is per-instance.
+type Server struct {
+	cfg     Config
+	base    context.Context
+	metrics *metrics
+	cache   *resultCache
+	flights *flightGroup
+	sem     chan struct{} // worker-pool slots
+	mux     *http.ServeMux
+	start   time.Time
+	benches []benchmarkInfo
+}
+
+// New builds a Server. base is the server's lifetime: canceling it fails
+// new and queued solves with 503 (in-flight HTTP exchanges are the
+// embedding http.Server's to drain; pair this with Shutdown).
+func New(base context.Context, cfg Config) *Server {
+	if base == nil {
+		base = context.Background()
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		base:    base,
+		metrics: newMetrics(),
+		cache:   newResultCache(cfg.CacheEntries, cfg.CacheBytes),
+		flights: newFlightGroup(),
+		sem:     make(chan struct{}, cfg.Workers),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	for _, g := range bench.All() {
+		s.benches = append(s.benches, benchmarkInfo{
+			Name:        g.Name,
+			Suite:       g.Suite,
+			Inputs:      g.Inputs,
+			Outputs:     g.Outputs,
+			Description: g.Description,
+		})
+	}
+	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/vars", s.metrics.handleVars)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's expvar map (for embedding into a global
+// registry when desired; it is not globally registered by default).
+func (s *Server) Metrics() *expvar.Map { return s.metrics.vars }
+
+// handleSynthesize is POST /v1/synthesize.
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields() // wire format v1 is strict: typos are 400s
+	var req synthesizeRequest
+	if err := dec.Decode(&req); err != nil {
+		s.clientError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return
+	}
+
+	nw, status, err := s.resolveNetwork(&req)
+	if err != nil {
+		s.clientError(w, status, "%v", err)
+		return
+	}
+	opts, err := req.Options.toCore(s.cfg.DefaultTimeLimit, s.cfg.MaxTimeLimit)
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, "invalid options: %v", err)
+		return
+	}
+
+	key := cacheKey(nw, opts)
+	if body, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		s.writeResult(w, "hit", body)
+		return
+	}
+
+	fl, leader := s.flights.do(key, func() ([]byte, error) {
+		return s.solve(key, nw, opts)
+	})
+	if leader {
+		s.metrics.cacheMisses.Add(1)
+	} else {
+		s.metrics.cacheShared.Add(1)
+	}
+	body, err := fl.wait(r.Context())
+	switch {
+	case err == nil:
+		disposition := "miss"
+		if !leader {
+			disposition = "shared"
+		}
+		s.writeResult(w, disposition, body)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The waiter's request context ended; the solve itself continues
+		// for any remaining waiters and the cache.
+		writeError(w, http.StatusServiceUnavailable, "request abandoned: %v", err)
+	case errors.Is(err, errShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, labeling.ErrInfeasible):
+		s.clientError(w, http.StatusUnprocessableEntity, "infeasible: %v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "synthesis failed: %v", err)
+	}
+}
+
+// resolveNetwork turns the request into a logic.Network, reporting the
+// HTTP status to use on error.
+func (s *Server) resolveNetwork(req *synthesizeRequest) (*logic.Network, int, error) {
+	hasCircuit := req.Circuit != ""
+	hasBench := req.Benchmark != ""
+	switch {
+	case hasCircuit && hasBench:
+		return nil, http.StatusBadRequest, errors.New("request sets both circuit and benchmark")
+	case hasBench:
+		g, ok := bench.ByName(req.Benchmark)
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("unknown benchmark %q (see /v1/benchmarks)", req.Benchmark)
+		}
+		return g.Build(), 0, nil
+	case hasCircuit:
+		format, err := parse.FormatFromString(req.Format)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		t0 := time.Now()
+		nw, err := parse.ParseNamed(strings.NewReader(req.Circuit), format, req.Name)
+		s.metrics.parseMillis.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("parsing circuit: %w", err)
+		}
+		return nw, 0, nil
+	default:
+		return nil, http.StatusBadRequest, errors.New("request needs a circuit or a benchmark name")
+	}
+}
+
+// solve runs one deduplicated synthesis: acquire a worker slot, run the
+// pipeline under the server's lifetime context (the per-request budget
+// travels inside opts.TimeLimit), marshal the response and cache it.
+func (s *Server) solve(key string, nw *logic.Network, opts core.Options) ([]byte, error) {
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.base.Done():
+		return nil, errShuttingDown
+	}
+	defer func() { <-s.sem }()
+	if s.base.Err() != nil {
+		return nil, errShuttingDown
+	}
+
+	t0 := time.Now()
+	res, err := s.cfg.Synth(s.base, nw, opts)
+	elapsed := time.Since(t0)
+	s.metrics.solves.Add(1)
+	s.metrics.solveMillis.Add(float64(elapsed) / float64(time.Millisecond))
+	if err != nil {
+		s.metrics.solveErrors.Add(1)
+		if s.base.Err() != nil {
+			return nil, errShuttingDown
+		}
+		return nil, err
+	}
+	if res.Labeling != nil {
+		for _, er := range res.Labeling.Engines {
+			s.metrics.recordEngine(er.Method, float64(er.Elapsed)/float64(time.Millisecond))
+		}
+	}
+	body, err := json.Marshal(synthesizeResponse{Key: key, Result: res.View()})
+	if err != nil {
+		return nil, fmt.Errorf("encoding result: %w", err)
+	}
+	s.cache.put(key, body)
+	entries, bytes := s.cache.stats()
+	s.metrics.cacheEntries.Set(int64(entries))
+	s.metrics.cacheBytes.Set(bytes)
+	return body, nil
+}
+
+// writeResult sends a cached or fresh 200 body with its cache disposition.
+func (s *Server) writeResult(w http.ResponseWriter, disposition string, body []byte) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Compactd-Cache", disposition)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) clientError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.metrics.badRequests.Add(1)
+	writeError(w, status, format, args...)
+}
+
+// handleBenchmarks is GET /v1/benchmarks.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Benchmarks []benchmarkInfo `json:"benchmarks"`
+	}{s.benches})
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type health struct {
+		Status   string  `json:"status"`
+		UptimeMS float64 `json:"uptime_ms"`
+		Inflight int64   `json:"inflight"`
+		Workers  int     `json:"workers"`
+	}
+	h := health{
+		Status:   "ok",
+		UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Inflight: s.metrics.inflight.Value(),
+		Workers:  s.cfg.Workers,
+	}
+	status := http.StatusOK
+	if s.base.Err() != nil {
+		h.Status = "shutting_down"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// cacheKey composes the content-addressed synthesis key: the network's
+// canonical fingerprint crossed with the canonical options key. Both
+// halves are stable hashes, so the key is independent of gate numbering,
+// input format and default spelling.
+func cacheKey(nw *logic.Network, opts core.Options) string {
+	return nw.Fingerprint() + "|" + opts.Key()
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"compact/internal/core"
+)
+
+// The /v1/synthesize wire format (version 1)
+//
+// Request:
+//
+//	{
+//	  "circuit":   "<BLIF, PLA or structural Verilog source>",
+//	  "benchmark": "ctrl",            // alternative to circuit
+//	  "format":    "auto",            // auto | blif | pla | verilog
+//	  "name":      "mytable",         // model name for PLA sources
+//	  "options": {
+//	    "gamma":         0.5,         // omit for the paper default
+//	    "method":        "portfolio", // auto|oct|mip|heuristic|portfolio
+//	    "bdd":           "sbdd",      // sbdd | robdds
+//	    "no_align":      false,
+//	    "time_limit_ms": 10000,       // per-request solve budget
+//	    "var_order":     [2,0,1],
+//	    "sift":          false,
+//	    "node_limit":    0,
+//	    "max_rows":      0,
+//	    "max_cols":      0
+//	  }
+//	}
+//
+// Exactly one of circuit/benchmark must be set. The omitted-gamma rule is
+// core's documented zero-value rule: an absent "gamma" means the paper
+// default 0.5; an explicit 0 means γ = 0.
+//
+// Response (200):
+//
+//	{"key": "<cache key>", "result": {core.ResultView}}
+//
+// plus the X-Compactd-Cache header: "hit" (served from cache), "miss"
+// (this request ran the solve) or "shared" (joined a concurrent identical
+// solve). Hit bodies are byte-identical to the miss that cached them.
+//
+// Errors are {"error": "..."} with 4xx for client mistakes (malformed
+// JSON, unknown formats/benchmarks, invalid options, unparseable
+// circuits), 404 for unknown benchmarks, 503 when shutting down and 500
+// for internal synthesis failures.
+
+// synthesizeRequest is the POST /v1/synthesize body.
+type synthesizeRequest struct {
+	Circuit   string       `json:"circuit,omitempty"`
+	Benchmark string       `json:"benchmark,omitempty"`
+	Format    string       `json:"format,omitempty"`
+	Name      string       `json:"name,omitempty"`
+	Options   *wireOptions `json:"options,omitempty"`
+}
+
+// wireOptions is the JSON projection of core.Options. Pointer fields
+// distinguish "absent" from explicit zeros where the distinction matters
+// (gamma's zero-value rule).
+type wireOptions struct {
+	Gamma       *float64 `json:"gamma,omitempty"`
+	Method      string   `json:"method,omitempty"`
+	BDD         string   `json:"bdd,omitempty"`
+	NoAlign     bool     `json:"no_align,omitempty"`
+	TimeLimitMS int64    `json:"time_limit_ms,omitempty"`
+	VarOrder    []int    `json:"var_order,omitempty"`
+	Sift        bool     `json:"sift,omitempty"`
+	NodeLimit   int      `json:"node_limit,omitempty"`
+	MaxRows     int      `json:"max_rows,omitempty"`
+	MaxCols     int      `json:"max_cols,omitempty"`
+}
+
+// toCore maps wire options onto core.Options, applying the server's
+// request-budget policy: an absent or zero time limit becomes
+// defaultLimit, and any requested limit is clamped to maxLimit.
+func (o *wireOptions) toCore(defaultLimit, maxLimit time.Duration) (core.Options, error) {
+	var opts core.Options
+	if o != nil {
+		if o.Gamma != nil {
+			opts.Gamma = *o.Gamma
+			opts.GammaSet = true
+		}
+		m, err := core.MethodFromString(o.Method)
+		if err != nil {
+			return opts, err
+		}
+		opts.Method = m
+		k, err := core.BDDKindFromString(o.BDD)
+		if err != nil {
+			return opts, err
+		}
+		opts.BDDKind = k
+		opts.NoAlign = o.NoAlign
+		if o.TimeLimitMS < 0 {
+			return opts, fmt.Errorf("server: negative time_limit_ms %d", o.TimeLimitMS)
+		}
+		opts.TimeLimit = time.Duration(o.TimeLimitMS) * time.Millisecond
+		opts.VarOrder = o.VarOrder
+		opts.Sift = o.Sift
+		opts.NodeLimit = o.NodeLimit
+		opts.MaxRows = o.MaxRows
+		opts.MaxCols = o.MaxCols
+	}
+	if opts.TimeLimit <= 0 {
+		opts.TimeLimit = defaultLimit
+	}
+	if maxLimit > 0 && opts.TimeLimit > maxLimit {
+		opts.TimeLimit = maxLimit
+	}
+	if err := opts.Validate(); err != nil {
+		return opts, err
+	}
+	return opts.Canonical(), nil
+}
+
+// synthesizeResponse is the 200 body of /v1/synthesize.
+type synthesizeResponse struct {
+	Key    string          `json:"key"`
+	Result core.ResultView `json:"result"`
+}
+
+// benchmarkInfo is one /v1/benchmarks entry.
+type benchmarkInfo struct {
+	Name        string `json:"name"`
+	Suite       string `json:"suite"`
+	Inputs      int    `json:"inputs"`
+	Outputs     int    `json:"outputs"`
+	Description string `json:"description,omitempty"`
+}
+
+// errorResponse is every non-200 body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Marshaling our own wire types cannot fail for valid values;
+		// degrade to a plain 500 rather than panicking mid-response.
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+// writeError sends a JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}

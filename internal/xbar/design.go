@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"compact/internal/errio"
 )
@@ -76,10 +76,11 @@ type Design struct {
 	VarNames []string
 
 	// sparse caches the non-Off cells for fast repeated evaluation; it is
-	// built lazily on first Eval (guarded by sparseOnce so concurrent
-	// first Evals are safe), so Cells must not be mutated afterwards.
-	sparseOnce sync.Once
-	sparse     []sparseCell
+	// built lazily on first Eval (published through an atomic pointer so
+	// concurrent first Evals are safe — they may build the slice twice,
+	// but the result is identical), so Cells must not be mutated after
+	// the first Eval. UnmarshalJSON resets it when re-decoding in place.
+	sparse atomic.Pointer[[]sparseCell]
 }
 
 type sparseCell struct {
@@ -88,19 +89,19 @@ type sparseCell struct {
 }
 
 func (d *Design) sparseCells() []sparseCell {
-	d.sparseOnce.Do(func() {
-		for r, row := range d.Cells {
-			for c, e := range row {
-				if e.Kind != Off {
-					d.sparse = append(d.sparse, sparseCell{r, c, e})
-				}
+	if p := d.sparse.Load(); p != nil {
+		return *p
+	}
+	cells := []sparseCell{}
+	for r, row := range d.Cells {
+		for c, e := range row {
+			if e.Kind != Off {
+				cells = append(cells, sparseCell{r, c, e})
 			}
 		}
-		if d.sparse == nil {
-			d.sparse = []sparseCell{}
-		}
-	})
-	return d.sparse
+	}
+	d.sparse.Store(&cells)
+	return cells
 }
 
 // NewDesign allocates an all-Off crossbar.

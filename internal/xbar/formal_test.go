@@ -86,7 +86,7 @@ outer:
 				continue
 			}
 			d.Cells[r][c].Neg = !d.Cells[r][c].Neg
-			d.sparse = nil
+			d.sparse.Store(nil)
 			sampledBad := d.VerifyAgainst(nw.Eval, 5, 10, 0, 1) != nil
 			formalErr := FormalVerify(d, nw, 0)
 			if sampledBad && formalErr == nil {
@@ -106,7 +106,7 @@ func TestFormalVerifyWitnessIsReal(t *testing.T) {
 		for c := 0; c < d.Cols; c++ {
 			if d.Cells[r][c].Kind == Lit {
 				d.Cells[r][c].Neg = !d.Cells[r][c].Neg
-				d.sparse = nil
+				d.sparse.Store(nil)
 				err := FormalVerify(d, nw, 0)
 				if err == nil {
 					t.Skip("flip was logically masked")
