@@ -8,8 +8,11 @@
 #   4. selfcheck   — boot compactd on a loopback port and smoke-test the
 #                    health/benchmark/synthesize endpoints + cache contract
 #   5. -race       — internal packages under the race detector (includes
-#                    the concurrent Synthesize and compactd server tests)
-#   6. compactlint — the project's own analyzers; any finding fails the gate
+#                    the concurrent Synthesize, defect placement and
+#                    compactd server tests)
+#   6. fuzz smoke  — a few seconds on each native fuzz target (the three
+#                    parser front ends and the design wire decoder)
+#   7. compactlint — the project's own analyzers; any finding fails the gate
 #
 # Usage: ./check.sh [-short] [-bench]
 #   -short skips the -race pass (the slowest step) for quick local loops.
@@ -53,6 +56,12 @@ go run ./cmd/compactd -selfcheck
 if [ "$short" -eq 0 ]; then
     echo "== race detector (internal) =="
     go test -race ./internal/...
+
+    echo "== fuzz smoke =="
+    go test -fuzz=FuzzParse -fuzztime=5s -run='^$' ./internal/blif/
+    go test -fuzz=FuzzParse -fuzztime=5s -run='^$' ./internal/pla/
+    go test -fuzz=FuzzParse -fuzztime=5s -run='^$' ./internal/verilog/
+    go test -fuzz=FuzzDesignJSON -fuzztime=5s -run='^$' ./internal/xbar/
 fi
 
 echo "== compactlint =="

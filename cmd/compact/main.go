@@ -6,7 +6,12 @@
 //
 //	compact -in circuit.blif [-gamma 0.5] [-method auto|oct|mip|heuristic|portfolio]
 //	        [-robdds] [-noalign] [-timelimit 60s] [-render] [-dot out.dot]
-//	        [-verify N] [-spice]
+//	        [-verify N] [-spice] [-defects map.json] [-defect-rate 0.05]
+//
+// The -defects / -defect-rate flags enable defect-aware placement: the
+// design is placed onto a defective crossbar (an explicit stuck-at map, or
+// one generated at the given rate from -defect-seed) and the effective
+// placed design is re-verified before it is reported.
 //
 // Interrupting the run (SIGINT/SIGTERM) cancels the synthesis context; the
 // anytime solvers unwind with their best labeling so far where possible.
@@ -14,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,26 +28,55 @@ import (
 	"time"
 
 	"compact/internal/core"
+	"compact/internal/defect"
 	"compact/internal/parse"
 	"compact/internal/spice"
 )
 
+// cliConfig carries every flag that tunes run; the zero value plus a gamma
+// is a plain defect-free synthesis.
+type cliConfig struct {
+	gamma      float64
+	method     string
+	robdds     bool
+	noalign    bool
+	timeLimit  time.Duration
+	sift       bool
+	render     bool
+	dotPath    string
+	svgPath    string
+	verifyN    int
+	runSpice   bool
+	formal     bool
+	defectsMap string // path to a defect.Map JSON file
+	defectRate float64
+	defectOn   float64
+	defectSeed uint64
+	repairMax  int
+}
+
 func main() {
 	var (
-		inPath    = flag.String("in", "", "input circuit (.blif, .pla or structural .v)")
-		gamma     = flag.Float64("gamma", 0.5, "objective weight: 1 minimizes semiperimeter, 0 max dimension")
-		method    = flag.String("method", "auto", "labeling method: auto, oct, mip, heuristic, portfolio")
-		robdds    = flag.Bool("robdds", false, "use per-output ROBDDs merged by the 1-terminal instead of a shared SBDD")
-		noalign   = flag.Bool("noalign", false, "drop the input/output alignment constraints (Eq. 7)")
-		timeLimit = flag.Duration("timelimit", 60*time.Second, "exact-solver time limit")
-		sift      = flag.Bool("sift", false, "improve the BDD variable order by rebuild-based sifting")
-		render    = flag.Bool("render", false, "print the crossbar matrix")
-		dotPath   = flag.String("dot", "", "write the crossbar's BDD in Graphviz format (unsupported with -robdds)")
-		verifyN   = flag.Int("verify", 1000, "random vectors for functional validation (0 disables; exhaustive when few inputs)")
-		runSpice  = flag.Bool("spice", false, "run the SPICE-lite electrical margin analysis")
-		svgPath   = flag.String("svg", "", "write the crossbar design as an SVG image")
-		formal    = flag.Bool("formal", false, "prove design/network equivalence for ALL inputs (symbolic sneak-path closure)")
+		inPath = flag.String("in", "", "input circuit (.blif, .pla or structural .v)")
+		cfg    cliConfig
 	)
+	flag.Float64Var(&cfg.gamma, "gamma", 0.5, "objective weight: 1 minimizes semiperimeter, 0 max dimension")
+	flag.StringVar(&cfg.method, "method", "auto", "labeling method: auto, oct, mip, heuristic, portfolio")
+	flag.BoolVar(&cfg.robdds, "robdds", false, "use per-output ROBDDs merged by the 1-terminal instead of a shared SBDD")
+	flag.BoolVar(&cfg.noalign, "noalign", false, "drop the input/output alignment constraints (Eq. 7)")
+	flag.DurationVar(&cfg.timeLimit, "timelimit", 60*time.Second, "exact-solver time limit")
+	flag.BoolVar(&cfg.sift, "sift", false, "improve the BDD variable order by rebuild-based sifting")
+	flag.BoolVar(&cfg.render, "render", false, "print the crossbar matrix")
+	flag.StringVar(&cfg.dotPath, "dot", "", "write the crossbar's BDD in Graphviz format (unsupported with -robdds)")
+	flag.IntVar(&cfg.verifyN, "verify", 1000, "random vectors for functional validation (0 disables; exhaustive when few inputs)")
+	flag.BoolVar(&cfg.runSpice, "spice", false, "run the SPICE-lite electrical margin analysis")
+	flag.StringVar(&cfg.svgPath, "svg", "", "write the crossbar design as an SVG image")
+	flag.BoolVar(&cfg.formal, "formal", false, "prove design/network equivalence for ALL inputs (symbolic sneak-path closure)")
+	flag.StringVar(&cfg.defectsMap, "defects", "", "defect map JSON file; place the design onto this defective crossbar")
+	flag.Float64Var(&cfg.defectRate, "defect-rate", 0, "generate a seeded defect map with this stuck-at cell fraction [0,1)")
+	flag.Float64Var(&cfg.defectOn, "defect-on", 0, "stuck-ON share of generated defects (default 0.5)")
+	flag.Uint64Var(&cfg.defectSeed, "defect-seed", 0, "seed for defect generation and placement search")
+	flag.IntVar(&cfg.repairMax, "repair", 0, "max place-verify-retry attempts (default 3)")
 	flag.Parse()
 	if *inPath == "" {
 		flag.Usage()
@@ -49,34 +84,47 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *inPath, *gamma, *method, *robdds, *noalign, *timeLimit, *sift, *render, *dotPath, *svgPath, *verifyN, *runSpice, *formal); err != nil {
+	if err := run(ctx, *inPath, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "compact:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, inPath string, gamma float64, method string, robdds, noalign bool,
-	timeLimit time.Duration, sift, render bool, dotPath, svgPath string, verifyN int, runSpice, formal bool) error {
-
+func run(ctx context.Context, inPath string, cfg cliConfig) error {
 	nw, err := parse.ParseFile(inPath)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("circuit: %s\n", nw)
 
-	m, err := core.MethodFromString(method)
+	m, err := core.MethodFromString(cfg.method)
 	if err != nil {
 		return err
 	}
 	opts := core.Options{
-		Gamma: gamma, GammaSet: true,
-		Method:    m,
-		NoAlign:   noalign,
-		TimeLimit: timeLimit,
-		Sift:      sift,
+		Gamma: cfg.gamma, GammaSet: true,
+		Method:            m,
+		NoAlign:           cfg.noalign,
+		TimeLimit:         cfg.timeLimit,
+		Sift:              cfg.sift,
+		DefectRate:        cfg.defectRate,
+		DefectOnFraction:  cfg.defectOn,
+		DefectSeed:        cfg.defectSeed,
+		MaxRepairAttempts: cfg.repairMax,
 	}
-	if robdds {
+	if cfg.robdds {
 		opts.BDDKind = core.SeparateROBDDs
+	}
+	if cfg.defectsMap != "" {
+		data, err := os.ReadFile(cfg.defectsMap)
+		if err != nil {
+			return err
+		}
+		dm := new(defect.Map)
+		if err := json.Unmarshal(data, dm); err != nil {
+			return fmt.Errorf("reading defect map %s: %w", cfg.defectsMap, err)
+		}
+		opts.Defects = dm
 	}
 	res, err := core.SynthesizeContext(ctx, nw, opts)
 	if err != nil {
@@ -98,10 +146,14 @@ func run(ctx context.Context, inPath string, gamma float64, method string, robdd
 	}
 	fmt.Printf("crossbar: %d x %d  S=%d  D=%d  area=%d  devices=%d  delay=%d steps\n",
 		st.Rows, st.Cols, st.S, st.D, st.Area, st.LitCells+st.OnCells, st.Delay)
+	if res.Placement != nil {
+		fmt.Printf("placement: engine=%s array=%dx%d defects=%d repair_attempts=%d (effective design re-verified)\n",
+			res.Placement.Engine, res.Defects.Rows(), res.Defects.Cols(), res.Defects.Len(), res.RepairAttempts)
+	}
 	fmt.Printf("synthesis time: %v\n", res.SynthTime.Round(time.Millisecond))
 
-	if formal {
-		if robdds {
+	if cfg.formal {
+		if cfg.robdds {
 			return fmt.Errorf("-formal requires the SBDD mode (design variables must follow network input order)")
 		}
 		if err := res.FormalVerify(0); err != nil {
@@ -109,20 +161,20 @@ func run(ctx context.Context, inPath string, gamma float64, method string, robdd
 		}
 		fmt.Printf("formal verification: PROVEN over all 2^%d assignments\n", nw.NumInputs())
 	}
-	if verifyN > 0 {
-		if err := res.Verify(14, verifyN, 1); err != nil {
+	if cfg.verifyN > 0 {
+		if err := res.Verify(14, cfg.verifyN, 1); err != nil {
 			return fmt.Errorf("validation FAILED: %w", err)
 		}
 		fmt.Printf("validation: OK (%d inputs, sampled/exhaustive)\n", nw.NumInputs())
 	}
-	if render {
+	if cfg.render {
 		fmt.Println()
 		if err := res.Design.Render(os.Stdout); err != nil {
 			return err
 		}
 	}
-	if dotPath != "" {
-		f, err := os.Create(dotPath)
+	if cfg.dotPath != "" {
+		f, err := os.Create(cfg.dotPath)
 		if err != nil {
 			return err
 		}
@@ -133,10 +185,10 @@ func run(ctx context.Context, inPath string, gamma float64, method string, robdd
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("dot: wrote %s\n", dotPath)
+		fmt.Printf("dot: wrote %s\n", cfg.dotPath)
 	}
-	if svgPath != "" {
-		f, err := os.Create(svgPath)
+	if cfg.svgPath != "" {
+		f, err := os.Create(cfg.svgPath)
 		if err != nil {
 			return err
 		}
@@ -147,9 +199,9 @@ func run(ctx context.Context, inPath string, gamma float64, method string, robdd
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("svg: wrote %s\n", svgPath)
+		fmt.Printf("svg: wrote %s\n", cfg.svgPath)
 	}
-	if runSpice {
+	if cfg.runSpice {
 		model := spice.Default()
 		rep, err := spice.Margin(res.Design, nw.Eval, nw.NumInputs(), 10, 200, model, 1)
 		if err != nil {

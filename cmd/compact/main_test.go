@@ -2,11 +2,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"compact/internal/xbar"
 )
 
 func writeTemp(t *testing.T, name, content string) string {
@@ -32,7 +35,12 @@ func TestRunBLIF(t *testing.T) {
 `)
 	dot := filepath.Join(t.TempDir(), "out.dot")
 	svg := filepath.Join(t.TempDir(), "out.svg")
-	if err := run(context.Background(), path, 0.5, "mip", false, false, 10*time.Second, false, true, dot, svg, 100, true, true); err != nil {
+	cfg := cliConfig{
+		gamma: 0.5, method: "mip", timeLimit: 10 * time.Second,
+		render: true, dotPath: dot, svgPath: svg,
+		verifyN: 100, runSpice: true, formal: true,
+	}
+	if err := run(context.Background(), path, cfg); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dot)
@@ -46,7 +54,8 @@ func TestRunBLIF(t *testing.T) {
 
 func TestRunPLA(t *testing.T) {
 	path := writeTemp(t, "and.pla", ".i 2\n.o 1\n11 1\n.e\n")
-	if err := run(context.Background(), path, 1, "portfolio", false, false, 10*time.Second, false, false, "", "", 10, false, false); err != nil {
+	cfg := cliConfig{gamma: 1, method: "portfolio", timeLimit: 10 * time.Second, verifyN: 10}
+	if err := run(context.Background(), path, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -58,24 +67,74 @@ module m (a, b, f);
   assign f = a ^ b;
 endmodule
 `)
-	if err := run(context.Background(), path, 0.5, "heuristic", true, false, 10*time.Second, false, false, "", "", 10, false, false); err != nil {
+	cfg := cliConfig{gamma: 0.5, method: "heuristic", robdds: true, timeLimit: 10 * time.Second, verifyN: 10}
+	if err := run(context.Background(), path, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunDefectFlags(t *testing.T) {
+	blif := writeTemp(t, "m.blif", `
+.model m
+.inputs a b c
+.outputs f
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.end
+`)
+	// Generated defect map: defect-aware placement with formal re-check.
+	cfg := cliConfig{
+		gamma: 0.5, method: "heuristic", timeLimit: 10 * time.Second,
+		verifyN: 10, defectRate: 0.02, defectSeed: 42,
+	}
+	if err := run(context.Background(), blif, cfg); err != nil {
+		var up *xbar.Unplaceable
+		if !errors.As(err, &up) {
+			t.Fatalf("defect-rate run failed untypedly: %v", err)
+		}
+	}
+
+	// Explicit defect map file, too small for the design: the typed
+	// unplaceable verdict must surface as the CLI error.
+	tiny := writeTemp(t, "tiny.json", `{"v":1,"rows":1,"cols":1,"cells":[]}`)
+	cfg = cliConfig{gamma: 0.5, method: "heuristic", timeLimit: 10 * time.Second, defectsMap: tiny}
+	err := run(context.Background(), blif, cfg)
+	var up *xbar.Unplaceable
+	if err == nil || !errors.As(err, &up) {
+		t.Fatalf("tiny defect map: want *xbar.Unplaceable, got %v", err)
+	}
+
+	// Malformed defect map files are rejected with a parse error.
+	bad := writeTemp(t, "bad.json", `{"v":99}`)
+	cfg = cliConfig{gamma: 0.5, method: "heuristic", timeLimit: 10 * time.Second, defectsMap: bad}
+	if err := run(context.Background(), blif, cfg); err == nil || !strings.Contains(err.Error(), "wire version") {
+		t.Fatalf("bad defect map accepted: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), "/does/not/exist.blif", 0.5, "auto", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
+	base := cliConfig{gamma: 0.5, method: "auto", timeLimit: time.Second}
+	if err := run(context.Background(), "/does/not/exist.blif", base); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeTemp(t, "x.txt", "hello")
-	if err := run(context.Background(), bad, 0.5, "auto", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
+	if err := run(context.Background(), bad, base); err == nil {
 		t.Error("unknown extension accepted")
 	}
 	blif := writeTemp(t, "m.blif", ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n")
-	if err := run(context.Background(), blif, 0.5, "bogus", false, false, time.Second, false, false, "", "", 0, false, false); err == nil {
+	cfg := base
+	cfg.method = "bogus"
+	if err := run(context.Background(), blif, cfg); err == nil {
 		t.Error("unknown method accepted")
 	}
-	if err := run(context.Background(), blif, 0.5, "mip", true, false, time.Second, false, false, "/tmp/x.dot", "", 0, false, false); err == nil {
+	cfg = base
+	cfg.method = "mip"
+	cfg.robdds = true
+	cfg.dotPath = filepath.Join(t.TempDir(), "x.dot")
+	if err := run(context.Background(), blif, cfg); err == nil {
 		t.Error("-dot with -robdds accepted")
 	}
 }

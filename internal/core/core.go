@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"compact/internal/bdd"
+	"compact/internal/defect"
+	"compact/internal/faultinject"
 	"compact/internal/labeling"
 	"compact/internal/logic"
 	"compact/internal/oct"
@@ -81,6 +83,27 @@ type Options struct {
 	// Synthesize fails with labeling.ErrInfeasible when no design fits.
 	// Exact enforcement requires the MIP labeling method.
 	MaxRows, MaxCols int
+	// Defects describes the stuck-at faults of the physical array the
+	// design will be programmed onto. When set, synthesis appends a
+	// defect-aware placement stage with a verified-repair loop (see
+	// place.go): the result additionally carries the placement, the
+	// effective design the array computes, and the repair-attempt count —
+	// or fails with a typed *xbar.Unplaceable error.
+	Defects *defect.Map
+	// DefectRate, when Defects is nil and the rate is positive, generates
+	// a seeded random defect map exactly covering the synthesized design's
+	// dimensions. Must lie in [0,1).
+	DefectRate float64
+	// DefectOnFraction is the stuck-ON share of generated faults; zero
+	// means the default 0.5. (An all-stuck-OFF map cannot be requested via
+	// the rate shortcut — build it with defect.Generate and pass Defects.)
+	DefectOnFraction float64
+	// DefectSeed seeds both defect generation and the placement search, so
+	// a (network, options) pair resolves to one deterministic outcome.
+	DefectSeed uint64
+	// MaxRepairAttempts bounds the place-verify-retry loop (0 = default 3).
+	// The final attempt always escalates to the exact ILP engine.
+	MaxRepairAttempts int
 }
 
 // gamma resolves the effective objective weight via the canonical
@@ -100,6 +123,18 @@ type Result struct {
 	// Order is the variable order used (input indices, level order).
 	Order     []int
 	SynthTime time.Duration
+
+	// Placement, Effective and Defects are set when synthesis ran against
+	// a defect map: the row/column binding of the logical design onto the
+	// physical array, the effective design that array computes under the
+	// binding (verified against the source network before the result is
+	// returned), and the map itself. RepairAttempts counts the
+	// place-verify rounds the repair loop used (1 = first placement
+	// verified clean).
+	Placement      *xbar.Placement
+	Effective      *xbar.Design
+	Defects        *defect.Map
+	RepairAttempts int
 
 	network *logic.Network
 	mgr     *bdd.Manager // SBDD mode only
@@ -148,6 +183,9 @@ func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*R
 		order, _ = bdd.SiftRebuild(nw, order, bdd.SiftRebuildOptions{NodeLimit: opts.NodeLimit})
 	}
 
+	if err := faultinject.Err(faultinject.StageBDD); err != nil {
+		return nil, fmt.Errorf("core: BDD construction: %w", err)
+	}
 	var bg *xbar.BDDGraph
 	var nodes, edges int
 	var mgrKeep *bdd.Manager
@@ -183,6 +221,17 @@ func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*R
 		mgrKeep, rootsKeep = m, roots // retained for WriteBDDDOT
 	}
 
+	if mode, ok := faultinject.Mode(faultinject.StageLabeling); ok {
+		if mode == "infeasible" {
+			// Site-specific mode: surface the typed infeasibility error the
+			// dimension-cap path produces, so callers' 422 mapping is
+			// exercised without crafting an actually infeasible instance.
+			return nil, fmt.Errorf("core: labeling: %w", labeling.ErrInfeasible)
+		}
+		if err := faultinject.Err(faultinject.StageLabeling); err != nil {
+			return nil, fmt.Errorf("core: labeling: %w", err)
+		}
+	}
 	sol, err := labeling.SolveContext(ctx, bg.Problem(!opts.NoAlign), labeling.Options{
 		Gamma:          opts.gamma(),
 		Method:         opts.Method,
@@ -193,6 +242,9 @@ func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*R
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: labeling: %w", err)
+	}
+	if err := faultinject.Err(faultinject.StageMap); err != nil {
+		return nil, fmt.Errorf("core: mapping: %w", err)
 	}
 	design, err := xbar.Map(bg, sol.Labels)
 	if err != nil {
@@ -207,18 +259,28 @@ func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*R
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
-	return &Result{
-		Design:    design,
-		Graph:     bg,
-		Labeling:  sol,
-		BDDNodes:  nodes,
-		BDDEdges:  edges,
-		Order:     order,
-		SynthTime: time.Since(start),
-		network:   nw,
-		mgr:       mgrKeep,
-		roots:     rootsKeep,
-	}, nil
+	res := &Result{
+		Design:   design,
+		Graph:    bg,
+		Labeling: sol,
+		BDDNodes: nodes,
+		BDDEdges: edges,
+		Order:    order,
+		network:  nw,
+		mgr:      mgrKeep,
+		roots:    rootsKeep,
+	}
+	dm, err := opts.defectMap(design)
+	if err != nil {
+		return nil, fmt.Errorf("core: defect map: %w", err)
+	}
+	if dm != nil {
+		if err := res.placeWithRepair(ctx, dm, opts); err != nil {
+			return nil, err
+		}
+	}
+	res.SynthTime = time.Since(start)
+	return res, nil
 }
 
 // Verify checks the design against the source network, exhaustively for up

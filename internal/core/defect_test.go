@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"compact/internal/bench"
+	"compact/internal/defect"
+	"compact/internal/faultinject"
+	"compact/internal/labeling"
+	"compact/internal/logic"
+	"compact/internal/xbar"
+)
+
+// TestDefectSuiteBenchmarks is the acceptance suite: seeded defect maps at
+// 1%/5%/10% stuck-at rates over benchmark circuits. Every returned design
+// must carry a placement whose effective design passes FormalVerify;
+// unplaceable instances must fail with a typed *xbar.Unplaceable carrying
+// a witness — never a wrong design, never a panic. The whole suite is a
+// pure function of the seeds: a second run must reproduce placements and
+// verdicts exactly.
+func TestDefectSuiteBenchmarks(t *testing.T) {
+	circuits := []string{"ctrl", "cavlc", "int2float"}
+	rates := []float64{0.01, 0.05, 0.10}
+	for _, name := range circuits {
+		nw := bench.MustBuild(name)
+		for _, rate := range rates {
+			opts := Options{Method: labeling.MethodHeuristic, DefectRate: rate, DefectSeed: 42}
+			run := func() (*Result, error) { return Synthesize(nw, opts) }
+			res, err := run()
+			if err != nil {
+				var up *xbar.Unplaceable
+				if !errors.As(err, &up) {
+					t.Fatalf("%s @%g%%: non-typed failure: %v", name, 100*rate, err)
+				}
+				if up.LogicalRow < 0 && up.Stage != "dims" {
+					t.Errorf("%s @%g%%: Unplaceable without a row witness: %+v", name, 100*rate, up)
+				}
+				// The unplaceable verdict must reproduce (the detail text may
+				// differ on budget-limited exact solves, the type must not).
+				if _, err2 := run(); err2 == nil || !errors.As(err2, new(*xbar.Unplaceable)) {
+					t.Errorf("%s @%g%%: verdict not reproducible: %v vs %v", name, 100*rate, err, err2)
+				}
+				continue
+			}
+			if res.Placement == nil || res.Effective == nil || res.Defects == nil {
+				t.Fatalf("%s @%g%%: result missing placement fields", name, 100*rate)
+			}
+			if res.RepairAttempts < 1 {
+				t.Fatalf("%s @%g%%: RepairAttempts = %d", name, 100*rate, res.RepairAttempts)
+			}
+			if err := xbar.FormalVerify(res.Effective, nw, 0); err != nil {
+				t.Fatalf("%s @%g%%: effective design fails formal verification: %v", name, 100*rate, err)
+			}
+			res2, err := run()
+			if err != nil {
+				t.Fatalf("%s @%g%%: second run failed: %v", name, 100*rate, err)
+			}
+			if !equalPerm(res.Placement.RowPerm, res2.Placement.RowPerm) ||
+				!equalPerm(res.Placement.ColPerm, res2.Placement.ColPerm) {
+				t.Errorf("%s @%g%%: placement not deterministic", name, 100*rate)
+			}
+			if res.Defects.Digest() != res2.Defects.Digest() {
+				t.Errorf("%s @%g%%: defect map not deterministic", name, 100*rate)
+			}
+		}
+	}
+}
+
+func equalPerm(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func smallNetwork() *logic.Network {
+	b := logic.NewBuilder("small")
+	x, y, z := b.Input("x"), b.Input("y"), b.Input("z")
+	b.Output("f", b.Or(b.And(x, y), b.And(b.Not(x), z)))
+	b.Output("g", b.Xor(x, y, z))
+	return b.Build()
+}
+
+func TestSynthesizeWithExplicitDefects(t *testing.T) {
+	nw := smallNetwork()
+	clean, err := Synthesize(nw, Options{Method: labeling.MethodHeuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One spare row/column beyond the design, with faults dense enough to
+	// force a real (non-identity) placement for at least some seeds.
+	dm, err := defect.Generate(clean.Design.Rows+1, clean.Design.Cols+1, 0.15, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(nw, Options{Method: labeling.MethodHeuristic, Defects: dm, DefectSeed: 3})
+	if err != nil {
+		var up *xbar.Unplaceable
+		if !errors.As(err, &up) {
+			t.Fatalf("non-typed failure: %v", err)
+		}
+		t.Skipf("instance unplaceable (typed, witnessed): %v", up)
+	}
+	if err := xbar.FormalVerify(res.Effective, nw, 0); err != nil {
+		t.Fatalf("effective design fails formal verification: %v", err)
+	}
+	view := res.View()
+	if view.Placement == nil {
+		t.Fatal("view missing placement")
+	}
+	if view.Placement.Defects != dm.Len() || view.Placement.DefectsDigest != dm.Digest() {
+		t.Errorf("view placement misreports the defect map: %+v", view.Placement)
+	}
+	if view.Placement.RepairAttempts != res.RepairAttempts {
+		t.Errorf("view repair attempts %d != result %d", view.Placement.RepairAttempts, res.RepairAttempts)
+	}
+}
+
+func TestDefectRepairLoopRecoversFromCorruption(t *testing.T) {
+	t.Setenv(faultinject.EnvVar, "place=corrupt")
+	nw := smallNetwork()
+	res, err := Synthesize(nw, Options{Method: labeling.MethodHeuristic, DefectRate: 0.02, DefectSeed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepairAttempts < 2 {
+		t.Fatalf("corrupted first attempt not retried: RepairAttempts = %d", res.RepairAttempts)
+	}
+	if err := xbar.FormalVerify(res.Effective, nw, 0); err != nil {
+		t.Fatalf("repaired design fails formal verification: %v", err)
+	}
+}
+
+func TestDefectROBDDModeUsesSimulationVerify(t *testing.T) {
+	nw := smallNetwork()
+	res, err := Synthesize(nw, Options{
+		Method: labeling.MethodHeuristic, BDDKind: SeparateROBDDs,
+		DefectRate: 0.02, DefectSeed: 5,
+	})
+	if err != nil {
+		var up *xbar.Unplaceable
+		if !errors.As(err, &up) {
+			t.Fatalf("non-typed failure: %v", err)
+		}
+		return
+	}
+	if bad := res.Effective.VerifyAgainst(nw.Eval, nw.NumInputs(), nw.NumInputs(), 0, 1); bad != nil {
+		t.Fatalf("effective ROBDD-mode design disagrees on %v", bad)
+	}
+}
+
+func TestDefectOptionsValidation(t *testing.T) {
+	nw := smallNetwork()
+	for _, opts := range []Options{
+		{DefectRate: -0.1},
+		{DefectRate: 1},
+		{DefectOnFraction: 2},
+		{DefectOnFraction: -1},
+		{MaxRepairAttempts: -1},
+	} {
+		if _, err := Synthesize(nw, opts); err == nil {
+			t.Errorf("options %+v accepted", opts)
+		}
+	}
+}
+
+func TestDefectOptionsKey(t *testing.T) {
+	base := Options{}.Key()
+	withRate := Options{DefectRate: 0.05}.Key()
+	if base == withRate {
+		t.Error("defect rate not part of the options key")
+	}
+	dm, err := defect.Generate(4, 4, 0.2, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMap := Options{Defects: dm}.Key()
+	if withMap == base || withMap == withRate {
+		t.Error("defect map not part of the options key")
+	}
+	dm2, err := defect.Generate(4, 4, 0.2, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (Options{Defects: dm2}).Key() != withMap {
+		t.Error("identical defect maps produce different keys")
+	}
+	if (Options{DefectSeed: 9}).Key() == base {
+		t.Error("defect seed not part of the options key")
+	}
+}
+
+// TestFaultInjectionStageBoundaries drives each pipeline-stage hook and
+// asserts the documented degraded response: a structured error wrapping
+// faultinject.ErrInjected (or labeling.ErrInfeasible for the site-specific
+// mode) — never a panic, never a wrong result.
+func TestFaultInjectionStageBoundaries(t *testing.T) {
+	nw := smallNetwork()
+	for _, tc := range []struct {
+		spec string
+		want error
+	}{
+		{"bdd", faultinject.ErrInjected},
+		{"bdd=timeout", faultinject.ErrInjected},
+		{"labeling", faultinject.ErrInjected},
+		{"labeling=infeasible", labeling.ErrInfeasible},
+		{"xbar", faultinject.ErrInjected},
+		{"place", faultinject.ErrInjected},
+	} {
+		t.Run(tc.spec, func(t *testing.T) {
+			t.Setenv(faultinject.EnvVar, tc.spec)
+			opts := Options{Method: labeling.MethodHeuristic}
+			if strings.HasPrefix(tc.spec, "place") {
+				opts.DefectRate = 0.02
+			}
+			_, err := Synthesize(nw, opts)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("spec %q: error %v does not wrap %v", tc.spec, err, tc.want)
+			}
+		})
+	}
+	// And with injection off again, the same synthesis succeeds.
+	t.Setenv(faultinject.EnvVar, "")
+	if _, err := Synthesize(nw, Options{Method: labeling.MethodHeuristic, DefectRate: 0.02}); err != nil {
+		if up := new(xbar.Unplaceable); !errors.As(err, &up) {
+			t.Fatalf("clean run failed: %v", err)
+		}
+	}
+}

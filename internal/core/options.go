@@ -15,6 +15,14 @@ const DefaultNodeLimit = 4_000_000
 // DefaultGamma is the paper's objective weight, used when Gamma is unset.
 const DefaultGamma = 0.5
 
+// DefaultRepairAttempts bounds the defect-aware place-verify-retry loop
+// when Options.MaxRepairAttempts is zero.
+const DefaultRepairAttempts = 3
+
+// DefaultDefectOnFraction is the stuck-ON share of generated defect maps
+// when Options.DefectOnFraction is zero.
+const DefaultDefectOnFraction = 0.5
+
 // The Gamma zero-value rule
 //
 // Options is designed so its zero value is the paper's default setup, but
@@ -71,6 +79,16 @@ func (o Options) Validate() error {
 			seen[v] = true
 		}
 	}
+	if o.DefectRate < 0 || o.DefectRate >= 1 {
+		return fmt.Errorf("core: DefectRate %v outside [0,1)", o.DefectRate)
+	}
+	f := o.Canonical().DefectOnFraction
+	if f < 0 || f > 1 {
+		return fmt.Errorf("core: DefectOnFraction %v outside [0,1]", o.DefectOnFraction)
+	}
+	if o.MaxRepairAttempts < 0 {
+		return fmt.Errorf("core: negative MaxRepairAttempts %d", o.MaxRepairAttempts)
+	}
 	return nil
 }
 
@@ -94,6 +112,16 @@ func (o Options) Canonical() Options {
 	if c.VarOrder != nil {
 		c.VarOrder = append([]int(nil), c.VarOrder...)
 	}
+	//lint:ignore floatcmp zero-value sentinel: DefectOnFraction==0 means "defaulted" (generate Defects explicitly for all-stuck-OFF maps)
+	if c.DefectOnFraction == 0 {
+		c.DefectOnFraction = DefaultDefectOnFraction
+	}
+	if c.MaxRepairAttempts <= 0 {
+		c.MaxRepairAttempts = DefaultRepairAttempts
+	}
+	if c.Defects != nil {
+		c.Defects = c.Defects.Clone()
+	}
 	return c
 }
 
@@ -105,8 +133,14 @@ func (o Options) Canonical() Options {
 func (o Options) Key() string {
 	c := o.Canonical()
 	var b strings.Builder
-	fmt.Fprintf(&b, "compact-options-v1|gamma=%g|method=%s|bdd=%s|align=%t|timelimit=%d|order=%v|sift=%t|nodelimit=%d|octbackend=%d|autoexact=%d|maxrows=%d|maxcols=%d",
+	fmt.Fprintf(&b, "compact-options-v2|gamma=%g|method=%s|bdd=%s|align=%t|timelimit=%d|order=%v|sift=%t|nodelimit=%d|octbackend=%d|autoexact=%d|maxrows=%d|maxcols=%d",
 		c.Gamma, c.Method, c.BDDKind, !c.NoAlign, int64(c.TimeLimit), c.VarOrder, c.Sift, c.NodeLimit, c.OCTBackend, c.AutoExactLimit, c.MaxRows, c.MaxCols)
+	// Defect configuration is part of the synthesis identity: the same
+	// network on differently defective arrays yields different placements
+	// (and possibly Unplaceable), so cached results must not alias. Map
+	// identity enters via its content digest (defect.Map.Digest is nil-safe).
+	fmt.Fprintf(&b, "|defects=%s|drate=%g|don=%g|dseed=%d|repair=%d",
+		c.Defects.Digest(), c.DefectRate, c.DefectOnFraction, c.DefectSeed, c.MaxRepairAttempts)
 	sum := sha256.Sum256([]byte(b.String()))
 	return fmt.Sprintf("sha256:%x", sum)
 }

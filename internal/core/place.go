@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"compact/internal/defect"
+	"compact/internal/faultinject"
+	"compact/internal/xbar"
+)
+
+// The verified-repair loop
+//
+// A placement search (xbar.Place) only reasons about the compatibility
+// table; the loop below treats it as untrusted and re-verifies the
+// *effective* design — the function the defective array actually computes
+// under the chosen binding — against the source network before a result is
+// ever returned:
+//
+//  1. place the design (greedy first; the final attempt forces the exact
+//     ILP engine so the loop never gives up while a placement provably
+//     exists within budget);
+//  2. materialize the effective design with xbar.UnderDefects;
+//  3. verify it — a formal sneak-path equivalence proof for SBDD-mode
+//     results, exhaustive-or-sampled simulation otherwise;
+//  4. on any mismatch, retry with a fresh placement seed.
+//
+// A proven *xbar.Unplaceable aborts immediately (retrying cannot help),
+// context expiry surfaces as the context error, and exhausting the attempt
+// budget returns the last failure — a wrong crossbar is never returned
+// silently, which is the robustness contract of this stage.
+
+// defectMap resolves the physical array for this synthesis: the explicit
+// Options.Defects map, a generated one when DefectRate > 0 (sized exactly
+// to the design, no spare lines), or nil when defect handling is off.
+// opts must be canonical.
+func (o Options) defectMap(d *xbar.Design) (*defect.Map, error) {
+	if o.Defects != nil {
+		return o.Defects, nil
+	}
+	if o.DefectRate <= 0 {
+		return nil, nil
+	}
+	return defect.Generate(d.Rows, d.Cols, o.DefectRate, o.DefectOnFraction, o.DefectSeed)
+}
+
+// placeWithRepair runs the verified-repair loop described above and, on
+// success, records Placement, Effective, Defects and RepairAttempts on the
+// result. opts must be canonical (MaxRepairAttempts resolved).
+func (r *Result) placeWithRepair(ctx context.Context, dm *defect.Map, opts Options) error {
+	attempts := opts.MaxRepairAttempts
+	if attempts <= 0 {
+		attempts = DefaultRepairAttempts
+	}
+	if err := faultinject.Err(faultinject.StagePlace); err != nil {
+		return fmt.Errorf("core: placement: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		popts := xbar.PlaceOptions{
+			// splitmix64-style odd-constant stride decorrelates attempts
+			// while keeping the whole loop a pure function of DefectSeed.
+			Seed: opts.DefectSeed + uint64(attempt)*0x9e3779b97f4a7c15,
+		}
+		if attempt == attempts-1 {
+			popts.Engine = xbar.PlaceILP
+		}
+		pl, err := xbar.PlaceContext(ctx, r.Design, dm, popts)
+		if err != nil {
+			var up *xbar.Unplaceable
+			if errors.As(err, &up) && up.Proven {
+				return fmt.Errorf("core: placement: %w", err)
+			}
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return fmt.Errorf("core: placement: %w", ctxErr)
+			}
+			lastErr = err
+			continue
+		}
+		eff, err := r.Design.UnderDefects(dm, pl)
+		if err != nil {
+			// Structural rejection of a search-produced placement is a bug,
+			// not a retryable condition.
+			return fmt.Errorf("core: placement: %w", err)
+		}
+		if mode, _ := faultinject.Mode(faultinject.StagePlace); mode == "corrupt" && attempt == 0 {
+			// Deterministically hand verification a wrong effective design
+			// on the first attempt, so tests can drive the repair path.
+			corruptDesign(eff)
+		}
+		if err := r.verifyEffective(eff); err != nil {
+			lastErr = err
+			continue
+		}
+		r.Placement = pl
+		r.Effective = eff
+		r.Defects = dm
+		r.RepairAttempts = attempt + 1
+		return nil
+	}
+	return fmt.Errorf("core: defect-aware placement failed after %d attempts: %w", attempts, lastErr)
+}
+
+// verifyEffective checks the effective design against the source network:
+// a formal sneak-path equivalence proof when the shared BDD is available
+// (SBDD mode), exhaustive simulation up to 14 inputs and 512 seeded random
+// vectors beyond that otherwise.
+func (r *Result) verifyEffective(eff *xbar.Design) error {
+	if r.mgr != nil {
+		return xbar.FormalVerify(eff, r.network, 0)
+	}
+	if bad := eff.VerifyAgainst(r.network.Eval, r.network.NumInputs(), 14, 512, 1); bad != nil {
+		return fmt.Errorf("core: effective design disagrees with the network on %v", bad)
+	}
+	return nil
+}
+
+// corruptDesign flips the polarity of the first literal cell — the
+// deterministic wrong-design used by the place=corrupt injection mode.
+func corruptDesign(d *xbar.Design) {
+	for r := range d.Cells {
+		for c := range d.Cells[r] {
+			if d.Cells[r][c].Kind == xbar.Lit {
+				d.Cells[r][c].Neg = !d.Cells[r][c].Neg
+				return
+			}
+		}
+	}
+}

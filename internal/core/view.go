@@ -30,6 +30,22 @@ type ResultView struct {
 	SynthMillis float64 `json:"synth_ms"`
 	// Design is the programmed crossbar, sparse-encoded.
 	Design *xbar.Design `json:"design,omitempty"`
+	// Placement reports the defect-aware placement outcome; present only
+	// when synthesis ran against a defect map.
+	Placement *PlacementView `json:"placement,omitempty"`
+}
+
+// PlacementView is the wire form of a defect-aware placement: the binding
+// of logical lines onto physical ones, which search engine produced it,
+// how many place-verify rounds the repair loop used, and the defect map's
+// identity (fault count plus content digest).
+type PlacementView struct {
+	Engine         string `json:"engine"`
+	RowPerm        []int  `json:"row_perm"`
+	ColPerm        []int  `json:"col_perm"`
+	RepairAttempts int    `json:"repair_attempts"`
+	Defects        int    `json:"defects"`
+	DefectsDigest  string `json:"defects_digest"`
 }
 
 // CircuitView summarizes the source network.
@@ -105,6 +121,16 @@ func (r *Result) View() ResultView {
 			Outputs: ns.Outputs,
 			Gates:   ns.Gates,
 			Depth:   ns.Depth,
+		}
+	}
+	if pl := r.Placement; pl != nil {
+		v.Placement = &PlacementView{
+			Engine:         pl.Engine,
+			RowPerm:        append([]int(nil), pl.RowPerm...),
+			ColPerm:        append([]int(nil), pl.ColPerm...),
+			RepairAttempts: r.RepairAttempts,
+			Defects:        r.Defects.Len(),
+			DefectsDigest:  r.Defects.Digest(),
 		}
 	}
 	if sol := r.Labeling; sol != nil {

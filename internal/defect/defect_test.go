@@ -1,0 +1,173 @@
+package defect
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(16, 16, 0.1, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(16, 16, 0.1, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same seed produced different maps: %s vs %s", a.Digest(), b.Digest())
+	}
+	c, err := Generate(16, 16, 0.1, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == c.Digest() {
+		t.Fatal("different seeds produced identical maps")
+	}
+}
+
+func TestGenerateRate(t *testing.T) {
+	const rows, cols = 200, 200
+	const rate = 0.05
+	m, err := Generate(rows, cols, rate, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(m.Len()) / float64(rows*cols)
+	if math.Abs(got-rate) > 0.01 {
+		t.Fatalf("defect rate %v, want ~%v", got, rate)
+	}
+	on, off := m.Count()
+	if on+off != m.Len() {
+		t.Fatalf("Count %d+%d != Len %d", on, off, m.Len())
+	}
+	if on == 0 || off == 0 {
+		t.Fatalf("expected both kinds at onFraction 0.5: on=%d off=%d", on, off)
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	if _, err := Generate(4, 4, -0.1, 0.5, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := Generate(4, 4, 0.5, 1.5, 1); err == nil {
+		t.Error("onFraction > 1 accepted")
+	}
+	if _, err := Generate(-1, 4, 0.5, 0.5, 1); err == nil {
+		t.Error("negative rows accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m, err := Generate(10, 12, 0.2, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Map
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest() != m.Digest() {
+		t.Fatalf("round trip changed digest: %s vs %s", back.Digest(), m.Digest())
+	}
+	if back.Rows() != 10 || back.Cols() != 12 || back.Len() != m.Len() {
+		t.Fatalf("round trip changed shape: %dx%d len %d", back.Rows(), back.Cols(), back.Len())
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("re-encode not byte-identical:\n%s\n%s", data, again)
+	}
+}
+
+func TestJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad version":    `{"v":2,"rows":2,"cols":2,"cells":[]}`,
+		"negative dims":  `{"rows":-1,"cols":2,"cells":[]}`,
+		"out of range":   `{"rows":2,"cols":2,"cells":[{"r":2,"c":0,"k":"on"}]}`,
+		"negative coord": `{"rows":2,"cols":2,"cells":[{"r":0,"c":-1,"k":"on"}]}`,
+		"unknown kind":   `{"rows":2,"cols":2,"cells":[{"r":0,"c":0,"k":"flaky"}]}`,
+		"duplicate":      `{"rows":2,"cols":2,"cells":[{"r":0,"c":0,"k":"on"},{"r":0,"c":0,"k":"off"}]}`,
+		"not an object":  `[1,2,3]`,
+	}
+	for name, src := range cases {
+		var m Map
+		if err := json.Unmarshal([]byte(src), &m); err == nil {
+			t.Errorf("%s: accepted %s", name, src)
+		}
+	}
+}
+
+func TestSetAtClone(t *testing.T) {
+	m, err := New(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(1, 2, StuckOn); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(3, 0, StuckOn); err == nil {
+		t.Error("out-of-range Set accepted")
+	}
+	if err := m.Set(0, 0, Kind(9)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if k, ok := m.At(1, 2); !ok || k != StuckOn {
+		t.Fatalf("At(1,2) = %v,%v", k, ok)
+	}
+	if _, ok := m.At(2, 2); ok {
+		t.Fatal("fault reported at clean cell")
+	}
+	cl := m.Clone()
+	if err := cl.Set(0, 0, StuckOff); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.At(0, 0); ok {
+		t.Fatal("Clone shares fault storage with the original")
+	}
+}
+
+func TestNilMapAccessors(t *testing.T) {
+	var m *Map
+	if m.Rows() != 0 || m.Cols() != 0 || m.Len() != 0 {
+		t.Fatal("nil map reports non-zero shape")
+	}
+	if _, ok := m.At(0, 0); ok {
+		t.Fatal("nil map reports a fault")
+	}
+	if m.Digest() != "none" {
+		t.Fatalf("nil digest %q", m.Digest())
+	}
+	if m.Clone() != nil {
+		t.Fatal("nil Clone not nil")
+	}
+	if m.Cells() != nil {
+		t.Fatal("nil Cells not nil")
+	}
+}
+
+func TestCellsRowMajor(t *testing.T) {
+	m, err := New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]int{{3, 1}, {0, 2}, {3, 0}, {1, 1}} {
+		if err := m.Set(c[0], c[1], StuckOff); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cells := m.Cells()
+	for i := 1; i < len(cells); i++ {
+		a, b := cells[i-1], cells[i]
+		if a.Row > b.Row || (a.Row == b.Row && a.Col >= b.Col) {
+			t.Fatalf("cells not in row-major order: %v", cells)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package defect
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The defect-map wire format (version 1)
+//
+// Maps marshal to a sparse JSON object mirroring the xbar.Design wire
+// format — only faulty cells are listed:
+//
+//	{
+//	  "v": 1,
+//	  "rows": 8, "cols": 8,
+//	  "cells": [
+//	    {"r": 0, "c": 3, "k": "off"},
+//	    {"r": 5, "c": 1, "k": "on"}
+//	  ]
+//	}
+//
+// "k" is "on" for stuck-ON (always conducting) and "off" for stuck-OFF
+// (never conducting) devices. Cells appear in row-major order.
+// UnmarshalJSON validates dimensions, coordinates, kinds and duplicates,
+// so a decoded map is structurally sound or the decode fails with a
+// descriptive error.
+
+// mapWireVersion is the current wire format version; UnmarshalJSON accepts
+// exactly this value (or an absent field, treated as 1).
+const mapWireVersion = 1
+
+type mapJSON struct {
+	Version int        `json:"v"`
+	Rows    int        `json:"rows"`
+	Cols    int        `json:"cols"`
+	Cells   []cellJSON `json:"cells"`
+}
+
+type cellJSON struct {
+	Row int    `json:"r"`
+	Col int    `json:"c"`
+	K   string `json:"k"`
+}
+
+// MarshalJSON encodes the map in the sparse wire format above.
+func (m *Map) MarshalJSON() ([]byte, error) {
+	mj := mapJSON{
+		Version: mapWireVersion,
+		Rows:    m.Rows(),
+		Cols:    m.Cols(),
+		Cells:   []cellJSON{},
+	}
+	for _, c := range m.Cells() {
+		mj.Cells = append(mj.Cells, cellJSON{Row: c.Row, Col: c.Col, K: c.Kind.String()})
+	}
+	return json.Marshal(mj)
+}
+
+// UnmarshalJSON decodes and validates the sparse wire format. Unknown wire
+// versions, out-of-range cells, unknown kinds and duplicate cells are all
+// rejected.
+func (m *Map) UnmarshalJSON(data []byte) error {
+	var mj mapJSON
+	if err := json.Unmarshal(data, &mj); err != nil {
+		return fmt.Errorf("defect: decoding map: %w", err)
+	}
+	if mj.Version == 0 {
+		mj.Version = mapWireVersion
+	}
+	if mj.Version != mapWireVersion {
+		return fmt.Errorf("defect: unsupported map wire version %d (want %d)", mj.Version, mapWireVersion)
+	}
+	nm, err := New(mj.Rows, mj.Cols)
+	if err != nil {
+		return err
+	}
+	for i, c := range mj.Cells {
+		if _, dup := nm.At(c.Row, c.Col); dup {
+			return fmt.Errorf("defect: duplicate cell at (%d,%d)", c.Row, c.Col)
+		}
+		var k Kind
+		switch c.K {
+		case "off":
+			k = StuckOff
+		case "on":
+			k = StuckOn
+		default:
+			return fmt.Errorf("defect: cell #%d has unknown kind %q", i, c.K)
+		}
+		if err := nm.Set(c.Row, c.Col, k); err != nil {
+			return fmt.Errorf("defect: cell #%d: %w", i, err)
+		}
+	}
+	*m = *nm
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"compact/internal/blif"
+	"compact/internal/faultinject"
 	"compact/internal/logic"
 	"compact/internal/pla"
 	"compact/internal/verilog"
@@ -164,6 +165,9 @@ func Parse(r io.Reader, format Format) (*logic.Network, error) {
 // model name in the format itself, so name (or "pla", when empty) becomes
 // the network name; BLIF and Verilog embed their own names and ignore it.
 func ParseNamed(r io.Reader, format Format, name string) (*logic.Network, error) {
+	if err := faultinject.Err(faultinject.StageParse); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
 	src, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("parse: read: %w", err)

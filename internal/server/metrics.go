@@ -16,19 +16,22 @@ import (
 type metrics struct {
 	vars *expvar.Map
 
-	requests     expvar.Int // HTTP requests accepted on /v1/synthesize
-	cacheHits    expvar.Int // served straight from the result cache
-	cacheMisses  expvar.Int // required a new solve
-	cacheShared  expvar.Int // joined an in-flight identical solve
-	cacheEntries expvar.Int // current cache entry count
-	cacheBytes   expvar.Int // current cache body bytes
-	inflight     expvar.Int // solves currently running or queued
-	solves       expvar.Int // completed SynthesizeContext calls
-	solveErrors  expvar.Int // solves that returned an error
-	badRequests  expvar.Int // 4xx responses
-	solveMillis  expvar.Float
-	parseMillis  expvar.Float
-	engineMillis *expvar.Map // per-engine cumulative wall clock (portfolio)
+	requests       expvar.Int // HTTP requests accepted on /v1/synthesize
+	cacheHits      expvar.Int // served straight from the result cache
+	cacheMisses    expvar.Int // required a new solve
+	cacheShared    expvar.Int // joined an in-flight identical solve
+	cacheEntries   expvar.Int // current cache entry count
+	cacheBytes     expvar.Int // current cache body bytes
+	inflight       expvar.Int // solves currently running or queued
+	solves         expvar.Int // completed SynthesizeContext calls
+	solveErrors    expvar.Int // solves that returned an error
+	badRequests    expvar.Int // 4xx responses
+	placements     expvar.Int // solves that produced a defect-aware placement
+	repairAttempts expvar.Int // cumulative verified-repair loop attempts
+	unplaceable    expvar.Int // solves rejected with a typed Unplaceable
+	solveMillis    expvar.Float
+	parseMillis    expvar.Float
+	engineMillis   *expvar.Map // per-engine cumulative wall clock (portfolio)
 }
 
 func newMetrics() *metrics {
@@ -43,6 +46,9 @@ func newMetrics() *metrics {
 	m.vars.Set("solves_total", &m.solves)
 	m.vars.Set("solve_errors_total", &m.solveErrors)
 	m.vars.Set("bad_requests_total", &m.badRequests)
+	m.vars.Set("placements_total", &m.placements)
+	m.vars.Set("repair_attempts_total", &m.repairAttempts)
+	m.vars.Set("unplaceable_total", &m.unplaceable)
 	m.vars.Set("solve_ms_total", &m.solveMillis)
 	m.vars.Set("parse_ms_total", &m.parseMillis)
 	m.vars.Set("engine_ms_total", m.engineMillis)

@@ -38,9 +38,11 @@ import (
 
 	"compact/internal/bench"
 	"compact/internal/core"
+	"compact/internal/faultinject"
 	"compact/internal/labeling"
 	"compact/internal/logic"
 	"compact/internal/parse"
+	"compact/internal/xbar"
 )
 
 // SynthFunc is the synthesis pipeline the server drives; production
@@ -160,6 +162,18 @@ func (s *Server) Metrics() *expvar.Map { return s.metrics.vars }
 // handleSynthesize is POST /v1/synthesize.
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
+	if mode, ok := faultinject.Mode(faultinject.StageServer); ok {
+		// Chaos-drill admission probe: "unavailable" degrades to the same
+		// 503 a shutting-down server sends; generic modes become 500s.
+		if mode == "unavailable" {
+			writeError(w, http.StatusServiceUnavailable, "service unavailable (injected)")
+			return
+		}
+		if err := faultinject.Err(faultinject.StageServer); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields() // wire format v1 is strict: typos are 400s
@@ -211,6 +225,11 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, labeling.ErrInfeasible):
 		s.clientError(w, http.StatusUnprocessableEntity, "infeasible: %v", err)
+	case errors.As(err, new(*xbar.Unplaceable)):
+		// The circuit synthesized fine but cannot be placed on the
+		// requested defective array: a property of the request, not a
+		// server fault, so it maps to 422 like labeling infeasibility.
+		s.clientError(w, http.StatusUnprocessableEntity, "unplaceable: %v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "synthesis failed: %v", err)
 	}
@@ -270,10 +289,17 @@ func (s *Server) solve(key string, nw *logic.Network, opts core.Options) ([]byte
 	s.metrics.solveMillis.Add(float64(elapsed) / float64(time.Millisecond))
 	if err != nil {
 		s.metrics.solveErrors.Add(1)
+		if errors.As(err, new(*xbar.Unplaceable)) {
+			s.metrics.unplaceable.Add(1)
+		}
 		if s.base.Err() != nil {
 			return nil, errShuttingDown
 		}
 		return nil, err
+	}
+	if res.Placement != nil {
+		s.metrics.placements.Add(1)
+		s.metrics.repairAttempts.Add(int64(res.RepairAttempts))
 	}
 	if res.Labeling != nil {
 		for _, er := range res.Labeling.Engines {

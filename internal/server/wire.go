@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"compact/internal/core"
+	"compact/internal/defect"
 )
 
 // The /v1/synthesize wire format (version 1)
@@ -28,7 +29,12 @@ import (
 //	    "sift":          false,
 //	    "node_limit":    0,
 //	    "max_rows":      0,
-//	    "max_cols":      0
+//	    "max_cols":      0,
+//	    "defects":       {"v":1,"rows":8,"cols":8,"cells":[{"r":1,"c":2,"k":"off"}]},
+//	    "defect_rate":   0.05,         // generate a seeded map instead
+//	    "defect_on_fraction": 0.5,
+//	    "defect_seed":   42,
+//	    "max_repair_attempts": 3
 //	  }
 //	}
 //
@@ -72,6 +78,15 @@ type wireOptions struct {
 	NodeLimit   int      `json:"node_limit,omitempty"`
 	MaxRows     int      `json:"max_rows,omitempty"`
 	MaxCols     int      `json:"max_cols,omitempty"`
+	// Defects is an explicit defect map in defect.Map's v1 wire format;
+	// DefectRate generates a seeded one instead (see core.Options). Both
+	// are part of the cache key via core.Options.Key, so results against
+	// differently defective arrays never alias.
+	Defects           *defect.Map `json:"defects,omitempty"`
+	DefectRate        float64     `json:"defect_rate,omitempty"`
+	DefectOnFraction  float64     `json:"defect_on_fraction,omitempty"`
+	DefectSeed        uint64      `json:"defect_seed,omitempty"`
+	MaxRepairAttempts int         `json:"max_repair_attempts,omitempty"`
 }
 
 // toCore maps wire options onto core.Options, applying the server's
@@ -104,6 +119,11 @@ func (o *wireOptions) toCore(defaultLimit, maxLimit time.Duration) (core.Options
 		opts.NodeLimit = o.NodeLimit
 		opts.MaxRows = o.MaxRows
 		opts.MaxCols = o.MaxCols
+		opts.Defects = o.Defects
+		opts.DefectRate = o.DefectRate
+		opts.DefectOnFraction = o.DefectOnFraction
+		opts.DefectSeed = o.DefectSeed
+		opts.MaxRepairAttempts = o.MaxRepairAttempts
 	}
 	if opts.TimeLimit <= 0 {
 		opts.TimeLimit = defaultLimit

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"compact/internal/errio"
+	"compact/internal/invariant"
 )
 
 // EntryKind classifies a crossbar cell.
@@ -75,12 +76,13 @@ type Design struct {
 	// VarNames names the literal variables (indexed by Entry.Var).
 	VarNames []string
 
-	// sparse caches the non-Off cells for fast repeated evaluation; it is
-	// built lazily on first Eval (published through an atomic pointer so
-	// concurrent first Evals are safe — they may build the slice twice,
-	// but the result is identical), so Cells must not be mutated after
-	// the first Eval. UnmarshalJSON resets it when re-decoding in place.
-	sparse atomic.Pointer[[]sparseCell]
+	// sparse caches the non-Off cells (plus the largest literal variable
+	// index) for fast repeated evaluation; it is built lazily on first Eval
+	// (published through an atomic pointer so concurrent first Evals are
+	// safe — they may build the index twice, but the result is identical),
+	// so Cells must not be mutated after the first Eval. UnmarshalJSON
+	// resets it when re-decoding in place.
+	sparse atomic.Pointer[sparseIndex]
 }
 
 type sparseCell struct {
@@ -88,20 +90,44 @@ type sparseCell struct {
 	e        Entry
 }
 
-func (d *Design) sparseCells() []sparseCell {
+// sparseIndex is the lazily-built evaluation index: the non-Off cells and
+// the largest Entry.Var among Lit cells (-1 when there are none), which is
+// what EvalChecked validates assignments against.
+type sparseIndex struct {
+	cells  []sparseCell
+	maxVar int32
+}
+
+func (d *Design) sparseIdx() *sparseIndex {
 	if p := d.sparse.Load(); p != nil {
-		return *p
+		return p
 	}
-	cells := []sparseCell{}
+	idx := &sparseIndex{cells: []sparseCell{}, maxVar: -1}
 	for r, row := range d.Cells {
 		for c, e := range row {
 			if e.Kind != Off {
-				cells = append(cells, sparseCell{r, c, e})
+				idx.cells = append(idx.cells, sparseCell{r, c, e})
+			}
+			if e.Kind == Lit && e.Var > idx.maxVar {
+				idx.maxVar = e.Var
 			}
 		}
 	}
-	d.sparse.Store(&cells)
-	return cells
+	d.sparse.Store(idx)
+	return idx
+}
+
+func (d *Design) sparseCells() []sparseCell { return d.sparseIdx().cells }
+
+// NumVars returns the number of assignment entries the design requires:
+// enough to cover every literal cell and every named variable. Eval
+// assignments must be at least this long.
+func (d *Design) NumVars() int {
+	n := int(d.sparseIdx().maxVar) + 1
+	if len(d.VarNames) > n {
+		n = len(d.VarNames)
+	}
+	return n
 }
 
 // NewDesign allocates an all-Off crossbar.
@@ -197,12 +223,17 @@ func (d *Design) Render(w io.Writer) error {
 }
 
 // Conducts reports whether cell e conducts under the assignment (indexed
-// by Entry.Var).
+// by Entry.Var). A literal the assignment does not cover never conducts —
+// the defensive backstop for short assignments; EvalChecked reports them
+// as a structured error instead of relying on it.
 func (e Entry) Conducts(assignment []bool) bool {
 	switch e.Kind {
 	case On:
 		return true
 	case Lit:
+		if int(e.Var) >= len(assignment) || e.Var < 0 {
+			return false
+		}
 		return assignment[e.Var] != e.Neg
 	default:
 		return false
@@ -210,8 +241,42 @@ func (e Entry) Conducts(assignment []bool) bool {
 }
 
 // Eval evaluates all outputs under the assignment by union-find
-// connectivity over nanowires (rows 0..Rows-1, then cols).
+// connectivity over nanowires (rows 0..Rows-1, then cols). The assignment
+// must cover every literal the design references (len >= NumVars());
+// violating that precondition panics with the structured invariant error
+// EvalChecked would return — callers evaluating designs decoded from
+// untrusted wire data must use EvalChecked.
 func (d *Design) Eval(assignment []bool) []bool {
+	out, err := d.EvalChecked(assignment)
+	if err != nil {
+		//lint:ignore panicfree documented Eval precondition on programmer-supplied assignments; EvalChecked is the error-returning form for wire-decoded designs
+		panic(err)
+	}
+	return out
+}
+
+// EvalChecked is Eval with the assignment-length precondition checked once
+// up front: an assignment shorter than the largest literal index returns
+// an *invariant.Error instead of an index-out-of-range panic.
+func (d *Design) EvalChecked(assignment []bool) ([]bool, error) {
+	idx := d.sparseIdx()
+	if int(idx.maxVar) >= len(assignment) {
+		return nil, invariant.Violationf("xbar.eval-assignment",
+			"assignment has %d entries but the design references variable %d", len(assignment), idx.maxVar)
+	}
+	if len(d.OutputRows) == 0 && d.Rows == 0 {
+		return []bool{}, nil // empty design: nothing to read, nothing to drive
+	}
+	if d.InputRow < 0 || d.InputRow >= d.Rows {
+		return nil, invariant.Violationf("xbar.eval-input-row",
+			"input row %d outside 0..%d", d.InputRow, d.Rows-1)
+	}
+	for i, r := range d.OutputRows {
+		if r < 0 || r >= d.Rows {
+			return nil, invariant.Violationf("xbar.eval-output-row",
+				"output row %d (#%d) outside 0..%d", r, i, d.Rows-1)
+		}
+	}
 	parent := make([]int, d.Rows+d.Cols)
 	for i := range parent {
 		parent[i] = i
@@ -230,7 +295,7 @@ func (d *Design) Eval(assignment []bool) []bool {
 			parent[ra] = rb
 		}
 	}
-	for _, sc := range d.sparseCells() {
+	for _, sc := range idx.cells {
 		if sc.e.Conducts(assignment) {
 			union(sc.row, d.Rows+sc.col)
 		}
@@ -240,7 +305,7 @@ func (d *Design) Eval(assignment []bool) []bool {
 	for i, r := range d.OutputRows {
 		out[i] = find(r) == in
 	}
-	return out
+	return out, nil
 }
 
 // VerifyAgainst checks the design against a reference evaluator over all
@@ -250,7 +315,13 @@ func (d *Design) Eval(assignment []bool) []bool {
 func (d *Design) VerifyAgainst(ref func([]bool) []bool, nVars, exhaustiveLimit, samples int, seed uint64) []bool {
 	check := func(in []bool) []bool {
 		want := ref(in)
-		got := d.Eval(in)
+		got, err := d.EvalChecked(in)
+		if err != nil || len(got) < len(want) {
+			// A design that cannot even be evaluated over nVars variables
+			// (or reports too few outputs) disagrees with the reference by
+			// definition; the current assignment is the witness.
+			return append([]bool(nil), in...)
+		}
 		for o := range want {
 			if want[o] != got[o] {
 				bad := append([]bool(nil), in...)
