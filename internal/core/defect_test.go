@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -135,6 +136,41 @@ func TestDefectRepairLoopRecoversFromCorruption(t *testing.T) {
 	}
 	if err := xbar.FormalVerify(res.Effective, nw, 0); err != nil {
 		t.Fatalf("repaired design fails formal verification: %v", err)
+	}
+}
+
+// TestRepairLoopBailsOnRepeatedPlacement pins the repair loop's
+// termination behavior when verification genuinely fails: every placement
+// engine is deterministic, so once the exact engine reproduces a binding
+// that already failed verification the loop must give up immediately
+// instead of burning the whole attempt budget re-verifying the same
+// placement. The persistent failure is simulated by verifying against a
+// network the design does not implement.
+func TestRepairLoopBailsOnRepeatedPlacement(t *testing.T) {
+	res, err := Synthesize(smallNetwork(), Options{Method: labeling.MethodHeuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := logic.NewBuilder("other")
+	x, y, z := b.Input("x"), b.Input("y"), b.Input("z")
+	b.Output("f", b.And(x, y, z))
+	b.Output("g", b.Or(x, z))
+	r := &Result{Design: res.Design, network: b.Build()}
+	// A fault-free map sized to the design: every engine returns the
+	// identity binding, so the loop cannot explore anything new.
+	dm, err := defect.New(res.Design.Rows, res.Design.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.placeWithRepair(context.Background(), dm, Options{MaxRepairAttempts: 25}.Canonical())
+	if err == nil {
+		t.Fatal("verification against a mismatched network succeeded")
+	}
+	if !strings.Contains(err.Error(), "already failed verification") {
+		t.Fatalf("repair loop did not report the repeated placement: %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("repair loop burned attempts on a repeated placement: %v", err)
 	}
 }
 

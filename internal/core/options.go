@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"compact/internal/defect"
 	"compact/internal/labeling"
 )
 
@@ -69,6 +70,13 @@ func (o Options) Validate() error {
 	}
 	if o.MaxRows < 0 || o.MaxCols < 0 {
 		return fmt.Errorf("core: negative MaxRows/MaxCols %d/%d", o.MaxRows, o.MaxCols)
+	}
+	// defect.New enforces the same cap on every construction path; this
+	// re-check is the options-layer backstop for untrusted request input,
+	// so the placement machinery can trust validated options to never name
+	// an array whose per-line state would exhaust memory.
+	if r, c := o.Defects.Rows(), o.Defects.Cols(); r > defect.MaxDim || c > defect.MaxDim {
+		return fmt.Errorf("core: defect map dimensions %dx%d exceed the %d-line cap", r, c, defect.MaxDim)
 	}
 	if o.VarOrder != nil {
 		seen := make([]bool, len(o.VarOrder))

@@ -57,6 +57,16 @@ func (r *Result) placeWithRepair(ctx context.Context, dm *defect.Map, opts Optio
 		return fmt.Errorf("core: placement: %w", err)
 	}
 	var lastErr error
+	// rejected fingerprints placements that already failed verification.
+	// Every search engine is deterministic in (design, map, seed) — and the
+	// identity shortcut and the ILP's near-identity objective ignore the
+	// seed entirely — so a fresh attempt can reproduce a rejected binding
+	// exactly. Re-verifying it would fail identically; instead the loop
+	// escalates straight to the exact engine, and gives up once the exact
+	// engine repeats a rejected binding too, because no further attempt can
+	// explore anything new.
+	rejected := make(map[string]bool)
+	forceILP := false
 	for attempt := 0; attempt < attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -66,7 +76,7 @@ func (r *Result) placeWithRepair(ctx context.Context, dm *defect.Map, opts Optio
 			// while keeping the whole loop a pure function of DefectSeed.
 			Seed: opts.DefectSeed + uint64(attempt)*0x9e3779b97f4a7c15,
 		}
-		if attempt == attempts-1 {
+		if forceILP || attempt == attempts-1 {
 			popts.Engine = xbar.PlaceILP
 		}
 		pl, err := xbar.PlaceContext(ctx, r.Design, dm, popts)
@@ -81,19 +91,34 @@ func (r *Result) placeWithRepair(ctx context.Context, dm *defect.Map, opts Optio
 			lastErr = err
 			continue
 		}
+		fp := fmt.Sprint(pl.RowPerm, pl.ColPerm)
+		if rejected[fp] {
+			if popts.Engine == xbar.PlaceILP {
+				return fmt.Errorf("core: defect-aware placement failed after %d attempts: the exact engine reproduces a placement that already failed verification: %w", attempt+1, lastErr)
+			}
+			forceILP = true
+			continue
+		}
 		eff, err := r.Design.UnderDefects(dm, pl)
 		if err != nil {
 			// Structural rejection of a search-produced placement is a bug,
 			// not a retryable condition.
 			return fmt.Errorf("core: placement: %w", err)
 		}
+		injected := false
 		if mode, _ := faultinject.Mode(faultinject.StagePlace); mode == "corrupt" && attempt == 0 {
 			// Deterministically hand verification a wrong effective design
 			// on the first attempt, so tests can drive the repair path.
 			corruptDesign(eff)
+			injected = true
 		}
 		if err := r.verifyEffective(eff); err != nil {
 			lastErr = err
+			if !injected {
+				// An injected corruption says nothing about the placement
+				// itself; only genuine failures veto a repeat binding.
+				rejected[fp] = true
+			}
 			continue
 		}
 		r.Placement = pl

@@ -56,10 +56,23 @@ type Map struct {
 	faults     map[int64]Kind
 }
 
+// MaxDim bounds each dimension of a defect map. The wire format reaches
+// New from untrusted request JSON, and because the format is sparse a
+// few-byte body could otherwise declare a multi-terabyte array and drive
+// the placement machinery — which allocates per-physical-line state —
+// out of memory. 65536 lines per side is far beyond any fabricated
+// crossbar, and it keeps rows*cols within 2^32 so the int64 cell keys
+// can never overflow or collide.
+const MaxDim = 1 << 16
+
 // New returns an empty (fault-free) defect map for a rows x cols array.
+// Dimensions must lie in [0, MaxDim].
 func New(rows, cols int) (*Map, error) {
 	if rows < 0 || cols < 0 {
 		return nil, fmt.Errorf("defect: negative dimensions %dx%d", rows, cols)
+	}
+	if rows > MaxDim || cols > MaxDim {
+		return nil, fmt.Errorf("defect: dimensions %dx%d exceed the %d-line cap", rows, cols, MaxDim)
 	}
 	return &Map{rows: rows, cols: cols, faults: make(map[int64]Kind)}, nil
 }

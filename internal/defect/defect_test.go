@@ -96,12 +96,42 @@ func TestJSONRejectsMalformed(t *testing.T) {
 		"unknown kind":   `{"rows":2,"cols":2,"cells":[{"r":0,"c":0,"k":"flaky"}]}`,
 		"duplicate":      `{"rows":2,"cols":2,"cells":[{"r":0,"c":0,"k":"on"},{"r":0,"c":0,"k":"off"}]}`,
 		"not an object":  `[1,2,3]`,
+		// The sparse wire format makes a multi-terabyte array a few bytes;
+		// the MaxDim cap must reject it at decode, before any per-line
+		// allocation downstream.
+		"oversized dims": `{"v":1,"rows":1099511627776,"cols":1099511627776,"cells":[{"r":0,"c":0,"k":"off"}]}`,
 	}
 	for name, src := range cases {
 		var m Map
 		if err := json.Unmarshal([]byte(src), &m); err == nil {
 			t.Errorf("%s: accepted %s", name, src)
 		}
+	}
+}
+
+func TestNewRejectsOversizedDims(t *testing.T) {
+	for _, dims := range [][2]int{{MaxDim + 1, 1}, {1, MaxDim + 1}, {math.MaxInt, math.MaxInt}} {
+		if _, err := New(dims[0], dims[1]); err == nil {
+			t.Errorf("New(%d, %d) accepted dimensions beyond MaxDim", dims[0], dims[1])
+		}
+	}
+	// The boundary itself is legal, and MaxDim x MaxDim keeps the cell
+	// keys within 2^32 so distinct cells can never collide.
+	m, err := New(MaxDim, MaxDim)
+	if err != nil {
+		t.Fatalf("New(MaxDim, MaxDim): %v", err)
+	}
+	if err := m.Set(MaxDim-1, MaxDim-1, StuckOn); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(0, 0, StuckOff); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := m.At(MaxDim-1, MaxDim-1); !ok || k != StuckOn {
+		t.Fatalf("corner cell lost: kind %v, present %t", k, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("key collision: %d cells stored, want 2", m.Len())
 	}
 }
 

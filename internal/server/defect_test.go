@@ -92,6 +92,26 @@ func TestUnplaceableReturns422(t *testing.T) {
 	}
 }
 
+// TestOversizedDefectMapRejected posts the few-byte sparse body that
+// declares a multi-terabyte defect map. The decode must reject it as a
+// client error before any placement machinery allocates per-line state —
+// previously this OOM-killed the whole process — and the server must stay
+// healthy for subsequent requests.
+func TestOversizedDefectMapRejected(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := circuitRequest(`{"method": "heuristic", "defects": {"v": 1, "rows": 1099511627776, "cols": 1099511627776, "cells": [{"r": 0, "c": 0, "k": "off"}]}}`)
+	status, _, body := post(t, ts.URL, req)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (body %s)", status, body)
+	}
+	if !bytes.Contains(body, []byte("cap")) {
+		t.Fatalf("400 body does not name the dimension cap: %s", body)
+	}
+	if status, _, body := post(t, ts.URL, circuitRequest(`{"method": "heuristic"}`)); status != http.StatusOK {
+		t.Fatalf("server unhealthy after oversized-map request: status %d, body %s", status, body)
+	}
+}
+
 // TestServerFaultInjection drives the compactd admission probe: the
 // documented degraded responses are a 503 for "unavailable" and a 500 for
 // the generic failure mode — never a crash, and recovery is immediate once

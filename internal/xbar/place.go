@@ -322,7 +322,16 @@ func PlaceContext(ctx context.Context, d *Design, dm *defect.Map, opts PlaceOpti
 		return perm
 	}
 	p := newPlacer(d, dm)
-	if dm.Len() == 0 || p.compatible(identity(d.Rows), identity(d.Cols)) {
+	if dm.Len() == 0 {
+		// No faults (or nil map): every binding computes the same design,
+		// so identity is canonical regardless of the requested engine.
+		return p.finish(&Placement{RowPerm: identity(d.Rows), ColPerm: identity(d.Cols), Engine: "identity"})
+	}
+	// The identity shortcut yields to an explicitly forced exact engine:
+	// callers (core's repair loop) force PlaceILP to explore beyond a
+	// placement that failed downstream verification, and short-circuiting
+	// every such retry back to the same identity binding would defeat it.
+	if opts.Engine != PlaceILP && p.compatible(identity(d.Rows), identity(d.Cols)) {
 		return p.finish(&Placement{RowPerm: identity(d.Rows), ColPerm: identity(d.Cols), Engine: "identity"})
 	}
 	if up := p.provenInfeasible(); up != nil {

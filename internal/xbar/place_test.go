@@ -187,6 +187,54 @@ func TestPlaceILPEngineSolvesConstrained(t *testing.T) {
 	assertEquivalent(t, eff, ref, n)
 }
 
+// TestPlaceForcedILPSkipsIdentityShortcut: with faults present, forcing
+// the exact engine must actually run it even when the identity binding is
+// compatible — core's repair loop forces PlaceILP to explore beyond a
+// placement that failed downstream verification, and the shortcut would
+// otherwise hand every retry the same identity binding.
+func TestPlaceForcedILPSkipsIdentityShortcut(t *testing.T) {
+	d, ref, n := synthDesign(t, 8)
+	// A stuck-OFF device under an Off cell is identity-compatible.
+	var r, c = -1, -1
+	for i := 0; i < d.Rows && r < 0; i++ {
+		for j := 0; j < d.Cols; j++ {
+			if d.Cells[i][j].Kind == Off {
+				r, c = i, j
+				break
+			}
+		}
+	}
+	if r < 0 {
+		t.Skip("design has no Off cell")
+	}
+	dm, err := defect.New(d.Rows, d.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Set(r, c, defect.StuckOff); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Place(d, dm, PlaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Engine != "identity" {
+		t.Fatalf("default engine %q, want the identity shortcut", pl.Engine)
+	}
+	pl, err = Place(d, dm, PlaceOptions{Engine: PlaceILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Engine != "ilp" {
+		t.Fatalf("forced exact engine %q, want ilp", pl.Engine)
+	}
+	eff, err := d.UnderDefects(dm, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, eff, ref, n)
+}
+
 func TestPlaceCanceledContext(t *testing.T) {
 	d, _, _ := synthDesign(t, 7)
 	dm, err := defect.Generate(d.Rows, d.Cols, 0.2, 0.5, 1)
