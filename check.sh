@@ -11,13 +11,16 @@
 #                    the concurrent Synthesize, defect placement and
 #                    compactd server tests)
 #   6. fuzz smoke  — a few seconds on each native fuzz target (the three
-#                    parser front ends and the design wire decoder)
+#                    parser front ends, the design wire decoder and the
+#                    partition plan decoder)
 #   7. compactlint — the project's own analyzers; any finding fails the gate
 #
 # Usage: ./check.sh [-short] [-bench]
 #   -short skips the -race pass (the slowest step) for quick local loops.
-#   -bench additionally runs the labeling/ILP hot-path benchmarks and
-#          writes results/BENCH_portfolio.json (via cmd/benchjson).
+#   -bench additionally runs the labeling/ILP hot-path benchmarks
+#          (results/BENCH_portfolio.json via cmd/benchjson) and the
+#          partitioned-synthesis benchmark (results/BENCH_partition.json
+#          via cmd/partitionbench).
 set -eu
 
 cd "$(dirname "$0")"
@@ -62,6 +65,7 @@ if [ "$short" -eq 0 ]; then
     go test -fuzz=FuzzParse -fuzztime=5s -run='^$' ./internal/pla/
     go test -fuzz=FuzzParse -fuzztime=5s -run='^$' ./internal/verilog/
     go test -fuzz=FuzzDesignJSON -fuzztime=5s -run='^$' ./internal/xbar/
+    go test -fuzz=FuzzPlanJSON -fuzztime=5s -run='^$' ./internal/partition/
 fi
 
 echo "== compactlint =="
@@ -75,6 +79,9 @@ if [ "$bench" -eq 1 ]; then
         tee /dev/stderr |
         go run ./cmd/benchjson >results/BENCH_portfolio.json
     echo "wrote results/BENCH_portfolio.json"
+
+    echo "== benchmarks (partitioned multi-crossbar synthesis) =="
+    go run ./cmd/partitionbench -timelimit 10s -out results/BENCH_partition.json
 fi
 
 echo "OK"

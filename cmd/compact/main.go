@@ -7,6 +7,11 @@
 //	compact -in circuit.blif [-gamma 0.5] [-method auto|oct|mip|heuristic|portfolio]
 //	        [-robdds] [-noalign] [-timelimit 60s] [-render] [-dot out.dot]
 //	        [-verify N] [-spice] [-defects map.json] [-defect-rate 0.05]
+//	        [-max-rows R] [-max-cols C] [-partition]
+//
+// -max-rows / -max-cols cap the crossbar dimensions; with -partition, a
+// function that cannot fit one tile is cut into a verified cascade of
+// tiles, each within the caps (see internal/partition).
 //
 // The -defects / -defect-rate flags enable defect-aware placement: the
 // design is placed onto a defective crossbar (an explicit stuck-at map, or
@@ -53,6 +58,9 @@ type cliConfig struct {
 	defectOn   float64
 	defectSeed uint64
 	repairMax  int
+	partition  bool
+	maxRows    int
+	maxCols    int
 }
 
 func main() {
@@ -77,6 +85,9 @@ func main() {
 	flag.Float64Var(&cfg.defectOn, "defect-on", 0, "stuck-ON share of generated defects (default 0.5)")
 	flag.Uint64Var(&cfg.defectSeed, "defect-seed", 0, "seed for defect generation and placement search")
 	flag.IntVar(&cfg.repairMax, "repair", 0, "max place-verify-retry attempts (default 3)")
+	flag.IntVar(&cfg.maxRows, "max-rows", 0, "per-crossbar row cap (0 = unconstrained)")
+	flag.IntVar(&cfg.maxCols, "max-cols", 0, "per-crossbar column cap (0 = unconstrained)")
+	flag.BoolVar(&cfg.partition, "partition", false, "when the function cannot fit -max-rows x -max-cols, cut it into a verified multi-tile cascade")
 	flag.Parse()
 	if *inPath == "" {
 		flag.Usage()
@@ -111,6 +122,9 @@ func run(ctx context.Context, inPath string, cfg cliConfig) error {
 		DefectOnFraction:  cfg.defectOn,
 		DefectSeed:        cfg.defectSeed,
 		MaxRepairAttempts: cfg.repairMax,
+		MaxRows:           cfg.maxRows,
+		MaxCols:           cfg.maxCols,
+		Partition:         cfg.partition,
 	}
 	if cfg.robdds {
 		opts.BDDKind = core.SeparateROBDDs
@@ -130,30 +144,46 @@ func run(ctx context.Context, inPath string, cfg cliConfig) error {
 	if err != nil {
 		return err
 	}
-	st := res.Stats()
-	fmt.Printf("bdd: %d nodes, %d edges (%s)\n", res.BDDNodes, res.BDDEdges, opts.BDDKind)
-	fmt.Printf("labeling: method=%s optimal=%v\n", res.Labeling.Method, res.Labeling.Optimal)
-	for _, er := range res.Labeling.Engines {
-		mark := " "
-		if er.Winner {
-			mark = "*"
+	if res.Plan != nil {
+		ps := res.Plan.Stats()
+		fmt.Printf("partition: %d tiles under %dx%d caps  cut_nets=%d  total_S=%d  devices=%d  cascade_depth=%d\n",
+			ps.Tiles, cfg.maxRows, cfg.maxCols, ps.CutNets, ps.TotalS, ps.Devices, ps.Depth)
+		for _, tl := range res.Plan.Tiles {
+			ts := tl.Design.Stats()
+			line := fmt.Sprintf("  tile %-6s %2d x %-2d  S=%-3d devices=%-3d in=%d out=%d",
+				tl.Name, ts.Rows, ts.Cols, ts.S, ts.LitCells+ts.OnCells, len(tl.Inputs), len(tl.Outputs))
+			if tl.Placement != nil {
+				line += fmt.Sprintf("  placed=%s repair_attempts=%d", tl.Placement.Engine, tl.RepairAttempts)
+			}
+			fmt.Println(line)
 		}
-		detail := fmt.Sprintf("objective=%.2f optimal=%v", er.Objective, er.Optimal)
-		if er.Err != "" {
-			detail = "error: " + er.Err
+		fmt.Printf("plan digest: %s\n", res.Plan.Digest())
+	} else {
+		st := res.Stats()
+		fmt.Printf("bdd: %d nodes, %d edges (%s)\n", res.BDDNodes, res.BDDEdges, opts.BDDKind)
+		fmt.Printf("labeling: method=%s optimal=%v\n", res.Labeling.Method, res.Labeling.Optimal)
+		for _, er := range res.Labeling.Engines {
+			mark := " "
+			if er.Winner {
+				mark = "*"
+			}
+			detail := fmt.Sprintf("objective=%.2f optimal=%v", er.Objective, er.Optimal)
+			if er.Err != "" {
+				detail = "error: " + er.Err
+			}
+			fmt.Printf("  %s engine %-9s %-32s elapsed=%v\n", mark, er.Method, detail, er.Elapsed.Round(time.Millisecond))
 		}
-		fmt.Printf("  %s engine %-9s %-32s elapsed=%v\n", mark, er.Method, detail, er.Elapsed.Round(time.Millisecond))
-	}
-	fmt.Printf("crossbar: %d x %d  S=%d  D=%d  area=%d  devices=%d  delay=%d steps\n",
-		st.Rows, st.Cols, st.S, st.D, st.Area, st.LitCells+st.OnCells, st.Delay)
-	if res.Placement != nil {
-		fmt.Printf("placement: engine=%s array=%dx%d defects=%d repair_attempts=%d (effective design re-verified)\n",
-			res.Placement.Engine, res.Defects.Rows(), res.Defects.Cols(), res.Defects.Len(), res.RepairAttempts)
+		fmt.Printf("crossbar: %d x %d  S=%d  D=%d  area=%d  devices=%d  delay=%d steps\n",
+			st.Rows, st.Cols, st.S, st.D, st.Area, st.LitCells+st.OnCells, st.Delay)
+		if res.Placement != nil {
+			fmt.Printf("placement: engine=%s array=%dx%d defects=%d repair_attempts=%d (effective design re-verified)\n",
+				res.Placement.Engine, res.Defects.Rows(), res.Defects.Cols(), res.Defects.Len(), res.RepairAttempts)
+		}
 	}
 	fmt.Printf("synthesis time: %v\n", res.SynthTime.Round(time.Millisecond))
 
 	if cfg.formal {
-		if cfg.robdds {
+		if cfg.robdds && res.Plan == nil {
 			return fmt.Errorf("-formal requires the SBDD mode (design variables must follow network input order)")
 		}
 		if err := res.FormalVerify(0); err != nil {
@@ -168,10 +198,22 @@ func run(ctx context.Context, inPath string, cfg cliConfig) error {
 		fmt.Printf("validation: OK (%d inputs, sampled/exhaustive)\n", nw.NumInputs())
 	}
 	if cfg.render {
-		fmt.Println()
-		if err := res.Design.Render(os.Stdout); err != nil {
-			return err
+		if res.Plan != nil {
+			for _, tl := range res.Plan.Tiles {
+				fmt.Printf("\ntile %s (inputs %v -> nets %v):\n", tl.Name, tl.Inputs, tl.Outputs)
+				if err := tl.Design.Render(os.Stdout); err != nil {
+					return err
+				}
+			}
+		} else {
+			fmt.Println()
+			if err := res.Design.Render(os.Stdout); err != nil {
+				return err
+			}
 		}
+	}
+	if res.Plan != nil && (cfg.dotPath != "" || cfg.svgPath != "" || cfg.runSpice) {
+		return fmt.Errorf("-dot, -svg and -spice are single-crossbar reports; not supported for partitioned plans")
 	}
 	if cfg.dotPath != "" {
 		f, err := os.Create(cfg.dotPath)

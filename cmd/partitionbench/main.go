@@ -1,0 +1,134 @@
+// Command partitionbench measures what tiling costs: for each benchmark
+// circuit it synthesizes once unconstrained (the single-crossbar baseline
+// semiperimeter) and once under per-tile caps with the partition fallback,
+// then reports tile counts, the total-semiperimeter overhead of the
+// cascade versus the unconstrained design, and wall clock — as a JSON
+// document suitable for tracking across commits.
+//
+// Usage:
+//
+//	partitionbench [-caps 32] [-timelimit 15s] [-out results/BENCH_partition.json] [circuit ...]
+//
+// With no circuits it runs the default set (ctrl, cavlc, int2float) —
+// EPFL control benchmarks small enough to finish quickly yet too big for
+// one 32x32 tile.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"compact/internal/bench"
+	"compact/internal/core"
+)
+
+type entry struct {
+	Circuit string `json:"circuit"`
+	Caps    int    `json:"caps"` // per-tile MaxRows = MaxCols
+	// Baseline: the unconstrained single-crossbar synthesis.
+	BaselineS  int     `json:"baseline_s"`
+	BaselineMS float64 `json:"baseline_ms"`
+	// Partitioned: the tile cascade under the caps.
+	Tiles       int     `json:"tiles"`
+	CutNets     int     `json:"cut_nets"`
+	TotalS      int     `json:"total_s"`
+	Depth       int     `json:"depth"`
+	OverheadPct float64 `json:"overhead_pct"` // (TotalS - BaselineS) / BaselineS
+	WallMS      float64 `json:"wall_ms"`
+	Err         string  `json:"error,omitempty"`
+}
+
+type report struct {
+	Caps    int     `json:"caps"`
+	Entries []entry `json:"entries"`
+}
+
+func main() {
+	var (
+		caps      = flag.Int("caps", 32, "per-tile row and column cap")
+		timeLimit = flag.Duration("timelimit", 15*time.Second, "per-synthesis solve budget")
+		outPath   = flag.String("out", "results/BENCH_partition.json", "output JSON path")
+	)
+	flag.Parse()
+	circuits := flag.Args()
+	if len(circuits) == 0 {
+		circuits = []string{"ctrl", "cavlc", "int2float"}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, circuits, *caps, *timeLimit, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "partitionbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, circuits []string, caps int, timeLimit time.Duration, outPath string) error {
+	rep := report{Caps: caps}
+	for _, name := range circuits {
+		g, ok := bench.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", name)
+		}
+		nw := g.Build()
+		e := entry{Circuit: name, Caps: caps}
+
+		t0 := time.Now()
+		base, err := core.SynthesizeContext(ctx, nw, core.Options{TimeLimit: timeLimit})
+		e.BaselineMS = millis(time.Since(t0))
+		if err != nil {
+			e.Err = fmt.Sprintf("baseline: %v", err)
+			rep.Entries = append(rep.Entries, e)
+			continue
+		}
+		e.BaselineS = base.Stats().S
+
+		t0 = time.Now()
+		res, err := core.SynthesizeContext(ctx, nw, core.Options{
+			TimeLimit: timeLimit, MaxRows: caps, MaxCols: caps, Partition: true,
+		})
+		e.WallMS = millis(time.Since(t0))
+		if err != nil {
+			e.Err = fmt.Sprintf("partitioned: %v", err)
+			rep.Entries = append(rep.Entries, e)
+			continue
+		}
+		if res.Plan == nil {
+			// The circuit fit one tile after all; report it as a 1-tile
+			// cascade with no cut nets.
+			st := res.Stats()
+			e.Tiles, e.TotalS = 1, st.S
+		} else {
+			st := res.Plan.Stats()
+			e.Tiles, e.CutNets, e.TotalS, e.Depth = st.Tiles, st.CutNets, st.TotalS, st.Depth
+		}
+		if e.BaselineS > 0 {
+			e.OverheadPct = 100 * float64(e.TotalS-e.BaselineS) / float64(e.BaselineS)
+		}
+		fmt.Printf("%-10s baseline S=%-4d (%.0fms)  tiled: %d tiles total_S=%d (%+.1f%%) depth=%d (%.0fms)\n",
+			name, e.BaselineS, e.BaselineMS, e.Tiles, e.TotalS, e.OverheadPct, e.Depth, e.WallMS)
+		rep.Entries = append(rep.Entries, e)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(outPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

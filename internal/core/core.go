@@ -12,6 +12,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"compact/internal/labeling"
 	"compact/internal/logic"
 	"compact/internal/oct"
+	"compact/internal/partition"
 	"compact/internal/xbar"
 )
 
@@ -80,9 +82,16 @@ type Options struct {
 	// AutoExactLimit overrides the auto-method node threshold.
 	AutoExactLimit int
 	// MaxRows/MaxCols cap the crossbar dimensions (0 = unconstrained);
-	// Synthesize fails with labeling.ErrInfeasible when no design fits.
-	// Exact enforcement requires the MIP labeling method.
+	// Synthesize fails with a typed *InfeasibleError (matching
+	// labeling.ErrInfeasible via errors.Is) when no design fits. Exact
+	// enforcement requires the MIP labeling method.
 	MaxRows, MaxCols int
+	// Partition enables the multi-crossbar fallback: when single-crossbar
+	// synthesis is infeasible under MaxRows/MaxCols, the network is cut
+	// into sub-functions and synthesized as a verified tile cascade (see
+	// internal/partition); the result then carries Plan instead of
+	// Design. Requires both caps set.
+	Partition bool
 	// Defects describes the stuck-at faults of the physical array the
 	// design will be programmed onto. When set, synthesis appends a
 	// defect-aware placement stage with a verified-repair loop (see
@@ -117,6 +126,12 @@ type Result struct {
 	Design   *xbar.Design
 	Graph    *xbar.BDDGraph
 	Labeling *labeling.Solution
+	// Plan is the multi-crossbar cascade produced when Options.Partition
+	// is set and single-crossbar synthesis is infeasible under the
+	// dimension caps. For partitioned results Design/Graph/Labeling and
+	// the BDD statistics are nil/zero; per-tile placements live on the
+	// plan's tiles.
+	Plan *partition.Plan
 	// BDDNodes and BDDEdges use the paper's Table I conventions (nodes
 	// include terminals; edges exclude nothing).
 	BDDNodes, BDDEdges int
@@ -141,8 +156,14 @@ type Result struct {
 	roots   []bdd.Node
 }
 
-// Stats returns the crossbar hardware statistics.
-func (r *Result) Stats() xbar.Stats { return r.Design.Stats() }
+// Stats returns the crossbar hardware statistics. Partitioned results
+// have no single crossbar; their aggregate cost lives in Plan.Stats().
+func (r *Result) Stats() xbar.Stats {
+	if r.Design == nil {
+		return xbar.Stats{}
+	}
+	return r.Design.Stats()
+}
 
 // Synthesize maps the network to a crossbar design.
 func Synthesize(nw *logic.Network, opts Options) (*Result, error) {
@@ -175,6 +196,26 @@ func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*R
 		defer cancel()
 	}
 	opts = opts.Canonical() // resolve Gamma and NodeLimit defaults once
+	res, err := synthesizeSingle(ctx, nw, opts)
+	if err != nil {
+		if opts.Partition && errors.Is(err, labeling.ErrInfeasible) {
+			// The function does not fit one tile: fall back to partitioned
+			// multi-crossbar synthesis under the same shared deadline.
+			plan, perr := synthesizePartitioned(ctx, nw, opts)
+			if perr != nil {
+				return nil, fmt.Errorf("core: partitioned synthesis (single crossbar infeasible: %v): %w", err, perr)
+			}
+			return &Result{Plan: plan, network: nw, SynthTime: time.Since(start)}, nil
+		}
+		return nil, err
+	}
+	res.SynthTime = time.Since(start)
+	return res, nil
+}
+
+// synthesizeSingle runs the single-crossbar pipeline on canonical options
+// under an already-derived deadline; SynthTime is the caller's to stamp.
+func synthesizeSingle(ctx context.Context, nw *logic.Network, opts Options) (*Result, error) {
 	order := opts.VarOrder
 	if order == nil {
 		order = bdd.DFSOrder(nw)
@@ -226,7 +267,7 @@ func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*R
 			// Site-specific mode: surface the typed infeasibility error the
 			// dimension-cap path produces, so callers' 422 mapping is
 			// exercised without crafting an actually infeasible instance.
-			return nil, fmt.Errorf("core: labeling: %w", labeling.ErrInfeasible)
+			return nil, infeasibleError(bg, opts, labeling.ErrInfeasible)
 		}
 		if err := faultinject.Err(faultinject.StageLabeling); err != nil {
 			return nil, fmt.Errorf("core: labeling: %w", err)
@@ -241,6 +282,11 @@ func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*R
 		MaxCols:        opts.MaxCols,
 	})
 	if err != nil {
+		if errors.Is(err, labeling.ErrInfeasible) {
+			// Upgrade the sentinel to the typed error carrying the numbers
+			// that explain the refusal (node count, OCT lower bound, caps).
+			return nil, infeasibleError(bg, opts, err)
+		}
 		return nil, fmt.Errorf("core: labeling: %w", err)
 	}
 	if err := faultinject.Err(faultinject.StageMap); err != nil {
@@ -279,7 +325,6 @@ func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*R
 			return nil, err
 		}
 	}
-	res.SynthTime = time.Since(start)
 	return res, nil
 }
 
@@ -287,6 +332,12 @@ func SynthesizeContext(ctx context.Context, nw *logic.Network, opts Options) (*R
 // to exhaustiveLimit inputs and with `samples` random vectors beyond. It
 // returns an error naming the first mismatching assignment.
 func (r *Result) Verify(exhaustiveLimit, samples int, seed uint64) error {
+	if r.Plan != nil {
+		if err := r.Plan.Verify(r.network.Eval, exhaustiveLimit, samples, seed); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		return nil
+	}
 	bad := r.Design.VerifyAgainst(r.network.Eval, r.network.NumInputs(), exhaustiveLimit, samples, seed)
 	if bad != nil {
 		return fmt.Errorf("core: design disagrees with network on %v", bad)
@@ -298,7 +349,12 @@ func (r *Result) Verify(exhaustiveLimit, samples int, seed uint64) error {
 // input assignments via the symbolic sneak-path closure (xbar.FormalVerify);
 // nodeLimit bounds the verifier's BDD (0 = default). Only available for
 // SBDD-mode results, whose designs carry network-input variable order.
+// Partitioned results are proven by symbolic cascade composition
+// (partition.Plan.FormalVerify) instead.
 func (r *Result) FormalVerify(nodeLimit int) error {
+	if r.Plan != nil {
+		return r.Plan.FormalVerify(r.network, nodeLimit)
+	}
 	return xbar.FormalVerify(r.Design, r.network, nodeLimit)
 }
 

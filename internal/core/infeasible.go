@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"compact/internal/oct"
+	"compact/internal/xbar"
+)
+
+// InfeasibleError is the typed form of a dimension-cap infeasibility: the
+// synthesized BDD graph cannot be VH-labeled within Options.MaxRows x
+// MaxCols. It carries the quantities that explain the refusal — the graph
+// node count n (every valid labeling has semiperimeter S = n + #VH >= n)
+// and a lower bound on the odd-cycle-transversal size (#VH >= OCTLowerBound,
+// so S >= n + OCTLowerBound) — alongside the violated caps, so callers
+// (compactd's 422 body, the partition fallback) can report or reason
+// about how far from feasible the request was.
+//
+// It wraps labeling.ErrInfeasible: errors.Is(err, labeling.ErrInfeasible)
+// keeps working everywhere a bare infeasibility used to surface.
+type InfeasibleError struct {
+	// Nodes is the BDD-graph node count — the unconditional lower bound
+	// on the crossbar semiperimeter.
+	Nodes int
+	// OCTLowerBound is a cheap proven lower bound on the number of VH
+	// nodes (vertex-disjoint odd cycle packing); S >= Nodes + OCTLowerBound.
+	OCTLowerBound int
+	// MaxRows / MaxCols are the caps the request could not meet (0 =
+	// unconstrained on that axis).
+	MaxRows, MaxCols int
+	// Err is the underlying labeling failure (wraps labeling.ErrInfeasible).
+	Err error
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("core: labeling: graph of %d nodes (semiperimeter >= %d) cannot fit %dx%d: %v",
+		e.Nodes, e.Nodes+e.OCTLowerBound, e.MaxRows, e.MaxCols, e.Err)
+}
+
+// Unwrap exposes the underlying labeling error, preserving
+// errors.Is(err, labeling.ErrInfeasible) compatibility.
+func (e *InfeasibleError) Unwrap() error { return e.Err }
+
+// infeasibleError builds the typed error for a cap violation on bg. The
+// odd-cycle packing is only computed here — on the failure path — so the
+// success path pays nothing.
+func infeasibleError(bg *xbar.BDDGraph, opts Options, err error) *InfeasibleError {
+	return &InfeasibleError{
+		Nodes:         bg.NumNodes(),
+		OCTLowerBound: len(oct.DisjointOddCycles(bg.G)),
+		MaxRows:       opts.MaxRows,
+		MaxCols:       opts.MaxCols,
+		Err:           err,
+	}
+}

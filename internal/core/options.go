@@ -71,6 +71,19 @@ func (o Options) Validate() error {
 	if o.MaxRows < 0 || o.MaxCols < 0 {
 		return fmt.Errorf("core: negative MaxRows/MaxCols %d/%d", o.MaxRows, o.MaxCols)
 	}
+	if o.Partition {
+		if o.MaxRows < 2 || o.MaxCols < 1 {
+			return fmt.Errorf("core: Partition needs per-tile caps (MaxRows >= 2 and MaxCols >= 1, got %d/%d)", o.MaxRows, o.MaxCols)
+		}
+		if o.Defects != nil && (o.Defects.Rows() < o.MaxRows || o.Defects.Cols() < o.MaxCols) {
+			// Every tile is placed onto the same physical array, and tiles
+			// may use up to the full per-tile caps — an array smaller than
+			// the caps would make placement failures depend on which cuts
+			// the splitter happened to choose.
+			return fmt.Errorf("core: Partition defect map %dx%d smaller than the per-tile caps %dx%d",
+				o.Defects.Rows(), o.Defects.Cols(), o.MaxRows, o.MaxCols)
+		}
+	}
 	// defect.New enforces the same cap on every construction path; this
 	// re-check is the options-layer backstop for untrusted request input,
 	// so the placement machinery can trust validated options to never name
@@ -141,8 +154,8 @@ func (o Options) Canonical() Options {
 func (o Options) Key() string {
 	c := o.Canonical()
 	var b strings.Builder
-	fmt.Fprintf(&b, "compact-options-v2|gamma=%g|method=%s|bdd=%s|align=%t|timelimit=%d|order=%v|sift=%t|nodelimit=%d|octbackend=%d|autoexact=%d|maxrows=%d|maxcols=%d",
-		c.Gamma, c.Method, c.BDDKind, !c.NoAlign, int64(c.TimeLimit), c.VarOrder, c.Sift, c.NodeLimit, c.OCTBackend, c.AutoExactLimit, c.MaxRows, c.MaxCols)
+	fmt.Fprintf(&b, "compact-options-v3|gamma=%g|method=%s|bdd=%s|align=%t|timelimit=%d|order=%v|sift=%t|nodelimit=%d|octbackend=%d|autoexact=%d|maxrows=%d|maxcols=%d|partition=%t",
+		c.Gamma, c.Method, c.BDDKind, !c.NoAlign, int64(c.TimeLimit), c.VarOrder, c.Sift, c.NodeLimit, c.OCTBackend, c.AutoExactLimit, c.MaxRows, c.MaxCols, c.Partition)
 	// Defect configuration is part of the synthesis identity: the same
 	// network on differently defective arrays yields different placements
 	// (and possibly Unplaceable), so cached results must not alias. Map

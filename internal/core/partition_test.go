@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"compact/internal/bench"
+	"compact/internal/labeling"
+	"compact/internal/logic"
+)
+
+func cascadeNet(t *testing.T) *logic.Network {
+	t.Helper()
+	b := logic.NewBuilder("casc")
+	xs := b.Inputs("x", 8)
+	carry := xs[0]
+	for i := 1; i < len(xs); i++ {
+		carry = b.Xor(b.And(carry, xs[i]), b.Or(carry, xs[i]))
+	}
+	b.Output("y0", carry)
+	b.Output("y1", b.Xnor(b.And(xs[0], xs[1], xs[2], xs[3]), b.Or(xs[4], xs[5], xs[6], xs[7])))
+	b.Output("y2", b.Mux(xs[0], b.And(xs[1], xs[2]), b.Or(xs[6], xs[7])))
+	return b.Build()
+}
+
+// TestPartitionSyntheticCascade is the subsystem smoke test: a function
+// that cannot fit 6x6 becomes a multi-tile plan with exhaustive Eval
+// parity and a passing symbolic cascade proof.
+func TestPartitionSyntheticCascade(t *testing.T) {
+	nw := cascadeNet(t)
+	res, err := Synthesize(nw, Options{Partition: true, MaxRows: 6, MaxCols: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil {
+		t.Fatal("expected a partitioned plan")
+	}
+	if res.Design != nil {
+		t.Fatal("partitioned result must not also carry a single design")
+	}
+	st := res.Plan.Stats()
+	if st.Tiles < 2 {
+		t.Fatalf("expected a multi-tile cascade, got %d tile(s)", st.Tiles)
+	}
+	if st.MaxRows > 6 || st.MaxCols > 6 {
+		t.Fatalf("tile dimensions %dx%d exceed the 6x6 caps", st.MaxRows, st.MaxCols)
+	}
+	if err := res.Verify(20, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FormalVerify(0); err != nil {
+		t.Fatal(err)
+	}
+	v := res.View()
+	if v.Partition == nil || v.Partition.Tiles != st.Tiles || v.Partition.Plan == nil {
+		t.Fatalf("view does not reflect the plan: %+v", v.Partition)
+	}
+	if v.Partition.Digest != res.Plan.Digest() {
+		t.Fatal("view digest mismatch")
+	}
+}
+
+// TestPartitionBenchAcceptance is the issue's acceptance scenario over
+// real benchmark circuits: at 32x32 each circuit refuses with a typed
+// infeasibility when Partition is off, and returns a verified multi-tile
+// plan when it is on.
+func TestPartitionBenchAcceptance(t *testing.T) {
+	for _, name := range []string{"ctrl", "int2float", "cavlc"} {
+		t.Run(name, func(t *testing.T) {
+			nw := bench.MustBuild(name)
+			opts := Options{MaxRows: 32, MaxCols: 32, TimeLimit: 3 * time.Second}
+
+			_, err := Synthesize(nw, opts)
+			if !errors.Is(err, labeling.ErrInfeasible) {
+				t.Fatalf("%s at 32x32 without Partition: want ErrInfeasible, got %v", name, err)
+			}
+			var ie *InfeasibleError
+			if !errors.As(err, &ie) {
+				t.Fatalf("infeasibility is not the typed *InfeasibleError: %v", err)
+			}
+			if ie.Nodes <= 64 || ie.MaxRows != 32 || ie.MaxCols != 32 {
+				t.Fatalf("typed error carries wrong facts: %+v", ie)
+			}
+			if ie.Nodes+ie.OCTLowerBound <= ie.MaxRows+ie.MaxCols {
+				t.Fatalf("reported bound %d does not exceed the budget", ie.Nodes+ie.OCTLowerBound)
+			}
+
+			opts.Partition = true
+			res, err := Synthesize(nw, opts)
+			if err != nil {
+				t.Fatalf("partitioned synthesis failed: %v", err)
+			}
+			st := res.Plan.Stats()
+			if st.Tiles < 2 {
+				t.Fatalf("expected multiple tiles, got %d", st.Tiles)
+			}
+			if st.MaxRows > 32 || st.MaxCols > 32 {
+				t.Fatalf("tile dimensions %dx%d exceed the caps", st.MaxRows, st.MaxCols)
+			}
+			if err := res.Verify(14, 2000, 1); err != nil {
+				t.Fatalf("plan lost Eval parity: %v", err)
+			}
+		})
+	}
+}
+
+// TestPartitionWithDefects exercises the per-tile defect-aware placement
+// path: with a generated defect rate, every tile is its own caps-sized
+// physical array with independently generated faults, and every tile must
+// come back placed (the placement loop re-verifies the effective design
+// internally). Per-tile maps must also be decorrelated — a shared digest
+// would mean every tile sees identical faults.
+func TestPartitionWithDefects(t *testing.T) {
+	nw := cascadeNet(t)
+	res, err := Synthesize(nw, Options{
+		Partition: true, MaxRows: 8, MaxCols: 8,
+		DefectRate: 0.01, DefectSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil {
+		t.Fatal("expected a plan")
+	}
+	digests := map[string]int{}
+	for _, tl := range res.Plan.Tiles {
+		if tl.Placement == nil {
+			t.Fatalf("tile %s has no placement despite a defect rate", tl.Name)
+		}
+		if tl.Defects == nil {
+			t.Fatalf("tile %s has no defect map", tl.Name)
+		}
+		if tl.Defects.Rows() != 8 || tl.Defects.Cols() != 8 {
+			t.Fatalf("tile %s map is %dx%d, want the full 8x8 physical array",
+				tl.Name, tl.Defects.Rows(), tl.Defects.Cols())
+		}
+		digests[tl.Defects.Digest()]++
+	}
+	if len(res.Plan.Tiles) >= 2 && len(digests) < 2 {
+		t.Fatalf("all %d tiles share one defect map digest", len(res.Plan.Tiles))
+	}
+	if err := res.Verify(20, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionOptionValidation(t *testing.T) {
+	nw := cascadeNet(t)
+	if _, err := Synthesize(nw, Options{Partition: true}); err == nil {
+		t.Fatal("Partition without caps must be rejected")
+	}
+	if _, err := Synthesize(nw, Options{Partition: true, MaxRows: 1, MaxCols: 4}); err == nil {
+		t.Fatal("MaxRows < 2 must be rejected (a tile needs a wordline besides the input row)")
+	}
+}
+
+func TestPartitionChangesCacheKey(t *testing.T) {
+	base := Options{MaxRows: 32, MaxCols: 32}
+	part := base
+	part.Partition = true
+	if base.Key() == part.Key() {
+		t.Fatal("Partition flag must be part of the options cache key")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"compact/internal/partition"
 	"compact/internal/xbar"
 )
 
@@ -28,11 +29,33 @@ type ResultView struct {
 	Crossbar CrossbarView `json:"crossbar"`
 	// SynthMillis is the synthesis wall clock in milliseconds.
 	SynthMillis float64 `json:"synth_ms"`
-	// Design is the programmed crossbar, sparse-encoded.
+	// Design is the programmed crossbar, sparse-encoded; nil for
+	// partitioned results (see Partition).
 	Design *xbar.Design `json:"design,omitempty"`
 	// Placement reports the defect-aware placement outcome; present only
 	// when synthesis ran against a defect map.
 	Placement *PlacementView `json:"placement,omitempty"`
+	// Partition carries the multi-crossbar plan and its summary when the
+	// function was synthesized as a tile cascade; Design and Crossbar are
+	// zero in that case (per-tile designs live inside the plan).
+	Partition *PartitionView `json:"partition,omitempty"`
+}
+
+// PartitionView is the wire form of a partitioned synthesis outcome: the
+// full plan (tiles, nets, per-tile designs and placements in the plan's
+// versioned wire format) plus its aggregate statistics and content
+// digest.
+type PartitionView struct {
+	Tiles   int    `json:"tiles"`
+	CutNets int    `json:"cut_nets"`
+	TotalS  int    `json:"total_s"`
+	MaxRows int    `json:"max_rows"`
+	MaxCols int    `json:"max_cols"`
+	Devices int    `json:"devices"`
+	Depth   int    `json:"depth"`
+	Digest  string `json:"digest"`
+	// Plan is the complete cascade in partition's wire format v1.
+	Plan *partition.Plan `json:"plan"`
 }
 
 // PlacementView is the wire form of a defect-aware placement: the binding
@@ -99,18 +122,34 @@ type CrossbarView struct {
 // view shares the Design pointer with the result (designs are effectively
 // immutable after synthesis); everything else is copied.
 func (r *Result) View() ResultView {
-	st := r.Design.Stats()
 	v := ResultView{
 		BDDNodes:    r.BDDNodes,
 		BDDEdges:    r.BDDEdges,
 		Order:       append([]int(nil), r.Order...),
 		SynthMillis: millis(r.SynthTime),
 		Design:      r.Design,
-		Crossbar: CrossbarView{
+	}
+	if r.Design != nil {
+		st := r.Design.Stats()
+		v.Crossbar = CrossbarView{
 			Rows: st.Rows, Cols: st.Cols, S: st.S, D: st.D,
 			Area: st.Area, Devices: st.LitCells + st.OnCells,
 			Power: st.Power, Delay: st.Delay,
-		},
+		}
+	}
+	if p := r.Plan; p != nil {
+		ps := p.Stats()
+		v.Partition = &PartitionView{
+			Tiles:   ps.Tiles,
+			CutNets: ps.CutNets,
+			TotalS:  ps.TotalS,
+			MaxRows: ps.MaxRows,
+			MaxCols: ps.MaxCols,
+			Devices: ps.Devices,
+			Depth:   ps.Depth,
+			Digest:  p.Digest(),
+			Plan:    p,
+		}
 	}
 	if r.network != nil {
 		ns := r.network.Stats()

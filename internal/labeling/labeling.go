@@ -246,6 +246,16 @@ func SolveContext(ctx context.Context, p Problem, opts Options) (*Solution, erro
 	if opts.AutoExactLimit <= 0 {
 		opts.AutoExactLimit = 600
 	}
+	// Provable early infeasibility: every valid labeling has semiperimeter
+	// S = Rows + Cols = n + #VH >= n, so when both caps are set and the
+	// graph alone exceeds their sum, no solver can succeed — refute in
+	// O(1) instead of burning the budget on a doomed search. This is what
+	// makes partitioned synthesis affordable: each failed piece attempt
+	// costs a BDD build, not an exact-solver timeout.
+	if opts.MaxRows > 0 && opts.MaxCols > 0 && p.G.N() > opts.MaxRows+opts.MaxCols {
+		return nil, fmt.Errorf("labeling: %d graph nodes force semiperimeter >= %d, budget %dx%d allows %d: %w",
+			p.G.N(), p.G.N(), opts.MaxRows, opts.MaxCols, opts.MaxRows+opts.MaxCols, ErrInfeasible)
+	}
 	method := opts.Method
 	if method == MethodAuto {
 		if p.G.N() <= opts.AutoExactLimit {

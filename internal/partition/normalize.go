@@ -1,0 +1,263 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+
+	"compact/internal/logic"
+)
+
+// Normalization
+//
+// Partitioning cuts the network at gate boundaries, so a single gate is
+// the smallest unit a tile can hold. A 100-input AND would make every cut
+// useless — no tile with MaxRows+MaxCols lines can realize it — so the
+// network is first rewritten with every wide n-ary gate decomposed into a
+// balanced tree of gates with at most maxFanin inputs (associative
+// operators decompose directly; NAND/NOR/XNOR become an inverted
+// AND/OR/XOR tree). The rewrite preserves the function exactly, keeps
+// input declaration order, and is hash-consed by logic.Builder so shared
+// sub-expressions stay shared.
+
+// normalize rebuilds nw with all gate fanins at most maxFanin.
+func normalize(nw *logic.Network, maxFanin int) (*logic.Network, error) {
+	if maxFanin < 2 {
+		maxFanin = 2
+	}
+	b := logic.NewBuilder(nw.Name)
+	m := make([]int, len(nw.Gates))
+	for gi, g := range nw.Gates {
+		xs := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			xs[i] = m[f]
+		}
+		switch g.Type {
+		case logic.Input:
+			m[gi] = b.Input(g.Name)
+		case logic.Const0:
+			m[gi] = b.Const0()
+		case logic.Const1:
+			m[gi] = b.Const1()
+		case logic.Buf:
+			m[gi] = b.Buf(xs[0])
+		case logic.Not:
+			m[gi] = b.Not(xs[0])
+		case logic.And:
+			m[gi] = treeReduce(b, b.And, xs, maxFanin)
+		case logic.Or:
+			m[gi] = treeReduce(b, b.Or, xs, maxFanin)
+		case logic.Xor:
+			m[gi] = treeReduce(b, b.Xor, xs, maxFanin)
+		case logic.Nand:
+			m[gi] = b.Not(treeReduce(b, b.And, xs, maxFanin))
+		case logic.Nor:
+			m[gi] = b.Not(treeReduce(b, b.Or, xs, maxFanin))
+		case logic.Xnor:
+			m[gi] = b.Not(treeReduce(b, b.Xor, xs, maxFanin))
+		case logic.Mux:
+			m[gi] = b.Mux(xs[0], xs[1], xs[2])
+		default:
+			return nil, fmt.Errorf("partition: unknown gate type %v at gate %d", g.Type, gi)
+		}
+	}
+	for i, id := range nw.Outputs {
+		b.Output(nw.OutputNames[i], m[id])
+	}
+	return b.Build(), nil
+}
+
+// treeReduce folds xs with the n-ary op into a balanced tree of arity at
+// most k. Associativity of AND/OR/XOR makes the regrouping exact.
+func treeReduce(b *logic.Builder, op func(...int) int, xs []int, k int) int {
+	for len(xs) > k {
+		next := make([]int, 0, (len(xs)+k-1)/k)
+		for i := 0; i < len(xs); i += k {
+			end := i + k
+			if end > len(xs) {
+				end = len(xs)
+			}
+			next = append(next, op(xs[i:end]...))
+		}
+		xs = next
+	}
+	return op(xs...)
+}
+
+// netPrefix picks a prefix for generated inter-tile net names that cannot
+// collide with any primary input name (the only other nets a plan knows).
+func netPrefix(inputNames []string) string {
+	prefix := "cut$"
+	for {
+		clash := false
+		for _, n := range inputNames {
+			if strings.HasPrefix(n, prefix) {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			return prefix
+		}
+		prefix = "$" + prefix
+	}
+}
+
+// port is one output of a piece: the normalized-network gate computing it
+// and the plan-level net carrying its value.
+type port struct {
+	gate int
+	net  string
+}
+
+// piece is a pending unit of work for the splitter: a set of output
+// ports plus the cut — normalized gates whose values arrive as nets from
+// other pieces. The cut map is shared between pieces and never mutated;
+// level cuts extend it copy-on-write.
+type piece struct {
+	outs []port
+	cut  map[int]string
+}
+
+// coneInfo is the extracted structure of a piece: the internal gates (in
+// ascending id order) and the boundary gates feeding them (primary
+// inputs of the normalized network, or cut gates), also ascending.
+type coneInfo struct {
+	internal []int
+	boundary []int
+}
+
+// cone walks the piece's transitive fanin in the normalized network,
+// stopping at boundary gates (inputs and cut gates).
+func (pc *piece) cone(norm *logic.Network) coneInfo {
+	internal := make(map[int]bool)
+	boundary := make(map[int]bool)
+	var stack []int
+	seen := make(map[int]bool)
+	for _, o := range pc.outs {
+		if !seen[o.gate] {
+			seen[o.gate] = true
+			stack = append(stack, o.gate)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g := norm.Gates[id]
+		if g.Type == logic.Input {
+			boundary[id] = true
+			continue
+		}
+		if _, cut := pc.cut[id]; cut {
+			boundary[id] = true
+			continue
+		}
+		internal[id] = true
+		for _, f := range g.Fanin {
+			if !seen[f] {
+				seen[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return coneInfo{internal: sortedKeys(internal), boundary: sortedKeys(boundary)}
+}
+
+func sortedKeys(set map[int]bool) []int {
+	ids := make([]int, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	// Insertion sort keeps this dependency-free; cone sizes are tile-sized.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// netName resolves the net carried by a boundary gate: the input's name
+// for primary inputs, the cut net otherwise.
+func (pc *piece) netName(norm *logic.Network, id int) string {
+	if norm.Gates[id].Type == logic.Input {
+		return norm.Gates[id].Name
+	}
+	return pc.cut[id]
+}
+
+// extract materializes the piece as a standalone logic.Network: boundary
+// nets become primary inputs (ascending gate-id order), piece outputs
+// become primary outputs named by their nets. The sub-network computes
+// exactly the piece's function of its boundary nets, so synthesizing it
+// with the ordinary pipeline yields a tile whose VarNames are the nets to
+// bind.
+func (pc *piece) extract(norm *logic.Network, name string) (*logic.Network, coneInfo, error) {
+	ci := pc.cone(norm)
+	b := logic.NewBuilder(name)
+	m := make(map[int]int, len(ci.internal)+len(ci.boundary))
+	for _, id := range ci.boundary {
+		m[id] = b.Input(pc.netName(norm, id))
+	}
+	for _, id := range ci.internal {
+		g := norm.Gates[id]
+		xs := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			mf, ok := m[f]
+			if !ok {
+				return nil, ci, fmt.Errorf("partition: internal gate %d reads unextracted gate %d", id, f)
+			}
+			xs[i] = mf
+		}
+		switch g.Type {
+		case logic.Const0:
+			m[id] = b.Const0()
+		case logic.Const1:
+			m[id] = b.Const1()
+		case logic.Buf:
+			m[id] = b.Buf(xs[0])
+		case logic.Not:
+			m[id] = b.Not(xs[0])
+		case logic.And:
+			m[id] = b.And(xs...)
+		case logic.Or:
+			m[id] = b.Or(xs...)
+		case logic.Nand:
+			m[id] = b.Nand(xs...)
+		case logic.Nor:
+			m[id] = b.Nor(xs...)
+		case logic.Xor:
+			m[id] = b.Xor(xs...)
+		case logic.Xnor:
+			m[id] = b.Xnor(xs...)
+		case logic.Mux:
+			m[id] = b.Mux(xs[0], xs[1], xs[2])
+		default:
+			return nil, ci, fmt.Errorf("partition: unexpected gate type %v at gate %d", g.Type, id)
+		}
+	}
+	for _, o := range pc.outs {
+		mo, ok := m[o.gate]
+		if !ok {
+			return nil, ci, fmt.Errorf("partition: piece output gate %d not in its own cone", o.gate)
+		}
+		b.Output(o.net, mo)
+	}
+	return b.Build(), ci, nil
+}
+
+// levels computes piece-local logic levels: boundary gates are level 0,
+// every internal gate 1 + max fanin level. Returned map covers internal
+// gates only.
+func pieceLevels(norm *logic.Network, ci coneInfo) map[int]int {
+	lv := make(map[int]int, len(ci.internal))
+	for _, id := range ci.internal { // ascending ids = topological
+		m := 0
+		for _, f := range norm.Gates[id].Fanin {
+			if l, ok := lv[f]; ok && l > m {
+				m = l
+			}
+		}
+		lv[id] = m + 1
+	}
+	return lv
+}

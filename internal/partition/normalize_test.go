@@ -1,0 +1,67 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"compact/internal/logic"
+)
+
+func wideNet(t *testing.T) *logic.Network {
+	t.Helper()
+	b := logic.NewBuilder("wide")
+	xs := b.Inputs("x", 9)
+	b.Output("a", b.And(xs...))
+	b.Output("o", b.Or(xs...))
+	b.Output("na", b.Nand(xs[:7]...))
+	b.Output("no", b.Nor(xs[:5]...))
+	b.Output("p", b.Xor(xs...))
+	b.Output("np", b.Xnor(xs[:6]...))
+	b.Output("m", b.Mux(xs[0], b.And(xs[1], xs[2], xs[3], xs[4]), b.Or(xs[5], xs[6], xs[7], xs[8])))
+	return b.Build()
+}
+
+func TestNormalizePreservesFunctionAndCapsFanin(t *testing.T) {
+	nw := wideNet(t)
+	for _, k := range []int{2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("maxFanin=%d", k), func(t *testing.T) {
+			norm, err := normalize(nw, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id, g := range norm.Gates {
+				if len(g.Fanin) > k && g.Type != logic.Mux {
+					t.Fatalf("gate %d (%s) has fanin %d > %d", id, g.Type, len(g.Fanin), k)
+				}
+			}
+			n := nw.NumInputs()
+			in := make([]bool, n)
+			for v := 0; v < 1<<n; v++ {
+				for i := range in {
+					in[i] = v>>i&1 == 1
+				}
+				want, got := nw.Eval(in), norm.Eval(in)
+				for j := range want {
+					if want[j] != got[j] {
+						t.Fatalf("vector %0*b output %d: want %v got %v", n, v, j, want[j], got[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNetPrefixAvoidsInputClash(t *testing.T) {
+	if p := netPrefix([]string{"a", "b"}); p != "cut$" {
+		t.Fatalf("plain inputs: got prefix %q", p)
+	}
+	p := netPrefix([]string{"cut$3", "b"})
+	if p == "cut$" {
+		t.Fatal("prefix must dodge an input already named cut$3")
+	}
+	for _, in := range []string{"cut$3", "b"} {
+		if len(in) >= len(p) && in[:len(p)] == p {
+			t.Fatalf("input %q still has generated prefix %q", in, p)
+		}
+	}
+}

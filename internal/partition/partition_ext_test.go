@@ -1,0 +1,203 @@
+package partition_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"compact/internal/core"
+	"compact/internal/logic"
+	"compact/internal/partition"
+)
+
+// coreSynth adapts the full synthesis pipeline as the tile synthesizer,
+// mirroring what core.SynthesizeContext does for the Partition fallback.
+func coreSynth(maxRows, maxCols int) partition.TileSynth {
+	return func(ctx context.Context, sub *logic.Network, salt uint64) (*partition.TileResult, error) {
+		res, err := core.SynthesizeContext(ctx, sub, core.Options{MaxRows: maxRows, MaxCols: maxCols})
+		if err != nil {
+			return nil, err
+		}
+		return &partition.TileResult{Design: res.Design}, nil
+	}
+}
+
+// chainNet builds prefix parities with conjunction taps — a function
+// whose shared BDD grows with n, so small caps genuinely force cuts.
+func chainNet(t testing.TB, n int) *logic.Network {
+	t.Helper()
+	b := logic.NewBuilder("chain")
+	xs := b.Inputs("x", n)
+	acc := xs[0]
+	for i := 1; i < n; i++ {
+		acc = b.Xor(acc, xs[i])
+		if i%2 == 0 {
+			b.Output(fmt.Sprintf("p%d", i), b.And(acc, xs[i-1]))
+		}
+	}
+	b.Output("p", acc)
+	return b.Build()
+}
+
+func buildPlan(t testing.TB, nw *logic.Network, r, c int) *partition.Plan {
+	t.Helper()
+	plan, err := partition.Build(context.Background(), nw, partition.Options{
+		MaxRows: r, MaxCols: c, Synth: coreSynth(r, c),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestBuildCascadeEvalParity(t *testing.T) {
+	nw := chainNet(t, 9)
+	plan := buildPlan(t, nw, 7, 7)
+	if len(plan.Tiles) < 2 {
+		t.Fatalf("expected a multi-tile cascade under 7x7 caps, got %d tile(s)", len(plan.Tiles))
+	}
+	st := plan.Stats()
+	if st.MaxRows > 7 || st.MaxCols > 7 {
+		t.Fatalf("tile dimensions %dx%d exceed the 7x7 caps", st.MaxRows, st.MaxCols)
+	}
+	in := make([]bool, nw.NumInputs())
+	for v := 0; v < 1<<nw.NumInputs(); v++ {
+		for i := range in {
+			in[i] = v>>i&1 == 1
+		}
+		got, err := plan.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := nw.Eval(in)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("vector %b output %d: plan %v network %v", v, j, got[j], want[j])
+			}
+		}
+	}
+	if err := plan.FormalVerify(nw, 0); err != nil {
+		t.Fatalf("cascade proof failed: %v", err)
+	}
+}
+
+func TestBuildSingleTileWhenFits(t *testing.T) {
+	nw := chainNet(t, 4)
+	plan := buildPlan(t, nw, 64, 64)
+	if len(plan.Tiles) != 1 {
+		t.Fatalf("roomy caps should give one tile, got %d", len(plan.Tiles))
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	nw := chainNet(t, 9)
+	plan := buildPlan(t, nw, 7, 7)
+	data, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back partition.Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest() != plan.Digest() {
+		t.Fatalf("digest changed across round trip: %s vs %s", back.Digest(), plan.Digest())
+	}
+	if err := back.Verify(nw.Eval, 20, 0, 1); err != nil {
+		t.Fatalf("decoded plan lost Eval parity: %v", err)
+	}
+	// Marshaling must be deterministic — the digest is content addressing.
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("re-marshaled plan bytes differ")
+	}
+}
+
+func TestPlanUnmarshalRejects(t *testing.T) {
+	nw := chainNet(t, 9)
+	plan := buildPlan(t, nw, 7, 7)
+	good, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mangle func(doc map[string]json.RawMessage)
+	}{
+		{"bad version", func(doc map[string]json.RawMessage) { doc["v"] = json.RawMessage("99") }},
+		{"missing tiles", func(doc map[string]json.RawMessage) { doc["tiles"] = json.RawMessage("[]") }},
+		{"missing inputs", func(doc map[string]json.RawMessage) { delete(doc, "inputs") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var doc map[string]json.RawMessage
+			if err := json.Unmarshal(good, &doc); err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(doc)
+			mangled, err := json.Marshal(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var p partition.Plan
+			if err := json.Unmarshal(mangled, &p); err == nil {
+				t.Fatal("mangled plan unmarshaled without error")
+			}
+		})
+	}
+}
+
+func TestValidateRejectsBrokenCascades(t *testing.T) {
+	nw := chainNet(t, 9)
+	plan := buildPlan(t, nw, 7, 7)
+	breakers := []struct {
+		name  string
+		apply func(p *partition.Plan)
+		want  string
+	}{
+		{"dangling tile input", func(p *partition.Plan) { p.Tiles[0].Inputs[0] = "no_such_net" }, "undefined net"},
+		{"duplicate primary input", func(p *partition.Plan) { p.Inputs[1] = p.Inputs[0] }, "duplicate"},
+		{"dangling plan output", func(p *partition.Plan) { p.Outputs[0].Net = "no_such_net" }, "undefined net"},
+		{"nil tile design", func(p *partition.Plan) { p.Tiles[0].Design = nil }, "no design"},
+		{"double-driven net", func(p *partition.Plan) {
+			last := len(p.Tiles) - 1
+			p.Tiles[last].Outputs[0] = p.Tiles[0].Outputs[0]
+		}, "more than one driver"},
+	}
+	for _, tc := range breakers {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := json.Marshal(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var p partition.Plan
+			if err := json.Unmarshal(data, &p); err != nil {
+				t.Fatal(err)
+			}
+			tc.apply(&p)
+			err = p.Validate()
+			if err == nil {
+				t.Fatal("broken plan validated")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuildRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := partition.Build(ctx, chainNet(t, 9), partition.Options{
+		MaxRows: 7, MaxCols: 7, Synth: coreSynth(7, 7),
+	})
+	if err == nil {
+		t.Fatal("Build ignored a canceled context")
+	}
+}

@@ -29,6 +29,8 @@ type metrics struct {
 	placements     expvar.Int // solves that produced a defect-aware placement
 	repairAttempts expvar.Int // cumulative verified-repair loop attempts
 	unplaceable    expvar.Int // solves rejected with a typed Unplaceable
+	partitioned    expvar.Int // solves that returned a multi-tile plan
+	tiles          expvar.Int // cumulative tiles across partitioned solves
 	solveMillis    expvar.Float
 	parseMillis    expvar.Float
 	engineMillis   *expvar.Map // per-engine cumulative wall clock (portfolio)
@@ -49,6 +51,8 @@ func newMetrics() *metrics {
 	m.vars.Set("placements_total", &m.placements)
 	m.vars.Set("repair_attempts_total", &m.repairAttempts)
 	m.vars.Set("unplaceable_total", &m.unplaceable)
+	m.vars.Set("partitioned_total", &m.partitioned)
+	m.vars.Set("tiles_total", &m.tiles)
 	m.vars.Set("solve_ms_total", &m.solveMillis)
 	m.vars.Set("parse_ms_total", &m.parseMillis)
 	m.vars.Set("engine_ms_total", m.engineMillis)

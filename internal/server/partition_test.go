@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestSynthesizePartitionedEndToEnd is the wire-level acceptance test for
+// partitioned synthesis: a benchmark that cannot fit one 32x32 tile must
+// come back 422 with the structured infeasibility detail, and the same
+// request with "partition": true must return a multi-tile plan on the
+// wire whose decoded form still evaluates.
+func TestSynthesizePartitionedEndToEnd(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	req := `{"benchmark": "ctrl", "options": {"max_rows": 32, "max_cols": 32, "time_limit_ms": 20000}}`
+	status, _, body := post(t, ts.URL, req)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("capped request without partition: status %d, body %s", status, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Infeasible == nil {
+		t.Fatalf("422 body lacks the structured infeasibility detail: %s", body)
+	}
+	if er.Infeasible.MaxRows != 32 || er.Infeasible.MaxCols != 32 {
+		t.Fatalf("detail caps %dx%d, want 32x32", er.Infeasible.MaxRows, er.Infeasible.MaxCols)
+	}
+	if er.Infeasible.SemiperimeterLB <= 64 || er.Infeasible.Nodes <= 0 {
+		t.Fatalf("detail does not explain the refusal: %+v", er.Infeasible)
+	}
+
+	preq := `{"benchmark": "ctrl", "options": {"max_rows": 32, "max_cols": 32, "partition": true, "time_limit_ms": 20000}}`
+	status, disp, pbody := post(t, ts.URL, preq)
+	if status != http.StatusOK {
+		t.Fatalf("partitioned request: status %d, body %s", status, pbody)
+	}
+	var resp synthesizeResponse
+	if err := json.Unmarshal(pbody, &resp); err != nil {
+		t.Fatal(err)
+	}
+	pv := resp.Result.Partition
+	if pv == nil || pv.Plan == nil {
+		t.Fatalf("200 body lacks the partition plan (disposition %s): %s", disp, pbody)
+	}
+	if pv.Tiles < 2 || len(pv.Plan.Tiles) != pv.Tiles {
+		t.Fatalf("plan summary disagrees with plan: tiles=%d len=%d", pv.Tiles, len(pv.Plan.Tiles))
+	}
+	if pv.MaxRows > 32 || pv.MaxCols > 32 {
+		t.Fatalf("tile dims %dx%d exceed the request caps", pv.MaxRows, pv.MaxCols)
+	}
+	if resp.Result.Design != nil {
+		t.Fatal("partitioned response must not carry a single-crossbar design")
+	}
+	// The decoded wire plan is directly evaluable (its Unmarshal validated it).
+	in := make([]bool, len(pv.Plan.Inputs))
+	if _, err := pv.Plan.Eval(in); err != nil {
+		t.Fatalf("wire-decoded plan does not evaluate: %v", err)
+	}
+
+	// Same request again: must be a byte-identical cache hit (the plan is
+	// part of the content-addressed body).
+	status, disp, again := post(t, ts.URL, preq)
+	if status != http.StatusOK || disp != "hit" {
+		t.Fatalf("repeat: status %d disposition %s", status, disp)
+	}
+	if string(again) != string(pbody) {
+		t.Fatal("cache hit body differs from the miss body")
+	}
+
+	// The partition counters moved.
+	vars := struct {
+		Compactd struct {
+			Partitioned int64 `json:"partitioned_total"`
+			Tiles       int64 `json:"tiles_total"`
+		} `json:"compactd"`
+	}{}
+	resp2, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp2.Body.Close() }()
+	if err := json.NewDecoder(resp2.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Compactd.Partitioned != 1 || vars.Compactd.Tiles < 2 {
+		t.Fatalf("partition counters: partitioned=%d tiles=%d", vars.Compactd.Partitioned, vars.Compactd.Tiles)
+	}
+}

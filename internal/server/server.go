@@ -224,7 +224,21 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, errShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, labeling.ErrInfeasible):
-		s.clientError(w, http.StatusUnprocessableEntity, "infeasible: %v", err)
+		s.metrics.badRequests.Add(1)
+		resp := errorResponse{Error: fmt.Sprintf("infeasible: %v", err)}
+		// The typed cap-infeasibility carries the quantities that explain
+		// the refusal; surface them structurally so clients can size a
+		// retry (or switch to "partition": true) without parsing prose.
+		var ie *core.InfeasibleError
+		if errors.As(err, &ie) {
+			resp.Infeasible = &infeasibleDetail{
+				Nodes:           ie.Nodes,
+				SemiperimeterLB: ie.Nodes + ie.OCTLowerBound,
+				MaxRows:         ie.MaxRows,
+				MaxCols:         ie.MaxCols,
+			}
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
 	case errors.As(err, new(*xbar.Unplaceable)):
 		// The circuit synthesized fine but cannot be placed on the
 		// requested defective array: a property of the request, not a
@@ -300,6 +314,16 @@ func (s *Server) solve(key string, nw *logic.Network, opts core.Options) ([]byte
 	if res.Placement != nil {
 		s.metrics.placements.Add(1)
 		s.metrics.repairAttempts.Add(int64(res.RepairAttempts))
+	}
+	if res.Plan != nil {
+		s.metrics.partitioned.Add(1)
+		s.metrics.tiles.Add(int64(len(res.Plan.Tiles)))
+		for _, tl := range res.Plan.Tiles {
+			if tl.Placement != nil {
+				s.metrics.placements.Add(1)
+				s.metrics.repairAttempts.Add(int64(tl.RepairAttempts))
+			}
+		}
 	}
 	if res.Labeling != nil {
 		for _, er := range res.Labeling.Engines {

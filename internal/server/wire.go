@@ -30,6 +30,8 @@ import (
 //	    "node_limit":    0,
 //	    "max_rows":      0,
 //	    "max_cols":      0,
+//	    "partition":     false,        // fall back to a multi-tile cascade
+
 //	    "defects":       {"v":1,"rows":8,"cols":8,"cells":[{"r":1,"c":2,"k":"off"}]},
 //	    "defect_rate":   0.05,         // generate a seeded map instead
 //	    "defect_on_fraction": 0.5,
@@ -78,6 +80,10 @@ type wireOptions struct {
 	NodeLimit   int      `json:"node_limit,omitempty"`
 	MaxRows     int      `json:"max_rows,omitempty"`
 	MaxCols     int      `json:"max_cols,omitempty"`
+	// Partition enables the multi-crossbar fallback: a function that
+	// cannot fit one max_rows x max_cols tile is cut into a verified tile
+	// cascade, returned as result.partition (core.PartitionView).
+	Partition bool `json:"partition,omitempty"`
 	// Defects is an explicit defect map in defect.Map's v1 wire format;
 	// DefectRate generates a seeded one instead (see core.Options). Both
 	// are part of the cache key via core.Options.Key, so results against
@@ -119,6 +125,7 @@ func (o *wireOptions) toCore(defaultLimit, maxLimit time.Duration) (core.Options
 		opts.NodeLimit = o.NodeLimit
 		opts.MaxRows = o.MaxRows
 		opts.MaxCols = o.MaxCols
+		opts.Partition = o.Partition
 		opts.Defects = o.Defects
 		opts.DefectRate = o.DefectRate
 		opts.DefectOnFraction = o.DefectOnFraction
@@ -152,9 +159,25 @@ type benchmarkInfo struct {
 	Description string `json:"description,omitempty"`
 }
 
-// errorResponse is every non-200 body.
+// errorResponse is every non-200 body. Infeasible is attached to 422s
+// caused by a dimension-cap infeasibility and explains the refusal
+// quantitatively (see core.InfeasibleError).
 type errorResponse struct {
-	Error string `json:"error"`
+	Error      string            `json:"error"`
+	Infeasible *infeasibleDetail `json:"infeasible,omitempty"`
+}
+
+// infeasibleDetail is the wire form of core.InfeasibleError: the BDD-graph
+// node count, the proven semiperimeter lower bound (nodes + odd-cycle
+// packing) and the caps the request could not meet. A client can read off
+// how far from feasible it was — and that max_rows + max_cols >=
+// semiperimeter_lb is necessary for any single-tile solve — or retry with
+// "partition": true.
+type infeasibleDetail struct {
+	Nodes           int `json:"nodes"`
+	SemiperimeterLB int `json:"semiperimeter_lb"`
+	MaxRows         int `json:"max_rows"`
+	MaxCols         int `json:"max_cols"`
 }
 
 // writeJSON encodes v as the response body with the given status.
