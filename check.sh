@@ -13,7 +13,11 @@
 #   6. fuzz smoke  — a few seconds on each native fuzz target (the three
 #                    parser front ends, the design wire decoder and the
 #                    partition plan decoder)
-#   7. compactlint — the project's own analyzers; any finding fails the gate
+#   7. compactlint — the project's own analyzers, including the compactflow
+#                    dataflow suite (allocbound, ctxflow, gospawn) and the
+#                    staleignore check on //lint:ignore directives; any
+#                    finding fails the gate, and so does blowing the 60s
+#                    wall-clock budget the suite promises CI
 #
 # Usage: ./check.sh [-short] [-bench]
 #   -short skips the -race pass (the slowest step) for quick local loops.
@@ -69,7 +73,7 @@ if [ "$short" -eq 0 ]; then
 fi
 
 echo "== compactlint =="
-go run ./cmd/compactlint ./...
+go run ./cmd/compactlint -budget 60s ./...
 
 if [ "$bench" -eq 1 ]; then
     echo "== benchmarks (labeling/ILP hot paths) =="

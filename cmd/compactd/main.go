@@ -116,8 +116,15 @@ func runSelfcheck(ctx context.Context, srv *server.Server) error {
 		return fmt.Errorf("listen: %w", err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	go func() { _ = httpSrv.Serve(ln) }()
-	defer func() { _ = httpSrv.Close() }()
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = httpSrv.Serve(ln)
+	}()
+	defer func() {
+		_ = httpSrv.Close()
+		<-served // don't leak the serve goroutine past the selfcheck
+	}()
 	base := "http://" + ln.Addr().String()
 	client := &http.Client{Timeout: 30 * time.Second}
 

@@ -17,14 +17,23 @@
 //	//lint:ignore <analyzer> <reason>
 //
 // on the flagged line or the line above it.
+//
+// For CI consumption, -json writes the findings to stdout as a JSON
+// document (redirect it to keep an artifact), -github additionally emits
+// GitHub Actions ::error annotations (to stderr when combined with
+// -json, so the JSON stays clean), and -budget fails the run with exit
+// status 3 if the whole suite takes longer than the given duration — the
+// analyzers are meant to stay fast enough to sit in every CI run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"compact/internal/lint"
 )
@@ -35,10 +44,14 @@ func main() {
 
 func run() int {
 	var (
-		list = flag.Bool("list", false, "list the configured analyzers and exit")
-		only = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list   = flag.Bool("list", false, "list the configured analyzers and exit")
+		only   = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		asJSON = flag.Bool("json", false, "write findings to stdout as JSON")
+		github = flag.Bool("github", false, "emit GitHub Actions ::error annotations")
+		budget = flag.Duration("budget", 0, "fail (exit 3) if the suite exceeds this wall-clock budget")
 	)
 	flag.Parse()
+	start := time.Now()
 
 	root, modPath, err := findModule()
 	if err != nil {
@@ -84,7 +97,7 @@ func run() int {
 		return 2
 	}
 	cwd, _ := os.Getwd()
-	n := 0
+	found := []jsonFinding{} // non-nil so -json always emits an array
 	for _, d := range diags {
 		if !matchesAny(d.Pos.Filename, prefixes) {
 			continue
@@ -95,14 +108,75 @@ func run() int {
 				name = rel
 			}
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-		n++
+		found = append(found, jsonFinding{
+			File:     filepath.ToSlash(name),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "compactlint: %d finding(s)\n", n)
+	elapsed := time.Since(start)
+
+	// Annotations go to stderr when stdout is the JSON artifact.
+	annotations := os.Stdout
+	if *asJSON {
+		annotations = os.Stderr
+	}
+	for _, f := range found {
+		if *github {
+			// ::error file=...,line=...,col=...::message — GitHub renders
+			// these as inline PR annotations.
+			_, _ = fmt.Fprintf(annotations, "::error file=%s,line=%d,col=%d,title=compactlint %s::%s\n",
+				f.File, f.Line, f.Column, f.Analyzer, escapeAnnotation(f.Message))
+		} else if !*asJSON {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+		}
+	}
+	if *asJSON {
+		report := jsonReport{Findings: found, ElapsedMS: elapsed.Milliseconds()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "compactlint:", err)
+			return 2
+		}
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "compactlint: suite took %v, over the %v budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+		return 3
+	}
+	if len(found) > 0 {
+		fmt.Fprintf(os.Stderr, "compactlint: %d finding(s)\n", len(found))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is one diagnostic in the -json artifact.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json document: the findings plus the suite's
+// wall-clock time, so CI can trend the budget.
+type jsonReport struct {
+	Findings  []jsonFinding `json:"findings"`
+	ElapsedMS int64         `json:"elapsed_ms"`
+}
+
+// escapeAnnotation applies GitHub's workflow-command escaping to message
+// data (%, CR and LF).
+func escapeAnnotation(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // findModule walks up from the working directory to the enclosing go.mod.

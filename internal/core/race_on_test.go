@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in, so tests
+// with wall-clock solver budgets can scale them to the instrumented
+// slowdown.
+const raceEnabled = true

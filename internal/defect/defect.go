@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"compact/internal/wirelimit"
 )
 
 // Kind classifies one faulty device.
@@ -60,19 +62,20 @@ type Map struct {
 // New from untrusted request JSON, and because the format is sparse a
 // few-byte body could otherwise declare a multi-terabyte array and drive
 // the placement machinery — which allocates per-physical-line state —
-// out of memory. 65536 lines per side is far beyond any fabricated
-// crossbar, and it keeps rows*cols within 2^32 so the int64 cell keys
-// can never overflow or collide.
-const MaxDim = 1 << 16
+// out of memory. The cap is wirelimit.MaxDim, shared with every other
+// wire-decoded crossbar dimension: 65536 lines per side is far beyond any
+// fabricated crossbar, and it keeps rows*cols within 2^32 so the int64
+// cell keys can never overflow or collide.
+const MaxDim = wirelimit.MaxDim
 
 // New returns an empty (fault-free) defect map for a rows x cols array.
 // Dimensions must lie in [0, MaxDim].
 func New(rows, cols int) (*Map, error) {
-	if rows < 0 || cols < 0 {
-		return nil, fmt.Errorf("defect: negative dimensions %dx%d", rows, cols)
+	if err := wirelimit.CheckDim("defect map rows", rows); err != nil {
+		return nil, fmt.Errorf("defect: %v", err)
 	}
-	if rows > MaxDim || cols > MaxDim {
-		return nil, fmt.Errorf("defect: dimensions %dx%d exceed the %d-line cap", rows, cols, MaxDim)
+	if err := wirelimit.CheckDim("defect map cols", cols); err != nil {
+		return nil, fmt.Errorf("defect: %v", err)
 	}
 	return &Map{rows: rows, cols: cols, faults: make(map[int64]Kind)}, nil
 }

@@ -1,0 +1,187 @@
+package lint
+
+// allocbound is the analyzer behind the repo's twice-shipped OOM bug class:
+// an integer decoded off the wire (a declared dimension or element count)
+// drives an allocation before anything has bounded it, so a few-byte
+// request body can demand a multi-terabyte make. It runs the compactflow
+// taint engine with:
+//
+//	sources    json.Unmarshal / (*json.Decoder).Decode targets in the wire
+//	           packages (unless the target type has its own in-module
+//	           UnmarshalJSON — a validated decoder is a trust boundary),
+//	           and strconv.Atoi/ParseInt/ParseUint results in the text
+//	           parser packages
+//	sanitizers wirelimit.CheckDim/CheckCount/CheckCells, plus the guard
+//	           idiom `if n > cap { ... }` (an upper-bound comparison in an
+//	           if condition whose other side is not the literal 0 — a
+//	           plain `n < 0` check bounds nothing)
+//	clean      invariant-preserving accessors (defect.Map.Rows/Cols/Len,
+//	           whose constructor enforces MaxDim)
+//	sinks      make's length/capacity arguments, bytes.Repeat and
+//	           strings.Repeat counts
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Allocbound returns the analyzer for the module rooted at modPath.
+// wirePkgs lists the packages whose decoders are taint sources; parsePkgs
+// (a subset or disjoint set) additionally treats strconv reads as sources.
+func Allocbound(modPath string, wirePkgs, parsePkgs []string) *Analyzer {
+	return &Analyzer{
+		Name: "allocbound",
+		Doc:  "wire-decoded integers must pass a bounds check before reaching allocation sinks",
+		RunProgram: func(pass *Pass) {
+			runTaint(pass, allocboundConfig(modPath, wirePkgs, parsePkgs))
+		},
+	}
+}
+
+func allocboundConfig(modPath string, wirePkgs, parsePkgs []string) *taintConfig {
+	return &taintConfig{
+		sourceCall: func(ff *flowFunc, call *ast.CallExpr, callee *types.Func) (int, string, bool) {
+			if callee == nil || callee.Pkg() == nil {
+				return 0, "", false
+			}
+			switch {
+			case calleeIs(callee, "encoding/json", "Unmarshal"):
+				if pkgPathIn(ff.pkg.Path, wirePkgs) && len(call.Args) == 2 &&
+					!targetHasModuleUnmarshal(ff, call.Args[1], modPath) {
+					return 1, "a json.Unmarshal of wire data", true
+				}
+			case calleeIs(callee, "encoding/json", "Decoder.Decode"):
+				if pkgPathIn(ff.pkg.Path, wirePkgs) && len(call.Args) == 1 &&
+					!targetHasModuleUnmarshal(ff, call.Args[0], modPath) {
+					return 0, "a json decode of wire data", true
+				}
+			case callee.Pkg().Path() == "strconv":
+				switch callee.Name() {
+				case "Atoi", "ParseInt", "ParseUint":
+					if pkgPathIn(ff.pkg.Path, parsePkgs) {
+						return -1, "a parsed " + callee.Name() + " field", true
+					}
+				}
+			}
+			return 0, "", false
+		},
+		sanitizer: func(callee *types.Func) bool {
+			if callee.Pkg() == nil {
+				return false
+			}
+			if strings.HasSuffix(callee.Pkg().Path(), "wirelimit") {
+				return strings.HasPrefix(callee.Name(), "Check")
+			}
+			// Module validators that bound their arguments through
+			// wirelimit internally.
+			return calleeIs(callee, modPath+"/internal/partition", "validatePerm")
+		},
+		clean: func(callee *types.Func) bool {
+			// defect.Map dimensions are constructor-bounded by MaxDim, so
+			// reading them back off a decoded map yields clean values.
+			p := modPath + "/internal/defect"
+			return calleeIs(callee, p, "Map.Rows") ||
+				calleeIs(callee, p, "Map.Cols") ||
+				calleeIs(callee, p, "Map.Len")
+		},
+		boundComparisonSanitizes: true,
+		carries: func(t types.Type) bool {
+			return carriesSize(t, modPath, make(map[types.Type]bool))
+		},
+		sinkArgs: func(ff *flowFunc, call *ast.CallExpr, callee *types.Func) (string, []int) {
+			if isBuiltin(ff.pkg.Info, call, "make") {
+				switch len(call.Args) {
+				case 2:
+					return "make", []int{1}
+				case 3:
+					return "make", []int{1, 2}
+				}
+				return "", nil
+			}
+			if calleeIs(callee, "bytes", "Repeat") || calleeIs(callee, "strings", "Repeat") {
+				return funcDisplayName(callee), []int{1}
+			}
+			return "", nil
+		},
+	}
+}
+
+// carriesSize reports whether a value of type t can transport
+// attacker-controlled size taint to an allocation sink:
+//
+//   - a type whose decode is validated (it declares UnmarshalJSON inside
+//     the module) is a trust boundary and never carries;
+//   - signed integers carry — every wire size in this module is a signed
+//     int, while unsigned integers are entropy (seeds, hashes, digests);
+//   - bools, floats, strings, funcs and interfaces cannot become an
+//     allocation length;
+//   - aggregates carry iff something inside them does.
+func carriesSize(t types.Type, modPath string, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if hasModuleUnmarshal(t, modPath) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		info := u.Info()
+		return info&types.IsInteger != 0 && info&types.IsUnsigned == 0
+	case *types.Slice:
+		return carriesSize(u.Elem(), modPath, seen)
+	case *types.Array:
+		return carriesSize(u.Elem(), modPath, seen)
+	case *types.Map:
+		return carriesSize(u.Key(), modPath, seen) || carriesSize(u.Elem(), modPath, seen)
+	case *types.Pointer:
+		return carriesSize(u.Elem(), modPath, seen)
+	case *types.Chan:
+		return carriesSize(u.Elem(), modPath, seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesSize(u.Field(i).Type(), modPath, seen) {
+				return true
+			}
+		}
+		return false
+	case *types.Interface, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// targetHasModuleUnmarshal applies hasModuleUnmarshal to the static type
+// of a decode target expression.
+func targetHasModuleUnmarshal(ff *flowFunc, target ast.Expr, modPath string) bool {
+	tv, ok := ff.pkg.Info.Types[target]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return hasModuleUnmarshal(tv.Type, modPath)
+}
+
+// hasModuleUnmarshal reports whether t (through pointers) declares an
+// UnmarshalJSON method inside the module — such decoders validate their
+// own input, so values of the type are trusted and json.Unmarshal targets
+// of the type are not sources.
+func hasModuleUnmarshal(t types.Type, modPath string) bool {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if _, ok := types.Unalias(t).(*types.Named); !ok {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(t))
+	sel := ms.Lookup(nil, "UnmarshalJSON")
+	if sel == nil {
+		return false
+	}
+	fn, ok := sel.Obj().(*types.Func)
+	return ok && fn.Pkg() != nil && strings.HasPrefix(fn.Pkg().Path(), modPath)
+}

@@ -1,0 +1,181 @@
+package lint
+
+// ctxflow extends ctxbound (PR 2) from entry-point signatures to whole
+// paths: library code under the module's internal/ tree may not originate
+// a context with context.Background() or context.TODO() and let it flow
+// into a solver entry point — the context must come from the caller, or
+// the deadline discipline the signatures promise is a fiction.
+//
+// Two origination idioms are exempt, because they are how a root context
+// legitimately enters the tree:
+//
+//   - nil-guard fallback: the enclosing function compares a
+//     context.Context against nil (`if ctx == nil { ctx = Background() }`)
+//     — it accepts a caller context and only defaults when absent.
+//   - bridge wrapper: Background() is passed directly as an argument in a
+//     return-statement call to a *Context-suffixed function — the
+//     one-line `Solve(x) { return SolveContext(ctx.Background(), x) }`
+//     compatibility shims.
+//
+// WithTimeout/WithDeadline results are clean: a bounded context is the
+// whole point of the rule.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Ctxflow returns the analyzer. scopePrefixes limits where originations
+// are treated as sources (package path prefixes; empty means everywhere);
+// sinkPkgs lists the packages whose exported entry points are sinks.
+func Ctxflow(scopePrefixes, sinkPkgs []string) *Analyzer {
+	exempt := make(map[*flowFunc]map[token.Pos]bool)
+	cfg := &taintConfig{
+		sourceCall: func(ff *flowFunc, call *ast.CallExpr, callee *types.Func) (int, string, bool) {
+			if !calleeIs(callee, "context", "Background") && !calleeIs(callee, "context", "TODO") {
+				return 0, "", false
+			}
+			if len(scopePrefixes) > 0 && !hasAnyPrefix(ff.pkg.Path, scopePrefixes) {
+				return 0, "", false
+			}
+			if exempt[ff] == nil {
+				exempt[ff] = ctxExemptSites(ff)
+			}
+			if exempt[ff][call.Pos()] {
+				return 0, "", false
+			}
+			return -1, "context." + callee.Name() + "()", true
+		},
+		clean: func(callee *types.Func) bool {
+			return calleeIs(callee, "context", "WithTimeout") ||
+				calleeIs(callee, "context", "WithDeadline")
+		},
+		carries: isContextType,
+		sinkArgs: func(ff *flowFunc, call *ast.CallExpr, callee *types.Func) (string, []int) {
+			if callee == nil || callee.Pkg() == nil || !callee.Exported() {
+				return "", nil
+			}
+			if !pkgPathIn(callee.Pkg().Path(), sinkPkgs) {
+				return "", nil
+			}
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok {
+				return "", nil
+			}
+			var idxs []int
+			for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+				if isContextType(sig.Params().At(i).Type()) {
+					idxs = append(idxs, i)
+				}
+			}
+			return "solver entry " + funcDisplayName(callee), idxs
+		},
+		message: func(sinkDesc, srcDesc string, srcPos token.Position) string {
+			return fmt.Sprintf("%s receives a context originated with %s (at %s:%d); accept the context from the caller instead",
+				sinkDesc, srcDesc, relBase(srcPos.Filename), srcPos.Line)
+		},
+	}
+	return &Analyzer{
+		Name:       "ctxflow",
+		Doc:        "internal code must not originate context.Background()/TODO() on paths into solver entry points",
+		RunProgram: func(pass *Pass) { runTaint(pass, cfg) },
+	}
+}
+
+// ctxExemptSites finds Background()/TODO() call positions in ff covered by
+// the nil-guard or bridge idioms described above.
+func ctxExemptSites(ff *flowFunc) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	info := ff.pkg.Info
+
+	// Nil-guard: any ==/!= comparison against nil with a context-typed
+	// operand anywhere in the function exempts every origination in it.
+	nilGuarded := false
+	ast.Inspect(ff.decl.Body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return true
+		}
+		for _, side := range []ast.Expr{b.X, b.Y} {
+			if tv, ok := info.Types[side]; ok && tv.Type != nil && isContextType(tv.Type) {
+				other := b.Y
+				if side == b.Y {
+					other = b.X
+				}
+				if tv2, ok := info.Types[other]; ok && tv2.IsNil() {
+					nilGuarded = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(ff.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if !calleeIs(callee, "context", "Background") && !calleeIs(callee, "context", "TODO") {
+			return true
+		}
+		if nilGuarded {
+			out[call.Pos()] = true
+		}
+		return true
+	})
+
+	// Bridge: Background() passed directly as an argument of a call that a
+	// return statement invokes, where the callee name ends in "Context".
+	ast.Inspect(ff.decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			call, ok := ast.Unparen(r).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || !strings.HasSuffix(callee.Name(), "Context") {
+				continue
+			}
+			for _, arg := range call.Args {
+				inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				ic := calleeFunc(info, inner)
+				if calleeIs(ic, "context", "Background") || calleeIs(ic, "context", "TODO") {
+					out[inner.Pos()] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasAnyPrefix reports whether s starts with any element of prefixes.
+func hasAnyPrefix(s string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,1036 @@
+package lint
+
+// flow.go is compactflow, the interprocedural dataflow layer the taint
+// analyzers (allocbound, ctxflow) and the reachability analyzers
+// (panicfree, gospawn) share. It has two parts:
+//
+//  1. A whole-module call graph (flowGraph) over every declared function:
+//     static call edges, conservative interface-dispatch edges (a call
+//     through an interface method fans out to every module type that
+//     implements the interface), and reference edges (taking a function or
+//     method value is treated as a potential call, since the engine does
+//     not track where the value flows).
+//
+//  2. A context-insensitive interprocedural taint engine (runTaint):
+//     per-function forward transfer on AST values with one-level field
+//     sensitivity, function summaries (which results are tainted given
+//     which tainted parameters), and a worklist that propagates taint from
+//     call arguments into callee parameters and from callee results back
+//     into callers until a fixed point. Sources, sanitizers and sinks are
+//     supplied per analyzer through taintConfig.
+//
+// Soundness caveats (deliberate, documented in DESIGN.md §11): the
+// transfer is flow-insensitive within a function (a sanitizer anywhere in
+// the function launders the value everywhere in it), taint through global
+// variables and through channel payloads is not tracked, and external
+// (non-module) callees are handled conservatively: any tainted argument
+// taints every result unless the config declares the callee clean.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Call graph
+
+// flowEdge is one resolved call or function-value reference.
+type flowEdge struct {
+	pos     token.Pos
+	call    *ast.CallExpr // nil for bare function/method value references
+	callee  *types.Func
+	dynamic bool // resolved through interface dispatch or a value reference
+}
+
+// flowFunc is one declared function or method with a body.
+type flowFunc struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	pkg     *Package
+	edges   []flowEdge
+	panics  []token.Pos // panic() call sites in the body
+	callers []*flowFunc
+}
+
+// flowGraph is the whole-module call graph compactflow analyses run on.
+type flowGraph struct {
+	prog  *Program
+	funcs map[*types.Func]*flowFunc
+	order []*flowFunc // deterministic: package load order, then position
+	// impls maps an interface method to the module methods that may
+	// implement it (conservative dispatch fan-out).
+	impls map[*types.Func][]*types.Func
+}
+
+// flow returns the program's call graph, building it on first use so the
+// analyzers that share a Program share one graph.
+func (p *Program) flow() *flowGraph {
+	if p.flowG == nil {
+		p.flowG = buildFlowGraph(p)
+	}
+	return p.flowG
+}
+
+func buildFlowGraph(prog *Program) *flowGraph {
+	g := &flowGraph{
+		prog:  prog,
+		funcs: make(map[*types.Func]*flowFunc),
+		impls: make(map[*types.Func][]*types.Func),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ff := &flowFunc{fn: fn, decl: fd, pkg: pkg}
+				g.funcs[fn] = ff
+				g.order = append(g.order, ff)
+			}
+		}
+	}
+	g.buildImplements()
+	for _, ff := range g.order {
+		g.addEdges(ff)
+	}
+	// Reverse edges, deduplicated.
+	for _, ff := range g.order {
+		seen := make(map[*flowFunc]bool)
+		for _, e := range ff.edges {
+			for _, callee := range g.resolve(e) {
+				if !seen[callee] {
+					seen[callee] = true
+					callee.callers = append(callee.callers, ff)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// buildImplements records, for every interface method declared in a module
+// package, the module methods that may satisfy it.
+func (g *flowGraph) buildImplements() {
+	var ifaces []*types.Named
+	var concrete []*types.Named
+	for _, pkg := range g.prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				ifaces = append(ifaces, named)
+			} else {
+				concrete = append(concrete, named)
+			}
+		}
+	}
+	for _, iface := range ifaces {
+		it, ok := iface.Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for _, t := range concrete {
+			pt := types.NewPointer(t)
+			if !types.Implements(t, it) && !types.Implements(pt, it) {
+				continue
+			}
+			ms := types.NewMethodSet(pt)
+			for i := 0; i < it.NumMethods(); i++ {
+				im := it.Method(i)
+				sel := ms.Lookup(t.Obj().Pkg(), im.Name())
+				if sel == nil {
+					continue
+				}
+				if m, ok := sel.Obj().(*types.Func); ok {
+					if _, declared := g.funcs[m]; declared {
+						g.impls[im] = append(g.impls[im], m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// addEdges records call, panic and reference edges for one function.
+func (g *flowGraph) addEdges(ff *flowFunc) {
+	info := ff.pkg.Info
+	// Identifiers appearing in call position, so the reference pass can
+	// skip them.
+	inCallPos := make(map[*ast.Ident]bool)
+	ast.Inspect(ff.decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			inCallPos[fun] = true
+		case *ast.SelectorExpr:
+			inCallPos[fun.Sel] = true
+		}
+		if isBuiltin(info, call, "panic") {
+			ff.panics = append(ff.panics, call.Pos())
+			return true
+		}
+		if callee := calleeFunc(info, call); callee != nil {
+			ff.edges = append(ff.edges, flowEdge{
+				pos:     call.Pos(),
+				call:    call,
+				callee:  callee,
+				dynamic: isInterfaceMethod(callee),
+			})
+		}
+		return true
+	})
+	// Function and method values taken outside call position are treated
+	// as potential calls (the engine does not track where they flow).
+	ast.Inspect(ff.decl, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || inCallPos[id] {
+			return true
+		}
+		if fn, ok := info.Uses[id].(*types.Func); ok {
+			if _, declared := g.funcs[fn]; declared || isInterfaceMethod(fn) {
+				ff.edges = append(ff.edges, flowEdge{
+					pos:     id.Pos(),
+					callee:  fn,
+					dynamic: true,
+				})
+			}
+		}
+		return true
+	})
+}
+
+// resolve expands an edge to the module functions it may reach: the static
+// callee when declared in the module, or the conservative implementer set
+// for interface methods.
+func (g *flowGraph) resolve(e flowEdge) []*flowFunc {
+	if ff, ok := g.funcs[e.callee]; ok {
+		return []*flowFunc{ff}
+	}
+	if impls := g.impls[e.callee]; len(impls) > 0 {
+		out := make([]*flowFunc, 0, len(impls))
+		for _, m := range impls {
+			if ff, ok := g.funcs[m]; ok {
+				out = append(out, ff)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface type.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// ---------------------------------------------------------------------------
+// Taint engine
+
+var taintDebug = "" // set temporarily to a function name to trace propagation
+
+// taintSource records where a tainted value originated.
+type taintSource struct {
+	pos  token.Pos
+	desc string
+}
+
+// taintKey identifies a tainted value: a variable, optionally narrowed to
+// one named field (one level of field sensitivity).
+type taintKey struct {
+	obj   types.Object
+	field string
+}
+
+// taintConfig parameterizes one interprocedural taint analysis.
+type taintConfig struct {
+	// sourceCall classifies call sites that originate taint. which >= 0
+	// taints the object the argument at that index points to (through a
+	// leading &); which == -1 taints the call's results.
+	sourceCall func(ff *flowFunc, call *ast.CallExpr, callee *types.Func) (which int, desc string, ok bool)
+	// sanitizer reports functions that validate their arguments: a call to
+	// one launders every argument key passed to it, and its results are
+	// clean.
+	sanitizer func(callee *types.Func) bool
+	// clean reports functions whose results are trustworthy even when
+	// their arguments or receiver are tainted (invariant-preserving
+	// accessors such as defect.Map.Rows).
+	clean func(callee *types.Func) bool
+	// boundComparisonSanitizes launders the left operand of a magnitude
+	// comparison (k < e, k <= e, k > e, k >= e) appearing in an if
+	// condition, unless the right operand is the literal 0 (a
+	// non-negativity test bounds nothing). This is the recognizer for the
+	// guard idiom `if n > cap { return err }`.
+	boundComparisonSanitizes bool
+	// carries filters which static types can transport taint; nil means
+	// every type carries.
+	carries func(t types.Type) bool
+	// sinkArgs returns the indices of the call's arguments that must not
+	// receive tainted values, with a short description of the sink.
+	sinkArgs func(ff *flowFunc, call *ast.CallExpr, callee *types.Func) (desc string, args []int)
+	// message renders the diagnostic for one sink hit.
+	message func(sinkDesc, srcDesc string, srcPos token.Position) string
+}
+
+// funcTaint is the per-function analysis state.
+type funcTaint struct {
+	ff        *flowFunc
+	params    []*taintSource // incoming taint per slot (slot 0 = receiver when present)
+	results   []*taintSource
+	tainted   map[taintKey]*taintSource
+	sanitized map[taintKey]bool
+}
+
+// sinkHit is one tainted value reaching a sink argument.
+type sinkHit struct {
+	pos  token.Position
+	desc string
+	src  taintSource
+}
+
+type taintState struct {
+	g      *flowGraph
+	cfg    *taintConfig
+	fstate map[*types.Func]*funcTaint
+	hits   map[string]sinkHit
+	work   []*flowFunc
+	queued map[*flowFunc]bool
+}
+
+// newTaintState prepares a taint analysis over prog.
+func newTaintState(prog *Program, cfg *taintConfig) *taintState {
+	return &taintState{
+		g:      prog.flow(),
+		cfg:    cfg,
+		fstate: make(map[*types.Func]*funcTaint),
+		hits:   make(map[string]sinkHit),
+		queued: make(map[*flowFunc]bool),
+	}
+}
+
+// run drives the worklist to the interprocedural fixed point.
+func (st *taintState) run() {
+	for _, ff := range st.g.order {
+		st.enqueue(ff)
+	}
+	for len(st.work) > 0 {
+		ff := st.work[0]
+		st.work = st.work[1:]
+		st.queued[ff] = false
+		st.analyze(ff)
+	}
+}
+
+// runTaint runs the configured taint analysis over the whole program and
+// reports every sink hit through pass.
+func runTaint(pass *Pass, cfg *taintConfig) {
+	st := newTaintState(pass.Prog, cfg)
+	st.run()
+	g := st.g
+	keys := make([]string, 0, len(st.hits))
+	for k := range st.hits {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := st.hits[k]
+		srcPos := g.prog.Fset.Position(h.src.pos)
+		msg := fmt.Sprintf("%s receives %s (origin %s:%d) without a bounds check",
+			h.desc, h.src.desc, relBase(srcPos.Filename), srcPos.Line)
+		if cfg.message != nil {
+			msg = cfg.message(h.desc, h.src.desc, srcPos)
+		}
+		*pass.diags = append(*pass.diags, Diagnostic{
+			Pos:      h.pos,
+			Analyzer: pass.analyzer,
+			Message:  msg,
+		})
+	}
+}
+
+// relBase trims a path to its final element for compact diagnostics.
+func relBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func (st *taintState) enqueue(ff *flowFunc) {
+	if ff == nil || st.queued[ff] {
+		return
+	}
+	st.queued[ff] = true
+	st.work = append(st.work, ff)
+}
+
+// state returns (building on first use) the analysis state for ff.
+func (st *taintState) state(ff *flowFunc) *funcTaint {
+	fs, ok := st.fstate[ff.fn]
+	if !ok {
+		sig := ff.fn.Type().(*types.Signature)
+		nslots := sig.Params().Len()
+		if sig.Recv() != nil {
+			nslots++
+		}
+		fs = &funcTaint{
+			ff:        ff,
+			params:    make([]*taintSource, nslots),
+			results:   make([]*taintSource, sig.Results().Len()),
+			tainted:   make(map[taintKey]*taintSource),
+			sanitized: collectSanitized(st.cfg, ff),
+		}
+		st.fstate[ff.fn] = fs
+	}
+	return fs
+}
+
+// slotVar returns the parameter object for a slot (receiver first).
+func slotVar(fn *types.Func, slot int) *types.Var {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		if slot == 0 {
+			return sig.Recv()
+		}
+		slot--
+	}
+	if slot < sig.Params().Len() {
+		return sig.Params().At(slot)
+	}
+	return nil
+}
+
+// markParam taints a callee's parameter slot, re-queueing the callee when
+// this is new information.
+func (st *taintState) markParam(ff *flowFunc, slot int, src *taintSource) {
+	fs := st.state(ff)
+	if slot < 0 || slot >= len(fs.params) || fs.params[slot] != nil {
+		return
+	}
+	fs.params[slot] = src
+	st.enqueue(ff)
+}
+
+// markResult taints a function's result slot, re-queueing its callers when
+// this is new information.
+func (st *taintState) markResult(fs *funcTaint, i int, src *taintSource) {
+	if src == nil || i < 0 || i >= len(fs.results) || fs.results[i] != nil {
+		return
+	}
+	fs.results[i] = src
+	for _, caller := range fs.ff.callers {
+		st.enqueue(caller)
+	}
+}
+
+// analyze runs the per-function transfer to a local fixed point.
+func (st *taintState) analyze(ff *flowFunc) {
+	fs := st.state(ff)
+	// Seed parameter taint.
+	for slot, src := range fs.params {
+		if src == nil {
+			continue
+		}
+		if v := slotVar(ff.fn, slot); v != nil {
+			k := taintKey{obj: v}
+			if fs.tainted[k] == nil {
+				fs.tainted[k] = src
+			}
+		}
+	}
+	for {
+		before := len(fs.tainted)
+		st.scanBody(fs)
+		if len(fs.tainted) == before {
+			return
+		}
+	}
+}
+
+// scanBody performs one flow-insensitive pass over the function body.
+func (st *taintState) scanBody(fs *funcTaint) {
+	ff := fs.ff
+	info := ff.pkg.Info
+	ast.Inspect(ff.decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			st.transferAssign(fs, s)
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				var src *taintSource
+				if len(s.Values) == len(s.Names) {
+					src = st.exprTaint(fs, s.Values[i])
+				} else if len(s.Values) == 1 {
+					src = st.callResultTaint(fs, s.Values[0], i)
+				}
+				if src != nil {
+					if obj := info.Defs[name]; obj != nil {
+						st.setKey(fs, taintKey{obj: obj}, src)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if src := st.exprTaint(fs, s.X); src != nil {
+				st.assignTo(fs, s.Key, src)
+				st.assignTo(fs, s.Value, src)
+			}
+		case *ast.ReturnStmt:
+			st.transferReturn(fs, s)
+		case *ast.CallExpr:
+			st.transferCall(fs, s)
+		}
+		return true
+	})
+}
+
+// transferAssign handles = and := statements, including tuple-returning
+// calls on the right-hand side.
+func (st *taintState) transferAssign(fs *funcTaint, s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		for i, lhs := range s.Lhs {
+			if src := st.callResultTaint(fs, s.Rhs[0], i); src != nil {
+				st.assignTo(fs, lhs, src)
+			}
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i < len(s.Rhs) {
+			if src := st.exprTaint(fs, s.Rhs[i]); src != nil {
+				st.assignTo(fs, lhs, src)
+			}
+		}
+	}
+}
+
+// transferReturn merges returned taint into the function summary.
+func (st *taintState) transferReturn(fs *funcTaint, s *ast.ReturnStmt) {
+	sig := fs.ff.fn.Type().(*types.Signature)
+	if len(s.Results) == 0 {
+		// Naked return: named results are ordinary variables.
+		for i := 0; i < sig.Results().Len(); i++ {
+			v := sig.Results().At(i)
+			if v.Name() != "" {
+				st.markResult(fs, i, st.keyTaint(fs, taintKey{obj: v}))
+			}
+		}
+		return
+	}
+	if len(s.Results) == 1 && sig.Results().Len() > 1 {
+		for i := 0; i < sig.Results().Len(); i++ {
+			st.markResult(fs, i, st.callResultTaint(fs, s.Results[0], i))
+		}
+		return
+	}
+	for i, r := range s.Results {
+		st.markResult(fs, i, st.exprTaint(fs, r))
+	}
+}
+
+// transferCall handles sources that taint a pointed-to argument, sink
+// checks, and interprocedural propagation into callee parameters.
+func (st *taintState) transferCall(fs *funcTaint, call *ast.CallExpr) {
+	ff := fs.ff
+	info := ff.pkg.Info
+	callee := calleeFunc(info, call)
+
+	if st.cfg.sourceCall != nil {
+		if which, desc, ok := st.cfg.sourceCall(ff, call, callee); ok && which >= 0 && which < len(call.Args) {
+			src := &taintSource{pos: call.Args[which].Pos(), desc: desc}
+			target := ast.Unparen(call.Args[which])
+			if u, ok := target.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				target = ast.Unparen(u.X)
+			}
+			st.assignTo(fs, target, src)
+		}
+	}
+
+	if st.cfg.sinkArgs != nil {
+		if desc, idxs := st.cfg.sinkArgs(ff, call, callee); len(idxs) > 0 {
+			for _, i := range idxs {
+				if i < 0 || i >= len(call.Args) {
+					continue
+				}
+				if src := st.exprTaint(fs, call.Args[i]); src != nil {
+					pos := st.g.prog.Fset.Position(call.Args[i].Pos())
+					key := fmt.Sprintf("%s:%d:%d:%s", pos.Filename, pos.Line, pos.Column, desc)
+					if _, dup := st.hits[key]; !dup {
+						st.hits[key] = sinkHit{pos: pos, desc: desc, src: *src}
+					}
+				}
+			}
+		}
+	}
+
+	// Propagate tainted arguments into module callees (conservatively
+	// through interface dispatch).
+	if callee == nil {
+		return
+	}
+	if st.cfg.sanitizer != nil && st.cfg.sanitizer(callee) {
+		return
+	}
+	targets := st.g.resolve(flowEdge{call: call, callee: callee})
+	if len(targets) == 0 {
+		return
+	}
+	recvOffset := 0
+	var recvExpr ast.Expr
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			recvExpr = sel.X
+		}
+		recvOffset = 1
+	}
+	for _, target := range targets {
+		if recvExpr != nil {
+			if src := st.exprTaint(fs, recvExpr); src != nil {
+				if taintDebug != "" && target.fn.Name() == taintDebug {
+					fmt.Printf("DEBUG %s recv tainted by %s (origin %v)\n", target.fn.FullName(), ff.fn.FullName(), st.g.prog.Fset.Position(src.pos))
+				}
+				st.markParam(target, 0, src)
+			}
+		}
+		sig := target.fn.Type().(*types.Signature)
+		for i, arg := range call.Args {
+			src := st.exprTaint(fs, arg)
+			if src == nil {
+				continue
+			}
+			slot := i + recvOffset
+			if i >= sig.Params().Len() {
+				slot = sig.Params().Len() - 1 + recvOffset // variadic tail
+			}
+			if taintDebug != "" && target.fn.Name() == taintDebug {
+				fmt.Printf("DEBUG %s arg %d tainted by %s at %v (origin %v)\n", target.fn.FullName(), i, ff.fn.FullName(), st.g.prog.Fset.Position(arg.Pos()), st.g.prog.Fset.Position(src.pos))
+			}
+			st.markParam(target, slot, src)
+		}
+	}
+}
+
+// assignTo taints the storage named by an lvalue (or range variable).
+func (st *taintState) assignTo(fs *funcTaint, lhs ast.Expr, src *taintSource) {
+	if lhs == nil || src == nil {
+		return
+	}
+	info := fs.ff.pkg.Info
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := info.Defs[l]
+		if obj == nil {
+			obj = info.Uses[l]
+		}
+		if obj != nil {
+			st.setKey(fs, taintKey{obj: obj}, src)
+		}
+	case *ast.SelectorExpr:
+		if base, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if obj := info.Uses[base]; obj != nil {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					st.setKey(fs, taintKey{obj: obj, field: l.Sel.Name}, src)
+					return
+				}
+			}
+		}
+		st.assignTo(fs, l.X, src) // deeper chains collapse onto the base
+	case *ast.IndexExpr:
+		st.assignTo(fs, l.X, src)
+	case *ast.StarExpr:
+		st.assignTo(fs, l.X, src)
+	}
+}
+
+func (st *taintState) setKey(fs *funcTaint, k taintKey, src *taintSource) {
+	if fs.tainted[k] == nil {
+		fs.tainted[k] = src
+	}
+}
+
+// keyTaint reads a key's effective taint, honoring sanitization.
+func (st *taintState) keyTaint(fs *funcTaint, k taintKey) *taintSource {
+	if fs.sanitized[k] {
+		return nil
+	}
+	if src := fs.tainted[k]; src != nil {
+		return src
+	}
+	if k.field != "" {
+		// Whole-object taint reaches every field that was not individually
+		// sanitized.
+		if !fs.sanitized[taintKey{obj: k.obj}] {
+			return fs.tainted[taintKey{obj: k.obj}]
+		}
+		return nil
+	}
+	// Whole-object read of a struct with tainted fields.
+	for fk, src := range fs.tainted {
+		if fk.obj == k.obj && fk.field != "" && !fs.sanitized[fk] {
+			return src
+		}
+	}
+	return nil
+}
+
+// callResultTaint returns the taint of result slot i of a (possibly
+// tuple-returning) call expression; for non-call expressions it falls back
+// to exprTaint when i == 0.
+func (st *taintState) callResultTaint(fs *funcTaint, e ast.Expr, i int) *taintSource {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		if i == 0 {
+			return st.exprTaint(fs, e)
+		}
+		return nil
+	}
+	srcs := st.callTaints(fs, call)
+	if i >= len(srcs) || srcs[i] == nil {
+		return nil
+	}
+	if st.cfg.carries != nil {
+		info := fs.ff.pkg.Info
+		if tv, ok := info.Types[call]; ok && tv.Type != nil {
+			t := tv.Type
+			if tup, ok := t.(*types.Tuple); ok && i < tup.Len() {
+				t = tup.At(i).Type()
+			}
+			if !st.cfg.carries(t) {
+				return nil
+			}
+		}
+	}
+	return srcs[i]
+}
+
+// callTaints computes per-result taint for a call expression.
+func (st *taintState) callTaints(fs *funcTaint, call *ast.CallExpr) []*taintSource {
+	ff := fs.ff
+	info := ff.pkg.Info
+
+	// Conversions: T(x) carries x's taint.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return []*taintSource{st.exprTaint(fs, call.Args[0])}
+	}
+	// Builtins: len/cap of attacker data are bounded by the input's actual
+	// size, so they do not carry; append carries its arguments' taint.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "make", "new", "copy":
+				return nil
+			case "append":
+				for _, a := range call.Args {
+					if src := st.exprTaint(fs, a); src != nil {
+						return []*taintSource{src}
+					}
+				}
+				return nil
+			default:
+				return nil
+			}
+		}
+	}
+
+	callee := calleeFunc(info, call)
+	if st.cfg.sourceCall != nil {
+		if which, desc, ok := st.cfg.sourceCall(ff, call, callee); ok && which == -1 {
+			src := &taintSource{pos: call.Pos(), desc: desc}
+			n := 1
+			if callee != nil {
+				if sig, ok := callee.Type().(*types.Signature); ok {
+					n = sig.Results().Len()
+				}
+			}
+			out := make([]*taintSource, n)
+			for i := range out {
+				out[i] = src
+			}
+			return out
+		}
+	}
+	if callee != nil {
+		if st.cfg.clean != nil && st.cfg.clean(callee) {
+			return nil
+		}
+		if st.cfg.sanitizer != nil && st.cfg.sanitizer(callee) {
+			return nil
+		}
+	}
+
+	targets := st.g.resolve(flowEdge{call: call, callee: callee})
+	if len(targets) > 0 {
+		// Module callees: use their summaries (merged over dispatch
+		// targets).
+		var out []*taintSource
+		for _, target := range targets {
+			ts := st.state(target)
+			for i, src := range ts.results {
+				for len(out) <= i {
+					out = append(out, nil)
+				}
+				if out[i] == nil {
+					out[i] = src
+				}
+			}
+		}
+		return out
+	}
+
+	// External callee (or dynamic call with no module target):
+	// conservatively, any tainted argument taints every result.
+	var src *taintSource
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		src = st.exprTaint(fs, sel.X)
+	}
+	if src == nil {
+		for _, a := range call.Args {
+			if src = st.exprTaint(fs, a); src != nil {
+				break
+			}
+		}
+	}
+	if src == nil {
+		return nil
+	}
+	n := 1
+	if callee != nil {
+		if sig, ok := callee.Type().(*types.Signature); ok {
+			n = sig.Results().Len()
+		}
+	}
+	out := make([]*taintSource, n)
+	for i := range out {
+		out[i] = src
+	}
+	return out
+}
+
+// exprTaint computes the taint of an expression in single-value context.
+func (st *taintState) exprTaint(fs *funcTaint, e ast.Expr) *taintSource {
+	if e == nil {
+		return nil
+	}
+	info := fs.ff.pkg.Info
+	var src *taintSource
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj != nil {
+			src = st.keyTaint(fs, taintKey{obj: obj})
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if base, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if obj := info.Uses[base]; obj != nil {
+					src = st.keyTaint(fs, taintKey{obj: obj, field: x.Sel.Name})
+					break
+				}
+			}
+			src = st.exprTaint(fs, x.X)
+		}
+		// Package-qualified names and method values carry no taint here.
+	case *ast.CallExpr:
+		srcs := st.callTaints(fs, x)
+		if len(srcs) > 0 {
+			src = srcs[0]
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+			token.SHL, token.SHR, token.AND, token.OR, token.XOR, token.AND_NOT:
+			if src = st.exprTaint(fs, x.X); src == nil {
+				src = st.exprTaint(fs, x.Y)
+			}
+		}
+	case *ast.UnaryExpr:
+		src = st.exprTaint(fs, x.X)
+	case *ast.StarExpr:
+		src = st.exprTaint(fs, x.X)
+	case *ast.IndexExpr:
+		src = st.exprTaint(fs, x.X)
+	case *ast.SliceExpr:
+		src = st.exprTaint(fs, x.X)
+	case *ast.TypeAssertExpr:
+		src = st.exprTaint(fs, x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if src = st.exprTaint(fs, v); src != nil {
+				break
+			}
+		}
+	}
+	if src != nil && st.cfg.carries != nil {
+		if tv, ok := info.Types[e]; ok && tv.Type != nil && !st.cfg.carries(tv.Type) {
+			return nil
+		}
+	}
+	return src
+}
+
+// collectSanitized performs the syntax-only pre-pass gathering the keys
+// the function launders: sanitizer-call arguments and guarded upper-bound
+// comparisons. Computing this before the taint fixpoint keeps the transfer
+// monotone (taint is never retracted, only never observed).
+func collectSanitized(cfg *taintConfig, ff *flowFunc) map[taintKey]bool {
+	out := make(map[taintKey]bool)
+	info := ff.pkg.Info
+	keyOf := func(e ast.Expr) (taintKey, bool) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return taintKey{obj: obj}, true
+			}
+		case *ast.SelectorExpr:
+			if base, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if obj := info.Uses[base]; obj != nil {
+					if _, isPkg := obj.(*types.PkgName); !isPkg {
+						return taintKey{obj: obj, field: x.Sel.Name}, true
+					}
+				}
+			}
+		}
+		return taintKey{}, false
+	}
+	if cfg.sanitizer != nil {
+		ast.Inspect(ff.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || !cfg.sanitizer(callee) {
+				return true
+			}
+			for _, a := range call.Args {
+				if k, ok := keyOf(a); ok {
+					out[k] = true
+				}
+			}
+			return true
+		})
+	}
+	if cfg.boundComparisonSanitizes {
+		var walkCond func(e ast.Expr)
+		walkCond = func(e ast.Expr) {
+			switch c := ast.Unparen(e).(type) {
+			case *ast.BinaryExpr:
+				switch c.Op {
+				case token.LAND, token.LOR:
+					walkCond(c.X)
+					walkCond(c.Y)
+				case token.LSS, token.LEQ, token.GTR, token.GEQ:
+					if isConstZero(info, c.Y) {
+						return
+					}
+					if k, ok := keyOf(c.X); ok {
+						out[k] = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if c.Op == token.NOT {
+					walkCond(c.X)
+				}
+			}
+		}
+		ast.Inspect(ff.decl.Body, func(n ast.Node) bool {
+			if ifs, ok := n.(*ast.IfStmt); ok {
+				walkCond(ifs.Cond)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isConstZero reports whether e is a constant with value 0.
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToInt(tv.Value)
+	return v.Kind() == constant.Int && constant.Sign(v) == 0
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers for the flow analyzers
+
+// pkgPathIn reports whether path matches any element of set ("exact" or a
+// trailing "/*" prefix wildcard).
+func pkgPathIn(path string, set []string) bool {
+	for _, p := range set {
+		if pat, ok := strings.CutSuffix(p, "/*"); ok {
+			if strings.HasPrefix(path, pat+"/") {
+				return true
+			}
+			continue
+		}
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeIs reports whether fn is the named function of the named package
+// (methods match on the receiver's base type name: "pkg.(T).M" is matched
+// by name "T.M").
+func calleeIs(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if recv := receiverTypeName(fn); recv != "" {
+		return recv+"."+fn.Name() == name
+	}
+	return fn.Name() == name
+}
+
+// receiverTypeName returns the base type name of fn's receiver, "" for
+// plain functions.
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,133 @@
+package lint
+
+// gospawn requires every `go` statement in library code to be tied to a
+// lifecycle, so a goroutine cannot outlive the work that spawned it
+// unobserved. A spawn passes if the goroutine's body (or, one call level
+// deep, a module function it invokes) shows any of:
+//
+//   - sync.WaitGroup participation (a Done call),
+//   - a completion signal (a channel send or a close call), or
+//   - context awareness (a ctx.Done() wait, or the goroutine runs a
+//     function that takes a context.Context).
+//
+// Detached fire-and-forget goroutines — the thing that turns into leaks
+// and shutdown races once compactd scales out — have none of these.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Gospawn returns the analyzer.
+func Gospawn() *Analyzer {
+	return &Analyzer{
+		Name: "gospawn",
+		Doc:  "go statements must be lifecycle-tied: WaitGroup, channel signal, or context",
+		RunProgram: func(pass *Pass) {
+			g := pass.Prog.flow()
+			for _, ff := range g.order {
+				ast.Inspect(ff.decl.Body, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if !spawnIsTied(g, ff.pkg, gs.Call, 2, make(map[*flowFunc]bool)) {
+						pass.Reportf(gs.Pos(),
+							"goroutine is not tied to any lifecycle (no WaitGroup, channel signal, or context); use a pool, WaitGroup, or ctx-bounded loop")
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// spawnIsTied checks the spawned call for lifecycle evidence, following
+// direct calls to module functions up to depth levels deep.
+func spawnIsTied(g *flowGraph, pkg *Package, call *ast.CallExpr, depth int, seen map[*flowFunc]bool) bool {
+	// A goroutine handed a context is ctx-bounded by contract.
+	for _, arg := range call.Args {
+		if tv, ok := pkg.Info.Types[arg]; ok && tv.Type != nil && isContextType(tv.Type) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyShowsLifecycle(g, pkg, fun.Body, depth, seen)
+	default:
+		if callee := calleeFunc(pkg.Info, call); callee != nil {
+			if sig, ok := callee.Type().(*types.Signature); ok {
+				for i := 0; i < sig.Params().Len(); i++ {
+					if isContextType(sig.Params().At(i).Type()) {
+						return true
+					}
+				}
+			}
+			if ff, ok := g.funcs[callee]; ok && depth > 0 && !seen[ff] {
+				seen[ff] = true
+				return bodyShowsLifecycle(g, ff.pkg, ff.decl.Body, depth-1, seen)
+			}
+		}
+	}
+	return false
+}
+
+// bodyShowsLifecycle scans a body for WaitGroup.Done, channel sends or
+// close calls, ctx.Done() waits, or (recursively) module callees that show
+// one.
+func bodyShowsLifecycle(g *flowGraph, pkg *Package, body *ast.BlockStmt, depth int, seen map[*flowFunc]bool) bool {
+	if body == nil {
+		return false
+	}
+	info := pkg.Info
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			tied = true
+		case *ast.CallExpr:
+			if isBuiltin(info, x, "close") {
+				tied = true
+				return false
+			}
+			callee := calleeFunc(info, x)
+			if callee == nil {
+				return true
+			}
+			if isWaitGroupDone(callee) || isContextDone(callee) {
+				tied = true
+				return false
+			}
+			if ff, ok := g.funcs[callee]; ok && depth > 0 && !seen[ff] {
+				seen[ff] = true
+				if bodyShowsLifecycle(g, ff.pkg, ff.decl.Body, depth-1, seen) {
+					tied = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return tied
+}
+
+// isWaitGroupDone matches (*sync.WaitGroup).Done.
+func isWaitGroupDone(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+		receiverTypeName(fn) == "WaitGroup" && fn.Name() == "Done"
+}
+
+// isContextDone matches context.Context.Done.
+func isContextDone(fn *types.Func) bool {
+	if fn.Name() != "Done" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isContextType(sig.Recv().Type())
+}

@@ -54,6 +54,7 @@ type Program struct {
 	Fset   *token.FileSet
 	Pkgs   []*Package // sorted by import path
 	byPath map[string]*Package
+	flowG  *flowGraph // lazily built by flow(), shared across analyzers
 }
 
 // Lookup returns the package with the given import path, or nil.
@@ -160,6 +161,7 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		}
 		out = append(out, d)
 	}
+	reportStaleIgnores(analyzers, ignores, &out)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -174,6 +176,49 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		return a.Analyzer < b.Analyzer
 	})
 	return out
+}
+
+// reportStaleIgnores implements the staleignore analyzer: after filtering,
+// any directive that suppressed nothing — and whose named analyzers all
+// actually ran, so a -run subset cannot false-flag — is itself a finding.
+// Active only when "staleignore" is in the analyzer list.
+func reportStaleIgnores(analyzers []*Analyzer, ignores map[string]map[int]*ignoreDirective, out *[]Diagnostic) {
+	ran := make(map[string]bool, len(analyzers))
+	enabled := false
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a.Name == "staleignore" {
+			enabled = true
+		}
+	}
+	if !enabled {
+		return
+	}
+	for file, byLine := range ignores {
+		for line, dir := range byLine {
+			if dir.used || dir.analyzers["*"] {
+				continue
+			}
+			allRan := true
+			names := make([]string, 0, len(dir.analyzers))
+			for name := range dir.analyzers {
+				names = append(names, name)
+				if !ran[name] {
+					allRan = false
+				}
+			}
+			if !allRan {
+				continue
+			}
+			sort.Strings(names)
+			*out = append(*out, Diagnostic{
+				Pos:      token.Position{Filename: file, Line: line, Column: 1},
+				Analyzer: "staleignore",
+				Message: fmt.Sprintf("//lint:ignore %s no longer suppresses any finding; delete it",
+					strings.Join(names, ",")),
+			})
+		}
+	}
 }
 
 // lookupIgnore finds a directive covering the given line: on the line

@@ -1,8 +1,6 @@
 package lint
 
 import (
-	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 )
@@ -20,104 +18,84 @@ import (
 // can actually touch, e.g. compact.Synthesize → *core.Result →
 // Result.Verify → logic.Network.Eval.
 //
-// The call graph is a static over/under-approximation: direct function and
-// method calls are followed (interface callees resolve to the interface
-// method only, function values are not tracked), and panics inside function
-// literals are attributed to the enclosing declared function. Deliberate
-// panics — recover-based control flow à la encoding/json, or preconditions
-// on programmer-controlled arguments — are suppressed in place with
-// //lint:ignore panicfree <reason>.
-func Panicfree(rootPkgPath string) *Analyzer {
+// The call graph is compactflow's (see flow.go): direct calls, conservative
+// interface-dispatch fan-out, and function-value references are followed,
+// and panics inside function literals are attributed to the enclosing
+// declared function. Deliberate panics — recover-based control flow à la
+// encoding/json, or preconditions on programmer-controlled arguments — are
+// suppressed in place with //lint:ignore panicfree <reason>.
+//
+// Roots are package patterns: an exact import path contributes its API
+// surface, a trailing "/*" wildcard matches a subtree, and a matched
+// package named main contributes its main function — so cmd/* binaries are
+// entry points too, not just the library façade.
+func Panicfree(rootPatterns ...string) *Analyzer {
 	return &Analyzer{
 		Name: "panicfree",
-		Doc:  "flags panic() calls reachable from the root package's exported API",
+		Doc:  "flags panic() calls reachable from entry-point roots (façade API, cmd mains)",
 		RunProgram: func(pass *Pass) {
-			runPanicfree(pass, rootPkgPath)
+			runPanicfree(pass, rootPatterns)
 		},
 	}
 }
 
-// callGraph is a static call graph over declared functions.
-type callGraph struct {
-	calls  map[*types.Func][]*types.Func
-	panics map[*types.Func][]token.Pos
-}
-
-func buildCallGraph(prog *Program) *callGraph {
-	cg := &callGraph{
-		calls:  make(map[*types.Func][]*types.Func),
-		panics: make(map[*types.Func][]token.Pos),
-	}
-	for _, pkg := range prog.Pkgs {
-		info := pkg.Info
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					if isBuiltin(info, call, "panic") {
-						cg.panics[fn] = append(cg.panics[fn], call.Pos())
-						return true
-					}
-					if callee := calleeFunc(info, call); callee != nil {
-						cg.calls[fn] = append(cg.calls[fn], callee)
-					}
-					return true
-				})
-			}
+func runPanicfree(pass *Pass, rootPatterns []string) {
+	g := pass.Prog.flow()
+	var roots []*types.Func
+	for _, pkg := range pass.Prog.Pkgs {
+		if !pkgPathIn(pkg.Path, rootPatterns) {
+			continue
 		}
+		if pkg.Name == "main" {
+			if fn, ok := pkg.Types.Scope().Lookup("main").(*types.Func); ok {
+				roots = append(roots, fn)
+			}
+			continue
+		}
+		roots = append(roots, apiSurface(pkg.Types)...)
 	}
-	return cg
-}
-
-func runPanicfree(pass *Pass, rootPkgPath string) {
-	root := pass.Prog.Lookup(rootPkgPath)
-	if root == nil {
-		return
-	}
-	cg := buildCallGraph(pass.Prog)
-	roots := apiSurface(root.Types)
 
 	// BFS over the call graph, recording one (shortest) parent chain per
 	// reached function for the report.
 	parent := make(map[*types.Func]*types.Func)
 	seen := make(map[*types.Func]bool)
 	var queue []*types.Func
-	for _, fn := range roots {
-		if !seen[fn] {
-			seen[fn] = true
-			queue = append(queue, fn)
+	enqueue := func(fn, from *types.Func) {
+		if fn == nil || seen[fn] {
+			return
 		}
+		seen[fn] = true
+		parent[fn] = from
+		queue = append(queue, fn)
+	}
+	for _, fn := range roots {
+		enqueue(fn, nil)
 	}
 	for len(queue) > 0 {
 		fn := queue[0]
 		queue = queue[1:]
-		for _, callee := range cg.calls[fn] {
-			if !seen[callee] {
-				seen[callee] = true
-				parent[callee] = fn
-				queue = append(queue, callee)
+		ff, ok := g.funcs[fn]
+		if !ok {
+			// Interface-method root: fan out to its implementers.
+			for _, m := range g.impls[fn] {
+				enqueue(m, fn)
+			}
+			continue
+		}
+		for _, e := range ff.edges {
+			for _, callee := range g.resolve(e) {
+				enqueue(callee.fn, fn)
 			}
 		}
 	}
 
-	for fn, sites := range cg.panics {
-		if !seen[fn] {
+	for _, ff := range g.order {
+		if !seen[ff.fn] || len(ff.panics) == 0 {
 			continue
 		}
-		chain := callChain(parent, fn)
-		for _, pos := range sites {
-			pass.Reportf(pos, "panic reachable from the %s façade (%s); return an error instead", root.Types.Name(), chain)
+		chain := callChain(parent, ff.fn)
+		for _, pos := range ff.panics {
+			pass.Reportf(pos, "panic reachable from an entry point (%s); return an error instead", chain)
 		}
 	}
 }

@@ -1,0 +1,21 @@
+package lint
+
+// staleignore keeps the suppression ledger honest: a //lint:ignore
+// directive that no longer suppresses any finding is itself a finding, so
+// fixed code sheds its suppressions instead of accumulating them. The
+// logic lives in RunAnalyzers (it needs the post-filter directive usage
+// state); this analyzer is the marker that opts a run into the check.
+//
+// A directive is reported only when every analyzer it names actually ran
+// (so `compactlint -run floatcmp` cannot false-flag an errdrop
+// suppression) and it names no wildcard.
+
+// Staleignore returns the marker analyzer enabling the stale-directive
+// check for a RunAnalyzers invocation.
+func Staleignore() *Analyzer {
+	return &Analyzer{
+		Name:       "staleignore",
+		Doc:        "//lint:ignore directives that suppress nothing must be deleted",
+		RunProgram: func(*Pass) {}, // handled in RunAnalyzers post-filter
+	}
+}

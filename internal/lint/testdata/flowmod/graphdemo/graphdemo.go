@@ -1,0 +1,49 @@
+// Package graphdemo is the call-graph golden fixture: branches, method
+// values, function values, and interface dispatch with conservative
+// fan-out.
+package graphdemo
+
+// Runner is the interface whose dispatch the graph must fan out to every
+// module implementation.
+type Runner interface {
+	Run(n int) int
+}
+
+// Fast implements Runner by value.
+type Fast struct{}
+
+func (Fast) Run(n int) int { return n + 1 }
+
+// Slow implements Runner through a pointer receiver.
+type Slow struct{}
+
+func (*Slow) Run(n int) int { return step(n) }
+
+func step(n int) int { return n * 2 }
+
+func leaf(n int) int { return n - 1 }
+
+// Dispatch calls through the interface: the edge fans out to Fast.Run and
+// (*Slow).Run.
+func Dispatch(r Runner, n int) int {
+	return r.Run(n)
+}
+
+// Branches calls a different helper on each arm.
+func Branches(flag bool, n int) int {
+	if flag {
+		return step(n)
+	}
+	return leaf(n)
+}
+
+// TakesValue references step without calling it: a dynamic reference
+// edge, since the engine does not track where the value flows.
+func TakesValue() func(int) int {
+	return step
+}
+
+// TakesMethodValue captures a bound method value, another dynamic edge.
+func TakesMethodValue(f Fast) func(int) int {
+	return f.Run
+}

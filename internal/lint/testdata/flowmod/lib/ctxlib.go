@@ -1,0 +1,51 @@
+// Package lib exercises ctxflow: library code must not originate a
+// context with Background()/TODO() on a path into a solver entry point,
+// except through the two documented exemption idioms.
+package lib
+
+import (
+	"context"
+	"time"
+
+	"flowmod/solver"
+)
+
+// BadOrigination manufactures a root context and hands it to the solver.
+func BadOrigination(n int) int {
+	ctx := context.Background()
+	return solver.Solve(ctx, n) // want ctxflow
+}
+
+// makeRoot returns a fresh root context; the origination itself is legal
+// until it reaches a sink.
+func makeRoot() context.Context {
+	return context.TODO()
+}
+
+// BadIndirect reaches the sink through a helper: the function summaries
+// carry the origination across the call.
+func BadIndirect(n int) int {
+	return solver.Solve(makeRoot(), n) // want ctxflow
+}
+
+// GoodNilGuard accepts a caller context and only defaults when absent.
+func GoodNilGuard(ctx context.Context, n int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return solver.Solve(ctx, n)
+}
+
+// GoodBridge is the one-line compatibility shim the bridge exemption
+// covers.
+func GoodBridge(n int) int {
+	return solver.SolveContext(context.Background(), n)
+}
+
+// GoodBounded derives a deadline before entering the solver, which is the
+// whole point of the rule.
+func GoodBounded(n int) int {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return solver.Solve(ctx, n)
+}

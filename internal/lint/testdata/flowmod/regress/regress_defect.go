@@ -1,0 +1,44 @@
+// Package regress pins the repo's two shipped OOM bugs as allocbound
+// regression fixtures. Each file is a copy of a decoder as it looked
+// before its fix — decoding into a plain struct, then allocating from the
+// declared extent with at most a negativity check (which bounds nothing).
+// allocbound must flag both allocations forever; if a refactor of the
+// engine stops seeing them, these markers fail the build.
+package regress
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+var errNegative = errors.New("regress: negative dimension")
+
+// defectWire mirrors the defect.Map v1 wire header as decoded before the
+// per-dimension caps were added: rows*cols drove a dense grid allocation.
+type defectWire struct {
+	V     int        `json:"v"`
+	Rows  int        `json:"rows"`
+	Cols  int        `json:"cols"`
+	Cells []cellWire `json:"cells"`
+}
+
+type cellWire struct {
+	R int    `json:"r"`
+	C int    `json:"c"`
+	K string `json:"k"`
+}
+
+// DecodeDefectMap is the pre-fix defect decoder: a few-byte body
+// declaring 2^30 x 2^30 demands a dense grid the size of the product.
+// The negativity check is the only guard it had.
+func DecodeDefectMap(data []byte) ([]bool, int, error) {
+	var w defectWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, 0, err
+	}
+	if w.Rows < 0 || w.Cols < 0 {
+		return nil, 0, errNegative
+	}
+	grid := make([]bool, w.Rows*w.Cols) // want allocbound
+	return grid, w.Cols, nil
+}

@@ -1,0 +1,32 @@
+package regress
+
+import "encoding/json"
+
+// tileWire mirrors the partition tile wire form before the embedded
+// design's declared dimensions were capped ahead of allocation.
+type tileWire struct {
+	Name   string     `json:"name"`
+	Design designWire `json:"design"`
+}
+
+type designWire struct {
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+}
+
+// DecodeTile is the pre-fix tile decoder: the embedded design's declared
+// extent drives a dense row-major allocation before any cap is applied.
+func DecodeTile(data []byte) ([][]int8, error) {
+	var w tileWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, err
+	}
+	if w.Design.Rows < 0 || w.Design.Cols < 0 {
+		return nil, errNegative
+	}
+	cells := make([][]int8, w.Design.Rows) // want allocbound
+	for i := range cells {
+		cells[i] = make([]int8, w.Design.Cols) // want allocbound
+	}
+	return cells, nil
+}

@@ -1,0 +1,17 @@
+// Package solver declares the ctxflow sink surface: exported entry
+// points that take a context.Context.
+package solver
+
+import "context"
+
+// Solve is a solver entry point; its context must come from the caller.
+func Solve(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// SolveContext is the ctx-threading variant that bridge wrappers call.
+func SolveContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}

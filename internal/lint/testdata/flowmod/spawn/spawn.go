@@ -1,0 +1,59 @@
+// Package spawn exercises gospawn: every go statement must be tied to a
+// lifecycle (WaitGroup, channel signal, or context).
+package spawn
+
+import (
+	"context"
+	"sync"
+)
+
+func work(n int) int { return n + 1 }
+
+// BadFireAndForget spawns a goroutine nothing can observe.
+func BadFireAndForget() {
+	go func() { // want gospawn
+		_ = work(1)
+	}()
+}
+
+// GoodWaitGroup participates in a WaitGroup.
+func GoodWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work(2)
+	}()
+	wg.Wait()
+}
+
+// GoodChannel signals completion on a channel.
+func GoodChannel() <-chan int {
+	done := make(chan int, 1)
+	go func() {
+		done <- work(3)
+	}()
+	return done
+}
+
+// GoodCtx hands the goroutine a context.
+func GoodCtx(ctx context.Context) {
+	go runner(ctx)
+}
+
+func runner(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// GoodIndirect spawns a named module function whose body shows a
+// lifecycle one call level down.
+func GoodIndirect() {
+	done := make(chan struct{})
+	go closer(done)
+	<-done
+}
+
+func closer(done chan struct{}) {
+	defer close(done)
+	_ = work(4)
+}

@@ -1,0 +1,152 @@
+// Package wire exercises allocbound: integers decoded off the wire must
+// pass a bounds check before they reach an allocation sink. Marked lines
+// must be flagged; everything else must stay clean.
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strconv"
+
+	"flowmod/wirelimit"
+)
+
+const maxEntries = 1 << 10
+
+var errTooBig = errors.New("wire: too big")
+
+// header is a raw wire struct: no UnmarshalJSON, so decoding into it is a
+// taint source.
+type header struct {
+	Rows    int    `json:"rows"`
+	Entries int    `json:"entries"`
+	Name    string `json:"name"`
+}
+
+// BadAlloc allocates straight off the wire.
+func BadAlloc(data []byte) ([]int, error) {
+	var h header
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, err
+	}
+	return make([]int, h.Rows), nil // want allocbound
+}
+
+// BadRepeat drives bytes.Repeat with an unchecked wire count.
+func BadRepeat(data []byte) ([]byte, error) {
+	var h header
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, err
+	}
+	return bytes.Repeat([]byte{0}, h.Entries), nil // want allocbound
+}
+
+// BadParse allocates from an unchecked strconv read.
+func BadParse(s string) []int {
+	n, _ := strconv.Atoi(s)
+	return make([]int, n) // want allocbound
+}
+
+// parseCount is a summary demo: its result carries strconv taint to
+// callers.
+func parseCount(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+// BadViaHelper allocates with a count a helper parsed: the function
+// summary propagates the taint interprocedurally.
+func BadViaHelper(s string) []int {
+	return make([]int, parseCount(s)) // want allocbound
+}
+
+// allocFor allocates on behalf of its callers, who own the bounds check.
+// BadCallerTaint passes wire data in unchecked, so the sink inside this
+// helper is flagged.
+func allocFor(n int) []int {
+	return make([]int, n) // want allocbound
+}
+
+// BadCallerTaint feeds an unchecked wire integer into allocFor.
+func BadCallerTaint(data []byte) []int {
+	var h header
+	_ = json.Unmarshal(data, &h)
+	return allocFor(h.Rows)
+}
+
+// transformer is satisfied by no module type: calls through it fall back
+// to the conservative external rule (tainted argument taints the result).
+type transformer interface {
+	Transform(n int) int
+}
+
+// BadDynamic allocates from an opaque interface call fed tainted input.
+func BadDynamic(tr transformer, s string) []int {
+	n, _ := strconv.Atoi(s)
+	return make([]int, tr.Transform(n)) // want allocbound
+}
+
+// GoodChecked launders the dimension through the wirelimit sanitizer.
+func GoodChecked(data []byte) ([]int, error) {
+	var h header
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, err
+	}
+	if err := wirelimit.CheckDim("rows", h.Rows); err != nil {
+		return nil, err
+	}
+	return make([]int, h.Rows), nil
+}
+
+// GoodGuarded uses the upper-bound comparison idiom allocbound accepts.
+func GoodGuarded(data []byte) ([]int, error) {
+	var h header
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, err
+	}
+	if h.Entries > maxEntries {
+		return nil, errTooBig
+	}
+	return make([]int, h.Entries), nil
+}
+
+// checked validates its own decode, so json.Unmarshal into it is a trust
+// boundary, not a source.
+type checked struct {
+	Rows int `json:"rows"`
+}
+
+func (c *checked) UnmarshalJSON(b []byte) error {
+	type raw checked
+	var r raw
+	if err := json.Unmarshal(b, &r); err != nil {
+		return err
+	}
+	if err := wirelimit.CheckDim("rows", r.Rows); err != nil {
+		return err
+	}
+	*c = checked(r)
+	return nil
+}
+
+// GoodValidated decodes into a self-validating type.
+func GoodValidated(data []byte) ([]int, error) {
+	var c checked
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	return make([]int, c.Rows), nil
+}
+
+// BadIgnored is a real finding suppressed with a reasoned //lint:ignore;
+// the suppression must hold and must not be reported as stale.
+func BadIgnored(data []byte) []byte {
+	var h header
+	_ = json.Unmarshal(data, &h)
+	//lint:ignore allocbound exercised by the marker tests as a live suppression
+	return bytes.Repeat([]byte{1}, h.Entries)
+}
+
+//lint:ignore gospawn nothing here spawns goroutines // want staleignore
+var _ = maxEntries

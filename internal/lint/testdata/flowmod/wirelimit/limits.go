@@ -1,0 +1,28 @@
+// Package wirelimit is the testdata shim of compact/internal/wirelimit:
+// allocbound recognizes sanitizers by the package path suffix
+// ("wirelimit") and the Check name prefix, so the module under test
+// carries its own copy.
+package wirelimit
+
+import "errors"
+
+// MaxDim mirrors the real package's per-dimension cap.
+const MaxDim = 1 << 16
+
+var errLimit = errors.New("wirelimit: over cap")
+
+// CheckDim validates a wire-declared dimension: 0 <= n <= MaxDim.
+func CheckDim(what string, n int) error {
+	if n < 0 || n > MaxDim {
+		return errLimit
+	}
+	return nil
+}
+
+// CheckCount validates a wire-declared element count against a cap.
+func CheckCount(what string, n, max int) error {
+	if n < 0 || n > max {
+		return errLimit
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"compact/internal/defect"
+	"compact/internal/wirelimit"
 	"compact/internal/xbar"
 )
 
@@ -154,10 +155,9 @@ func (p *Plan) UnmarshalJSON(data []byte) error {
 		if err := json.Unmarshal(tw.Design, &dims); err != nil {
 			return fmt.Errorf("partition: tile %d (%s) design: %w", i, tw.Name, err)
 		}
-		if dims.Rows < 0 || dims.Cols < 0 ||
-			dims.Rows > defect.MaxDim || dims.Cols > defect.MaxDim ||
-			(dims.Rows > 0 && dims.Cols > maxTileCells/dims.Rows) {
-			return fmt.Errorf("partition: tile %d (%s) claims an implausible %dx%d design", i, tw.Name, dims.Rows, dims.Cols)
+		if err := wirelimit.CheckCells("tile design", dims.Rows, dims.Cols, maxTileCells); err != nil {
+			return fmt.Errorf("partition: tile %d (%s) claims an implausible %dx%d design: %v",
+				i, tw.Name, dims.Rows, dims.Cols, err)
 		}
 		d := new(xbar.Design)
 		if err := json.Unmarshal(tw.Design, d); err != nil {
@@ -180,8 +180,8 @@ func (p *Plan) UnmarshalJSON(data []byte) error {
 			}
 			t.Placement = &xbar.Placement{Engine: pw.Engine, RowPerm: pw.RowPerm, ColPerm: pw.ColPerm}
 		}
-		if t.RepairAttempts < 0 {
-			return fmt.Errorf("partition: tile %d (%s) has negative repair_attempts", i, tw.Name)
+		if err := wirelimit.CheckCount("repair_attempts", tw.RepairAttempts, 0); err != nil {
+			return fmt.Errorf("partition: tile %d (%s): %v", i, tw.Name, err)
 		}
 		np.Tiles[i] = t
 	}
@@ -192,19 +192,17 @@ func (p *Plan) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// validatePerm checks that perm binds n logical lines to distinct
-// non-negative physical lines.
+// validatePerm checks that perm binds n logical lines to distinct physical
+// lines within the shared wirelimit dimension cap. It is registered as an
+// allocbound sanitizer: a permutation that passed it is bounded.
 func validatePerm(perm []int, n int) error {
 	if len(perm) != n {
 		return fmt.Errorf("binds %d lines, design has %d", len(perm), n)
 	}
 	seen := make(map[int]bool, len(perm))
 	for i, ph := range perm {
-		if ph < 0 {
-			return fmt.Errorf("logical line %d bound to negative physical line %d", i, ph)
-		}
-		if ph > defect.MaxDim {
-			return fmt.Errorf("logical line %d bound to physical line %d beyond the %d-line cap", i, ph, defect.MaxDim)
+		if err := wirelimit.CheckDim("physical line", ph); err != nil {
+			return fmt.Errorf("logical line %d: %v", i, err)
 		}
 		if seen[ph] {
 			return fmt.Errorf("physical line %d bound twice", ph)

@@ -14,9 +14,14 @@ import (
 
 	"compact/internal/errio"
 	"compact/internal/logic"
+	"compact/internal/wirelimit"
 )
 
 // directiveInt parses the single integer operand of a .i/.o/.p directive.
+// The operand is capped: a PLA header is attacker-reachable through
+// compactd's circuit field, and Table.Network allocates per-input and
+// per-output state before any cube row corroborates the declared width, so
+// an unbounded `.i 2000000000` would OOM off a 15-byte body.
 func directiveInt(fields []string, lineNo int) (int, error) {
 	if len(fields) != 2 {
 		return 0, fmt.Errorf("line %d: malformed %s", lineNo, fields[0])
@@ -24,6 +29,9 @@ func directiveInt(fields []string, lineNo int) (int, error) {
 	v, err := strconv.Atoi(fields[1])
 	if err != nil || v < 0 {
 		return 0, fmt.Errorf("line %d: %s wants a non-negative integer, got %q", lineNo, fields[0], fields[1])
+	}
+	if err := wirelimit.CheckCount(fields[0]+" operand", v, 0); err != nil {
+		return 0, fmt.Errorf("line %d: %v", lineNo, err)
 	}
 	return v, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"compact/internal/core"
 	"compact/internal/defect"
+	"compact/internal/wirelimit"
 )
 
 // The /v1/synthesize wire format (version 1)
@@ -120,6 +121,24 @@ func (o *wireOptions) toCore(defaultLimit, maxLimit time.Duration) (core.Options
 			return opts, fmt.Errorf("server: negative time_limit_ms %d", o.TimeLimitMS)
 		}
 		opts.TimeLimit = time.Duration(o.TimeLimitMS) * time.Millisecond
+		// Every integer a request can turn into per-element work is capped
+		// here, at the trust boundary, so nothing downstream has to guess
+		// which sizes are attacker-controlled.
+		if err := wirelimit.CheckCount("node_limit", o.NodeLimit, 4*core.DefaultNodeLimit); err != nil {
+			return opts, fmt.Errorf("server: %v", err)
+		}
+		if err := wirelimit.CheckDim("max_rows", o.MaxRows); err != nil {
+			return opts, fmt.Errorf("server: %v", err)
+		}
+		if err := wirelimit.CheckDim("max_cols", o.MaxCols); err != nil {
+			return opts, fmt.Errorf("server: %v", err)
+		}
+		if err := wirelimit.CheckCount("max_repair_attempts", o.MaxRepairAttempts, 0); err != nil {
+			return opts, fmt.Errorf("server: %v", err)
+		}
+		if err := wirelimit.CheckPerm("var_order", o.VarOrder); err != nil {
+			return opts, fmt.Errorf("server: %v", err)
+		}
 		opts.VarOrder = o.VarOrder
 		opts.Sift = o.Sift
 		opts.NodeLimit = o.NodeLimit

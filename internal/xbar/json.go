@@ -3,6 +3,8 @@ package xbar
 import (
 	"encoding/json"
 	"fmt"
+
+	"compact/internal/wirelimit"
 )
 
 // The Design wire format (version 1)
@@ -100,12 +102,12 @@ func (d *Design) UnmarshalJSON(data []byte) error {
 	if dj.Version != designWireVersion {
 		return fmt.Errorf("xbar: unsupported design wire version %d (want %d)", dj.Version, designWireVersion)
 	}
-	if dj.Rows < 0 || dj.Cols < 0 {
-		return fmt.Errorf("xbar: negative dimensions %dx%d", dj.Rows, dj.Cols)
-	}
+	// Both dimensions are capped individually before the product check:
+	// the old product-only guard had a hole (a huge row count with zero
+	// columns passed it, and NewDesign's per-row slice allocation OOMed).
 	const maxWireCells = 1 << 31
-	if dj.Rows > 0 && dj.Cols > maxWireCells/dj.Rows {
-		return fmt.Errorf("xbar: design %dx%d exceeds the %d-cell wire limit", dj.Rows, dj.Cols, maxWireCells)
+	if err := wirelimit.CheckCells("design", dj.Rows, dj.Cols, maxWireCells); err != nil {
+		return fmt.Errorf("xbar: %v", err)
 	}
 	if dj.Rows > 0 && (dj.InputRow < 0 || dj.InputRow >= dj.Rows) {
 		return fmt.Errorf("xbar: input row %d outside 0..%d", dj.InputRow, dj.Rows-1)

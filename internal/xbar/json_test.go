@@ -85,7 +85,7 @@ func TestDesignJSONRejectsMalformed(t *testing.T) {
 		want string
 	}{
 		{"version", `{"v":99,"rows":1,"cols":1,"input_row":0,"output_rows":[],"cells":[]}`, "wire version"},
-		{"negative dims", `{"rows":-1,"cols":1,"input_row":0,"output_rows":[],"cells":[]}`, "negative dimensions"},
+		{"negative dims", `{"rows":-1,"cols":1,"input_row":0,"output_rows":[],"cells":[]}`, "negative"},
 		{"input row", `{"rows":2,"cols":2,"input_row":5,"output_rows":[],"cells":[]}`, "input row"},
 		{"output row", `{"rows":2,"cols":2,"input_row":0,"output_rows":[9],"cells":[]}`, "output row"},
 		{"names mismatch", `{"rows":2,"cols":2,"input_row":0,"output_rows":[0],"output_names":["a","b"],"cells":[]}`, "output names"},
@@ -95,7 +95,7 @@ func TestDesignJSONRejectsMalformed(t *testing.T) {
 		{"bad var", `{"rows":2,"cols":2,"input_row":0,"output_rows":[0],"var_names":["a"],"cells":[{"r":0,"c":0,"k":"lit","var":3}]}`, "references variable"},
 		{"negative var", `{"rows":2,"cols":2,"input_row":0,"output_rows":[0],"cells":[{"r":0,"c":0,"k":"lit","var":-1}]}`, "negative variable"},
 		{"not json", `{`, "JSON"},
-		{"oversized", `{"rows":1000000000,"cols":1000000000,"input_row":0,"output_rows":[],"cells":[]}`, "wire limit"},
+		{"oversized", `{"rows":1000000000,"cols":1000000000,"input_row":0,"output_rows":[],"cells":[]}`, "cap"},
 	}
 	for _, tc := range cases {
 		var d Design
