@@ -22,7 +22,10 @@
 # Usage: ./check.sh [-short] [-bench]
 #   -short skips the -race pass (the slowest step) for quick local loops.
 #   -bench additionally runs the labeling/ILP hot-path benchmarks
-#          (results/BENCH_portfolio.json via cmd/benchjson) and the
+#          (results/BENCH_portfolio.json via cmd/benchjson), the
+#          word-parallel-verify / revised-simplex / parallel-B&B kernels
+#          (results/BENCH_ilp.json, soft-compared against the committed
+#          baseline via benchjson -compare — warn-only) and the
 #          partitioned-synthesis benchmark (results/BENCH_partition.json
 #          via cmd/partitionbench).
 set -eu
@@ -69,6 +72,7 @@ if [ "$short" -eq 0 ]; then
     go test -fuzz=FuzzParse -fuzztime=5s -run='^$' ./internal/pla/
     go test -fuzz=FuzzParse -fuzztime=5s -run='^$' ./internal/verilog/
     go test -fuzz=FuzzDesignJSON -fuzztime=5s -run='^$' ./internal/xbar/
+    go test -fuzz=FuzzEval64VsScalar -fuzztime=5s -run='^$' ./internal/xbar/
     go test -fuzz=FuzzPlanJSON -fuzztime=5s -run='^$' ./internal/partition/
 fi
 
@@ -83,6 +87,15 @@ if [ "$bench" -eq 1 ]; then
         tee /dev/stderr |
         go run ./cmd/benchjson >results/BENCH_portfolio.json
     echo "wrote results/BENCH_portfolio.json"
+
+    echo "== benchmarks (word-parallel verify + revised simplex + parallel B&B) =="
+    go test -run='^$' -bench='VerifyExhaustive|LPVertexCover|BBVertexCover' \
+        -benchmem -benchtime=1x ./internal/xbar ./internal/ilp |
+        tee /dev/stderr |
+        go run ./cmd/benchjson -compare results/BENCH_ilp.json \
+            >results/BENCH_ilp.json.new
+    mv results/BENCH_ilp.json.new results/BENCH_ilp.json
+    echo "wrote results/BENCH_ilp.json"
 
     echo "== benchmarks (partitioned multi-crossbar synthesis) =="
     go run ./cmd/partitionbench -timelimit 10s -out results/BENCH_partition.json

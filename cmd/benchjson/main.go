@@ -5,17 +5,27 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson > bench.json
+//	go test -bench=. ./... | benchjson -compare results/BENCH_ilp.json > bench.json
 //
 // Recognized metrics are the standard testing.B columns: ns/op, B/op,
 // allocs/op, plus MB/s when present. Lines that are not benchmark results
 // (package headers, PASS/ok, warnings) are skipped; the current "pkg:"
 // header is attached to each result.
+//
+// With -compare, the fresh results are also diffed against a committed
+// baseline JSON file: benchmarks slower than the baseline by more than
+// -threshold (default 1.25×) are reported on stderr. The check is
+// warn-only — benchjson always exits 0 on a successful parse — because
+// shared CI runners make hard wall-clock gates flaky; the warnings are
+// for humans reading the job log.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,16 +43,59 @@ type result struct {
 }
 
 func main() {
+	baseline := flag.String("compare", "", "baseline JSON file to diff against (warn-only)")
+	threshold := flag.Float64("threshold", 1.25, "slowdown ratio above which -compare warns")
+	flag.Parse()
 	results, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		compare(os.Stderr, results, *baseline, *threshold)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+}
+
+// compare warns (on w) about fresh results slower than the baseline by
+// more than threshold×. Missing baseline files, unparseable baselines and
+// benchmarks absent from either side are reported but never fatal: the
+// comparison is a soft regression tripwire, not a gate.
+func compare(w io.Writer, fresh []result, path string, threshold float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		_, _ = fmt.Fprintf(w, "benchjson: compare: %v (skipping comparison)\n", err)
+		return
+	}
+	var base []result
+	if err := json.Unmarshal(data, &base); err != nil {
+		_, _ = fmt.Fprintf(w, "benchjson: compare: parsing %s: %v (skipping comparison)\n", path, err)
+		return
+	}
+	byName := make(map[string]result, len(base))
+	for _, b := range base {
+		byName[b.Pkg+"/"+b.Name] = b
+	}
+	warned := 0
+	for _, f := range fresh {
+		b, ok := byName[f.Pkg+"/"+f.Name]
+		if !ok {
+			_, _ = fmt.Fprintf(w, "benchjson: compare: %s not in baseline %s (new benchmark?)\n", f.Name, path)
+			continue
+		}
+		if b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*threshold {
+			_, _ = fmt.Fprintf(w, "benchjson: compare: WARNING %s slowed %.2fx (%.0f -> %.0f ns/op) vs %s\n",
+				f.Name, f.NsPerOp/b.NsPerOp, b.NsPerOp, f.NsPerOp, path)
+			warned++
+		}
+	}
+	if warned == 0 {
+		_, _ = fmt.Fprintf(w, "benchjson: compare: no regressions beyond %.2fx vs %s\n", threshold, path)
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"os"
 	"strings"
 	"testing"
 )
@@ -37,6 +38,46 @@ func TestParse(t *testing.T) {
 	if rs[2].Pkg != "compact/internal/ilp" {
 		t.Errorf("pkg header not tracked across sections: %+v", rs[2])
 	}
+}
+
+func TestCompareWarnOnly(t *testing.T) {
+	base := `[
+	  {"pkg": "p", "name": "BenchmarkFast", "runs": 10, "ns_per_op": 100},
+	  {"pkg": "p", "name": "BenchmarkSlow", "runs": 10, "ns_per_op": 100}
+	]`
+	dir := t.TempDir()
+	path := dir + "/base.json"
+	if err := writeFile(path, base); err != nil {
+		t.Fatal(err)
+	}
+	fresh := []result{
+		{Pkg: "p", Name: "BenchmarkFast", Runs: 10, NsPerOp: 110}, // within 1.25x
+		{Pkg: "p", Name: "BenchmarkSlow", Runs: 10, NsPerOp: 200}, // 2x: warn
+		{Pkg: "p", Name: "BenchmarkNew", Runs: 10, NsPerOp: 50},   // not in baseline
+	}
+	var buf strings.Builder
+	compare(&buf, fresh, path, 1.25)
+	out := buf.String()
+	if !strings.Contains(out, "WARNING BenchmarkSlow slowed 2.00x") {
+		t.Errorf("missing slowdown warning in:\n%s", out)
+	}
+	if strings.Contains(out, "WARNING BenchmarkFast") {
+		t.Errorf("false positive for in-threshold benchmark:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkNew not in baseline") {
+		t.Errorf("missing new-benchmark note in:\n%s", out)
+	}
+
+	// Missing baseline: a note, never a failure.
+	buf.Reset()
+	compare(&buf, fresh, dir+"/nope.json", 1.25)
+	if !strings.Contains(buf.String(), "skipping comparison") {
+		t.Errorf("missing-baseline path not soft: %s", buf.String())
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
 }
 
 func TestParseEmpty(t *testing.T) {

@@ -329,16 +329,17 @@ func synthesizeSingle(ctx context.Context, nw *logic.Network, opts Options) (*Re
 }
 
 // Verify checks the design against the source network, exhaustively for up
-// to exhaustiveLimit inputs and with `samples` random vectors beyond. It
-// returns an error naming the first mismatching assignment.
+// to exhaustiveLimit inputs and with `samples` random vectors beyond. Both
+// sides run word-parallel (64 assignments per pass). It returns an error
+// naming the first mismatching assignment.
 func (r *Result) Verify(exhaustiveLimit, samples int, seed uint64) error {
 	if r.Plan != nil {
-		if err := r.Plan.Verify(r.network.Eval, exhaustiveLimit, samples, seed); err != nil {
+		if err := r.Plan.Verify64(r.network.Eval64, exhaustiveLimit, samples, seed); err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
 		return nil
 	}
-	bad := r.Design.VerifyAgainst(r.network.Eval, r.network.NumInputs(), exhaustiveLimit, samples, seed)
+	bad := r.Design.VerifyAgainst64(r.network.Eval64, r.network.NumInputs(), exhaustiveLimit, samples, seed)
 	if bad != nil {
 		return fmt.Errorf("core: design disagrees with network on %v", bad)
 	}

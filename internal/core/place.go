@@ -138,7 +138,7 @@ func (r *Result) verifyEffective(eff *xbar.Design) error {
 	if r.mgr != nil {
 		return xbar.FormalVerify(eff, r.network, 0)
 	}
-	if bad := eff.VerifyAgainst(r.network.Eval, r.network.NumInputs(), 14, 512, 1); bad != nil {
+	if bad := eff.VerifyAgainst64(r.network.Eval64, r.network.NumInputs(), 14, 512, 1); bad != nil {
 		return fmt.Errorf("core: effective design disagrees with the network on %v", bad)
 	}
 	return nil

@@ -89,11 +89,11 @@ func Baselines(cfg Config) (*Table, error) {
 }
 
 func addDesignRow(t *Table, name, method string, d *xbar.Design, nw interface {
-	Eval([]bool) []bool
+	Eval64([]uint64) []uint64
 	NumInputs() int
 }) {
 	st := d.Stats()
-	ok := d.VerifyAgainst(nw.Eval, nw.NumInputs(), 11, 100, 7) == nil
+	ok := d.VerifyAgainst64(nw.Eval64, nw.NumInputs(), 11, 100, 7) == nil
 	t.Rows = append(t.Rows, []string{
 		name, method, itoa(st.Rows), itoa(st.Cols), itoa(st.S), itoa(st.Area),
 		fmt.Sprintf("%v", ok),

@@ -156,7 +156,7 @@ func Table4(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("table4 %s staircase: %w", name, err)
 		}
 		stairTime := time.Since(start)
-		stairOK := stairDesign.VerifyAgainst(nw.Eval, nw.NumInputs(), 11, verifySamples(cfg), 7) == nil
+		stairOK := stairDesign.VerifyAgainst64(nw.Eval64, nw.NumInputs(), 11, verifySamples(cfg), 7) == nil
 		st := stairDesign.Stats()
 		t.Rows = append(t.Rows, []string{
 			name, "staircase", itoa(nodes),

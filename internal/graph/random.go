@@ -1,0 +1,32 @@
+package graph
+
+// Random generates a seeded Erdős–Rényi-style G(n, p) graph: every vertex
+// pair becomes an edge independently with probability p, decided by a
+// deterministic splitmix-style generator so the same (n, p, seed) always
+// yields the same graph. It is the shared source of random conflict-graph
+// instances for property tests and benchmarks (vertex-cover ILP models,
+// labeling stress inputs) across packages — deterministic, dependency-free
+// and safe for concurrent use (each call owns its generator state).
+func Random(n int, p float64, seed uint64) *Graph {
+	g := New(n)
+	if p <= 0 {
+		return g
+	}
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	// 53-bit uniform in [0,1): enough resolution for any practical p.
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if float64(next()>>11)/(1<<53) < p {
+				g.addEdge(u, v)
+			}
+		}
+	}
+	return g
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -72,6 +73,222 @@ func (h *nodeHeap) Pop() interface{} {
 	return x
 }
 
+// bbSearch is the shared state of the (possibly parallel) best-first
+// branch & bound: a mutex-guarded node heap plus incumbent bookkeeping.
+// Workers pop the globally best open node, solve its LP relaxation with
+// the lock released, and push children / update the incumbent under the
+// lock again. The proven global bound is the minimum over open nodes AND
+// nodes currently in flight — children inherit bounds no smaller than
+// their parent's, so that minimum (and with it the reported Bound and the
+// trace) is nondecreasing regardless of worker interleaving. With one
+// worker the search is exactly the serial algorithm; with N workers the
+// result is deterministic modulo incumbent ties (equal-objective optima
+// may differ, as may node counts when a time or node budget intervenes).
+type bbSearch struct {
+	mod            *Model
+	opts           Options
+	rootLB, rootUB []float64
+	deadline       time.Time
+	ctx            context.Context
+	start          time.Time
+	snap           func(float64) float64
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	h           nodeHeap
+	inFlight    map[int]float64 // worker id → bound of the node it is expanding
+	seq         int
+	nodes       int
+	iters       int
+	incumbent   float64
+	incumbentX  []float64
+	prunedFloor float64
+	globalBound float64
+	timedOut    bool
+	unbounded   bool
+	done        bool
+	trace       []TraceEvent
+}
+
+func (s *bbSearch) applyFixes(fixes []boundFix) ([]float64, []float64) {
+	lbs := append([]float64(nil), s.rootLB...)
+	ubs := append([]float64(nil), s.rootUB...)
+	for _, f := range fixes {
+		if f.isUB {
+			if f.val < ubs[f.v] {
+				ubs[f.v] = f.val
+			}
+		} else if f.val > lbs[f.v] {
+			lbs[f.v] = f.val
+		}
+	}
+	return lbs, ubs
+}
+
+// traceLocked appends a convergence sample; callers hold s.mu.
+func (s *bbSearch) traceLocked() {
+	s.trace = append(s.trace, TraceEvent{
+		Elapsed:   time.Since(s.start),
+		Incumbent: s.incumbent,
+		Bound:     s.globalBound,
+		Gap:       relGap(s.incumbent, s.globalBound),
+		Nodes:     s.nodes,
+	})
+}
+
+// openMinLocked returns the smallest bound among the just-popped node and
+// every node another worker is still expanding — the proven lower bound on
+// any solution the remaining search could uncover. Callers hold s.mu.
+func (s *bbSearch) openMinLocked(popped float64) float64 {
+	min := popped
+	for _, b := range s.inFlight {
+		if b < min {
+			min = b
+		}
+	}
+	return min
+}
+
+// finishLocked marks the search done and wakes every worker.
+func (s *bbSearch) finishLocked() {
+	s.done = true
+	s.cond.Broadcast()
+}
+
+// worker runs the best-first loop until the search finishes. It returns
+// with s.mu released.
+func (s *bbSearch) worker(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for !s.done && len(s.h) == 0 && len(s.inFlight) > 0 {
+			s.cond.Wait()
+		}
+		if s.done {
+			return
+		}
+		if len(s.h) == 0 {
+			// Nothing open and nothing in flight: search exhausted.
+			s.finishLocked()
+			return
+		}
+		if (!s.deadline.IsZero() && time.Now().After(s.deadline)) || s.ctx.Err() != nil {
+			s.timedOut = true
+			s.finishLocked()
+			return
+		}
+		if s.opts.MaxNodes > 0 && s.nodes >= s.opts.MaxNodes {
+			s.timedOut = true
+			s.finishLocked()
+			return
+		}
+		// The pruning cutoff is the better of our incumbent and any
+		// externally shared one (e.g. a portfolio sibling's labeling).
+		cutoff := s.incumbent
+		externalCut := false
+		if s.opts.BestKnown != nil {
+			if b := s.opts.BestKnown(); b < cutoff {
+				cutoff, externalCut = b, true
+			}
+		}
+		node := heap.Pop(&s.h).(*bbNode)
+		if node.bound >= cutoff-1e-9 {
+			// Cannot beat the cutoff; discard. Subtrees pruned against an
+			// *external* incumbent below our own may hide solutions better
+			// than ours, so prunedFloor caps the proven bound there.
+			if externalCut && node.bound < s.incumbent-1e-9 {
+				if node.bound < s.prunedFloor {
+					s.prunedFloor = node.bound
+				}
+				if node.bound > s.globalBound {
+					s.globalBound = node.bound
+				}
+			}
+			continue
+		}
+		if om := s.openMinLocked(node.bound); om > s.globalBound {
+			s.globalBound = om
+			s.traceLocked()
+		}
+		if s.opts.GapLimit > 0 && relGap(s.incumbent, s.globalBound) <= s.opts.GapLimit {
+			s.finishLocked()
+			return
+		}
+		s.nodes++
+		s.inFlight[id] = node.bound
+		lbs, ubs := s.applyFixes(node.fixes)
+		s.mu.Unlock()
+		res, lpErr := solveLP(s.ctx, s.mod, lbs, ubs, s.deadline)
+		s.mu.Lock()
+		delete(s.inFlight, id)
+		s.cond.Broadcast()
+		s.iters += res.iters
+		if lpErr != nil {
+			// Time limit or numerical trouble on one node: put it back so
+			// the reported global bound stays honest, then stop.
+			heap.Push(&s.h, node)
+			s.timedOut = true
+			s.finishLocked()
+			return
+		}
+		if res.status == StatusInfeasible {
+			continue
+		}
+		if res.status == StatusUnbounded {
+			s.unbounded = true
+			s.finishLocked()
+			return
+		}
+		obj := s.snap(res.obj)
+		// Re-read the cutoff: a sibling may have improved the incumbent
+		// while this node's LP was solving.
+		cutoff = s.incumbent
+		if s.opts.BestKnown != nil {
+			if b := s.opts.BestKnown(); b < cutoff {
+				cutoff = b
+			}
+		}
+		if obj >= cutoff-1e-9 {
+			if obj < s.incumbent-1e-9 && obj < s.prunedFloor {
+				s.prunedFloor = obj
+			}
+			continue
+		}
+		// Find the most fractional integer variable.
+		branchVar, frac := -1, 0.0
+		for j := 0; j < s.mod.NumVars(); j++ {
+			if s.mod.vtype[j] == Continuous {
+				continue
+			}
+			f := math.Abs(res.x[j] - math.Round(res.x[j]))
+			if f > 1e-6 && f > frac {
+				branchVar, frac = j, f
+			}
+		}
+		if branchVar < 0 {
+			// Integral solution: new incumbent.
+			xi := roundIntegral(s.mod, res.x)
+			if err := s.mod.Feasible(xi, 1e-5, false); err == nil {
+				if o := s.mod.Objective(xi); o < s.incumbent-1e-9 {
+					s.incumbent = o
+					s.incumbentX = xi
+					s.traceLocked()
+				}
+			}
+			continue
+		}
+		down := append(append([]boundFix(nil), node.fixes...),
+			boundFix{v: branchVar, isUB: true, val: math.Floor(res.x[branchVar])})
+		up := append(append([]boundFix(nil), node.fixes...),
+			boundFix{v: branchVar, isUB: false, val: math.Ceil(res.x[branchVar])})
+		s.seq++
+		heap.Push(&s.h, &bbNode{fixes: down, bound: obj, depth: node.depth + 1, seq: s.seq})
+		s.seq++
+		heap.Push(&s.h, &bbNode{fixes: up, bound: obj, depth: node.depth + 1, seq: s.seq})
+		s.cond.Broadcast()
+	}
+}
+
 // Solve minimizes the model by LP-based best-first branch & bound. It never
 // returns an invalid incumbent: Solution.X (when Status is Optimal or
 // Feasible) satisfies all constraints and integrality.
@@ -84,6 +301,7 @@ func Solve(mod *Model, opts Options) (*Solution, error) {
 // cancelled ctx aborts the search at the next simplex iteration or node
 // expansion, returning the best incumbent found so far. A context that is
 // already dead on entry returns (nil, ctx.Err()) without touching the model.
+// With opts.Workers > 1 node expansion is parallel (see bbSearch).
 func SolveContext(ctx context.Context, mod *Model, opts Options) (*Solution, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -110,16 +328,6 @@ func SolveContext(ctx context.Context, mod *Model, opts Options) (*Solution, err
 		}
 	}
 
-	trace := func(bound float64, nodes int) {
-		sol.Trace = append(sol.Trace, TraceEvent{
-			Elapsed:   time.Since(start),
-			Incumbent: incumbent,
-			Bound:     bound,
-			Gap:       relGap(incumbent, bound),
-			Nodes:     nodes,
-		})
-	}
-
 	// Root relaxation.
 	rootLB := append([]float64(nil), mod.lb...)
 	rootUB := append([]float64(nil), mod.ub...)
@@ -130,7 +338,10 @@ func SolveContext(ctx context.Context, mod *Model, opts Options) (*Solution, err
 			sol.X, sol.Obj = incumbentX, incumbent
 			sol.Gap = 1
 			sol.Elapsed = time.Since(start)
-			trace(sol.Bound, 0)
+			sol.Trace = append(sol.Trace, TraceEvent{
+				Elapsed: sol.Elapsed, Incumbent: incumbent, Bound: sol.Bound,
+				Gap: relGap(incumbent, sol.Bound),
+			})
 			return sol, nil
 		}
 		if errors.Is(err, errTimeLimit) {
@@ -172,167 +383,90 @@ func SolveContext(ctx context.Context, mod *Model, opts Options) (*Solution, err
 		return sol, nil
 	}
 
-	h := &nodeHeap{}
-	heap.Init(h)
-	seq := 0
-	heap.Push(h, &bbNode{bound: res.obj, seq: seq})
-	globalBound := res.obj
-	trace(globalBound, 0)
-
-	applyFixes := func(fixes []boundFix) ([]float64, []float64) {
-		lbs := append([]float64(nil), rootLB...)
-		ubs := append([]float64(nil), rootUB...)
-		for _, f := range fixes {
-			if f.isUB {
-				if f.val < ubs[f.v] {
-					ubs[f.v] = f.val
-				}
-			} else if f.val > lbs[f.v] {
-				lbs[f.v] = f.val
-			}
-		}
-		return lbs, ubs
+	s := &bbSearch{
+		mod: mod, opts: opts,
+		rootLB: rootLB, rootUB: rootUB,
+		deadline: deadline, ctx: ctx, start: start, snap: snap,
+		inFlight:    make(map[int]float64),
+		incumbent:   incumbent,
+		incumbentX:  incumbentX,
+		prunedFloor: math.Inf(1),
+		globalBound: res.obj,
 	}
+	s.cond = sync.NewCond(&s.mu)
+	heap.Init(&s.h)
+	heap.Push(&s.h, &bbNode{bound: res.obj, seq: 0})
+	s.traceLocked()
 
-	nodes := 0
-	timedOut := false
-	// prunedFloor tracks the smallest LP bound pruned against an *external*
-	// incumbent (opts.BestKnown) below our own: those subtrees may contain
-	// solutions better than our incumbent (though none better than the
-	// external bound), so the proven bound must not rise above it.
-	prunedFloor := math.Inf(1)
-	for h.Len() > 0 {
-		if (!deadline.IsZero() && time.Now().After(deadline)) || ctx.Err() != nil {
-			timedOut = true
-			break
-		}
-		if opts.MaxNodes > 0 && nodes >= opts.MaxNodes {
-			timedOut = true
-			break
-		}
-		// The pruning cutoff is the better of our incumbent and any
-		// externally shared one (e.g. a portfolio sibling's labeling).
-		cutoff := incumbent
-		externalCut := false
-		if opts.BestKnown != nil {
-			if b := opts.BestKnown(); b < cutoff {
-				cutoff, externalCut = b, true
-			}
-		}
-		node := heap.Pop(h).(*bbNode)
-		if node.bound >= cutoff-1e-9 {
-			// Best-first: every remaining node is at least as bad.
-			if externalCut && node.bound < incumbent-1e-9 {
-				if node.bound < prunedFloor {
-					prunedFloor = node.bound
-				}
-				if node.bound > globalBound {
-					globalBound = node.bound
-				}
-			} else {
-				globalBound = incumbent
-			}
-			break
-		}
-		if node.bound > globalBound {
-			globalBound = node.bound
-			trace(globalBound, nodes)
-		}
-		if opts.GapLimit > 0 && relGap(incumbent, globalBound) <= opts.GapLimit {
-			break
-		}
-		nodes++
-		lbs, ubs := applyFixes(node.fixes)
-		res, err := solveLP(ctx, mod, lbs, ubs, deadline)
-		if err != nil {
-			// Time limit or numerical trouble on one node: put it back so
-			// the reported global bound stays honest, then stop.
-			heap.Push(h, node)
-			timedOut = true
-			break
-		}
-		sol.Iters += res.iters
-		if res.status == StatusInfeasible {
-			continue
-		}
-		if res.status == StatusUnbounded {
-			sol.Status = StatusUnbounded
-			sol.Elapsed = time.Since(start)
-			return sol, nil
-		}
-		res.obj = snap(res.obj)
-		if res.obj >= cutoff-1e-9 {
-			if res.obj < incumbent-1e-9 && res.obj < prunedFloor {
-				prunedFloor = res.obj
-			}
-			continue
-		}
-		// Find the most fractional integer variable.
-		branchVar, frac := -1, 0.0
-		for j := 0; j < mod.NumVars(); j++ {
-			if mod.vtype[j] == Continuous {
-				continue
-			}
-			f := math.Abs(res.x[j] - math.Round(res.x[j]))
-			if f > 1e-6 && f > frac {
-				branchVar, frac = j, f
-			}
-		}
-		if branchVar < 0 {
-			// Integral solution: new incumbent.
-			xi := roundIntegral(mod, res.x)
-			if err := mod.Feasible(xi, 1e-5, false); err == nil {
-				if obj := mod.Objective(xi); obj < incumbent-1e-9 {
-					incumbent = obj
-					incumbentX = xi
-					trace(globalBound, nodes)
-				}
-			}
-			continue
-		}
-		down := append(append([]boundFix(nil), node.fixes...),
-			boundFix{v: branchVar, isUB: true, val: math.Floor(res.x[branchVar])})
-		up := append(append([]boundFix(nil), node.fixes...),
-			boundFix{v: branchVar, isUB: false, val: math.Ceil(res.x[branchVar])})
-		seq++
-		heap.Push(h, &bbNode{fixes: down, bound: res.obj, depth: node.depth + 1, seq: seq})
-		seq++
-		heap.Push(h, &bbNode{fixes: up, bound: res.obj, depth: node.depth + 1, seq: seq})
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
 	}
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s.worker(id)
+		}(id)
+	}
+	wg.Wait()
 
-	if !timedOut && h.Len() == 0 {
+	// All state is ours again: fold the search outcome into the solution,
+	// with the exact bound bookkeeping of the serial algorithm.
+	incumbent, incumbentX = s.incumbent, s.incumbentX
+	globalBound := s.globalBound
+	if s.unbounded {
+		sol.Status = StatusUnbounded
+		sol.Nodes = s.nodes
+		sol.Iters += s.iters
+		sol.Elapsed = time.Since(start)
+		return sol, nil
+	}
+	if !s.timedOut && len(s.h) == 0 {
 		// Search exhausted: the incumbent (if any) is optimal, unless
 		// subtrees were pruned against an external bound (prunedFloor caps
 		// the proven bound below).
 		if incumbentX != nil {
 			globalBound = incumbent
 		}
-	} else if h.Len() > 0 {
-		if top := (*h)[0].bound; top > globalBound {
+	} else if len(s.h) > 0 {
+		if top := s.h[0].bound; top > globalBound {
 			globalBound = top
 		}
 	}
-	if globalBound > prunedFloor {
-		globalBound = prunedFloor
+	if globalBound > s.prunedFloor {
+		globalBound = s.prunedFloor
 	}
-	sol.Nodes = nodes
+	sol.Nodes = s.nodes
+	sol.Iters += s.iters
 	sol.Bound = globalBound
 	sol.Elapsed = time.Since(start)
+	sol.Trace = append(sol.Trace, s.trace...)
+	endTrace := func() {
+		sol.Trace = append(sol.Trace, TraceEvent{
+			Elapsed:   time.Since(start),
+			Incumbent: incumbent,
+			Bound:     sol.Bound,
+			Gap:       relGap(incumbent, sol.Bound),
+			Nodes:     s.nodes,
+		})
+	}
 	if incumbentX == nil {
-		if !timedOut && h.Len() == 0 && math.IsInf(prunedFloor, 1) {
+		if !s.timedOut && len(s.h) == 0 && math.IsInf(s.prunedFloor, 1) {
 			// Search exhausted without any integral solution: infeasible.
 			sol.Status = StatusInfeasible
 		} else {
 			sol.Status = StatusNoSolution
 			sol.Gap = 1
 		}
-		trace(globalBound, nodes)
+		endTrace()
 		return sol, nil
 	}
 	sol.X = incumbentX
 	sol.Obj = incumbent
 	sol.Gap = relGap(incumbent, globalBound)
-	if !timedOut && sol.Gap <= 1e-9 {
+	if !s.timedOut && sol.Gap <= 1e-9 {
 		sol.Status = StatusOptimal
 		sol.Bound = incumbent
 		sol.Gap = 0
@@ -341,7 +475,7 @@ func SolveContext(ctx context.Context, mod *Model, opts Options) (*Solution, err
 	} else {
 		sol.Status = StatusFeasible
 	}
-	trace(sol.Bound, nodes)
+	endTrace()
 	return sol, nil
 }
 

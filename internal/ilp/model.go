@@ -14,6 +14,7 @@ package ilp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 )
 
@@ -233,6 +234,14 @@ type Options struct {
 	// Incumbent optionally provides a known feasible solution to prime the
 	// search (e.g. the all-VH labeling, which is always feasible).
 	Incumbent []float64
+	// Workers is the number of branch & bound workers expanding nodes
+	// concurrently (<= 1 = serial, the exact classical algorithm). Workers
+	// share one best-first heap and one incumbent; the result is identical
+	// to serial up to incumbent ties (equal-objective optima and, under a
+	// time or node budget, how far the search got). Parallel search is
+	// race-clean: the model is only read, and all search state is
+	// lock-protected.
+	Workers int
 	// BestKnown, when non-nil, is polled at every node expansion and must
 	// return the objective of the best solution known *outside* this solve
 	// (+Inf when none) — e.g. a portfolio sibling's incumbent. Nodes whose
@@ -241,6 +250,18 @@ type Options struct {
 	// value. The callback must be safe for concurrent use; it is typically
 	// an atomic load.
 	BestKnown func() float64
+}
+
+// DefaultWorkers is the branch & bound worker count the pipeline's solve
+// sites use: up to four, but never more than the schedulable CPUs, so on a
+// single-core box the search stays the exact serial algorithm (and fully
+// deterministic) at zero coordination cost.
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	return w
 }
 
 // relGap computes the relative MIP gap.

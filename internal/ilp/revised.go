@@ -1,0 +1,636 @@
+package ilp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"compact/internal/invariant"
+)
+
+// The LP core: a sparse revised simplex with a product-form-of-the-inverse
+// (PFI) eta file.
+//
+// The dense tableau simplex (simplex.go) spends O(m·n) per pivot updating
+// the whole tableau, which dominates solve time on this repository's
+// models even though they are extremely sparse — the vertex-cover and
+// Eq.4 labeling matrices carry ~2 nonzeros per row. The revised simplex
+// keeps the constraint matrix in sparse column form and represents B⁻¹ as
+// a product of eta matrices, so one pivot costs one BTRAN (pricing), one
+// FTRAN (entering column) and one eta append: O(nnz + eta file) instead of
+// O(m·n). The eta file is rebuilt from scratch (reinversion with
+// max-magnitude pivot selection) every refactorEvery pivots or when it
+// grows past its nonzero budget, and the basic solution is recomputed from
+// the raw right-hand side at each refactorization, which bounds numerical
+// drift the way the dense tableau's full eliminations did.
+//
+// All contracts of the dense implementation are preserved: the same
+// lowering (lower()), tolerances, per-iteration deadline/context checks,
+// iteration limit, Bland's-rule anti-cycling fallback after a stall
+// window, bounded-variable bound flips, and the BoundedValues exit
+// invariant. solveLP falls back to solveLPDense if the eta machinery ever
+// reports a singular basis — correctness never depends on the fast path.
+
+const (
+	// refactorEvery bounds the eta-file length (and so FTRAN/BTRAN cost
+	// and drift) by periodic reinversion.
+	refactorEvery = 96
+	// etaDropTol discards negligible eta entries; anything this small is
+	// numerical noise relative to feasTol and only bloats the file.
+	etaDropTol = 1e-12
+)
+
+var errSingularBasis = errors.New("ilp: singular basis during refactorization")
+
+// spCol is one sparse constraint-matrix column.
+type spCol struct {
+	ind []int32
+	val []float64
+}
+
+// eta is one elementary column transformation: B⁻¹ gains a factor E that
+// is the identity except in column r, where E[r][r] = pivInv and
+// E[i][r] = val[t] for i = ind[t].
+type eta struct {
+	r      int32
+	pivInv float64
+	ind    []int32
+	val    []float64
+}
+
+// rsLP is a lowered sparse LP instance plus revised-simplex working state.
+// The lowering mirrors lower() exactly: structural columns, one slack per
+// inequality (coefficient +1 before row negation), one artificial per row
+// (+1 after negation), rows negated so the initial artificial basis is
+// feasible at the structural lower bounds.
+type rsLP struct {
+	m, n     int
+	nStruct  int
+	firstArt int
+	cols     []spCol
+	b        []float64 // RHS after row negation
+	lo, up   []float64
+	cost     []float64
+	status   []varStatus
+	basis    []int
+	xB       []float64
+	etas     []eta
+	etaNNZ   int
+	pivots   int // pivots since last refactorization
+	activeN  int // columns scanned by pricing (n, then firstArt in phase 2)
+	iters    int
+	maxIters int
+	deadline time.Time
+	ctx      context.Context
+	w, y     []float64 // dense scratch: FTRAN column, BTRAN multipliers
+}
+
+// lowerSparse builds the sparse standard form. It must stay semantically
+// identical to lower(): same slack/artificial layout, same row negation,
+// same bound checks, same iteration budget.
+func lowerSparse(mod *Model, lbs, ubs []float64) (*rsLP, error) {
+	nStruct := mod.NumVars()
+	m := mod.NumConstrs()
+	nSlack := 0
+	for _, c := range mod.constrs {
+		if c.Sense != EQ {
+			nSlack++
+		}
+	}
+	n := nStruct + nSlack + m
+	p := &rsLP{
+		m: m, n: n, nStruct: nStruct, firstArt: nStruct + nSlack,
+		cols: make([]spCol, n),
+		b:    make([]float64, m),
+		lo:   make([]float64, n), up: make([]float64, n),
+		cost:   make([]float64, n),
+		status: make([]varStatus, n),
+		basis:  make([]int, m),
+		xB:     make([]float64, m),
+		w:      make([]float64, m), y: make([]float64, m),
+		activeN: n,
+	}
+	for j := 0; j < nStruct; j++ {
+		p.lo[j], p.up[j] = lbs[j], ubs[j]
+		if math.IsInf(p.lo[j], -1) {
+			return nil, errInfLowerBound(mod, j)
+		}
+		if p.lo[j] > p.up[j]+feasTol {
+			return nil, errBoundsInfeasible
+		}
+		if p.up[j] < p.lo[j] {
+			p.up[j] = p.lo[j]
+		}
+		p.cost[j] = mod.obj[j]
+	}
+	for j := nStruct; j < n; j++ {
+		p.lo[j], p.up[j] = 0, math.Inf(1)
+	}
+	slack := nStruct
+	for i, c := range mod.constrs {
+		rhs := c.RHS
+		sign := 1.0
+		if c.Sense == GE {
+			sign = -1.0
+			rhs = -rhs
+		}
+		// Residual at the initial point decides the row's final sign (see
+		// lower()): terms are merged by AddConstr, so no duplicate vars.
+		res := rhs
+		for _, t := range c.Terms {
+			res -= sign * t.Coeff * p.lo[t.Var]
+		}
+		rowSign := 1.0
+		if res < 0 {
+			rowSign, res = -1, -res
+			rhs = -rhs
+		}
+		for _, t := range c.Terms {
+			v := rowSign * sign * t.Coeff
+			if zero(v) {
+				continue
+			}
+			col := &p.cols[t.Var]
+			col.ind = append(col.ind, int32(i))
+			col.val = append(col.val, v)
+		}
+		if c.Sense != EQ {
+			p.cols[slack] = spCol{ind: []int32{int32(i)}, val: []float64{rowSign}}
+			slack++
+		}
+		art := p.firstArt + i
+		p.cols[art] = spCol{ind: []int32{int32(i)}, val: []float64{1}}
+		p.b[i] = rhs
+		p.basis[i] = art
+		p.xB[i] = res
+		p.status[art] = isBasic
+	}
+	p.maxIters = 200*(m+1) + 20*n + 2000
+	return p, nil
+}
+
+// errInfLowerBound matches the dense lowering's error text.
+func errInfLowerBound(mod *Model, j int) error {
+	return fmt.Errorf("ilp: variable %q has infinite lower bound (unsupported)", mod.names[j])
+}
+
+// ftranEtas applies the eta file to x in order: x ← E_k … E_1 x, i.e.
+// x ← B⁻¹ x when x held the original column.
+func ftranEtas(etas []eta, x []float64) {
+	for k := range etas {
+		e := &etas[k]
+		xr := x[e.r]
+		if zero(xr) {
+			continue
+		}
+		x[e.r] = e.pivInv * xr
+		for t, i := range e.ind {
+			x[i] += e.val[t] * xr
+		}
+	}
+}
+
+func (p *rsLP) ftran(x []float64) { ftranEtas(p.etas, x) }
+
+// btran applies the transposed eta file in reverse: x ← E_1ᵀ … E_kᵀ x,
+// i.e. x ← B⁻ᵀ x, the simplex multipliers when x held the basic costs.
+func (p *rsLP) btran(x []float64) {
+	for k := len(p.etas) - 1; k >= 0; k-- {
+		e := &p.etas[k]
+		s := e.pivInv * x[e.r]
+		for t, i := range e.ind {
+			s += e.val[t] * x[i]
+		}
+		x[e.r] = s
+	}
+}
+
+// makeEta builds the eta column for pivot row r from the FTRAN'd entering
+// column w. Entries below etaDropTol are noise and dropped.
+func makeEta(w []float64, r int) eta {
+	e := eta{r: int32(r), pivInv: 1 / w[r]}
+	nnz := 0
+	for i := range w {
+		if i != r && !zero(w[i]) {
+			nnz++
+		}
+	}
+	if nnz == 0 {
+		return e
+	}
+	e.ind = make([]int32, 0, nnz)
+	e.val = make([]float64, 0, nnz)
+	for i := range w {
+		if i == r || zero(w[i]) {
+			continue
+		}
+		v := -w[i] * e.pivInv
+		if math.Abs(v) < etaDropTol {
+			continue
+		}
+		e.ind = append(e.ind, int32(i))
+		e.val = append(e.val, v)
+	}
+	return e
+}
+
+func (p *rsLP) appendEta(w []float64, r int) {
+	e := makeEta(w, r)
+	p.etas = append(p.etas, e)
+	p.etaNNZ += len(e.ind) + 1
+	p.pivots++
+}
+
+// loadCol scatters column j into the dense scratch w (cleared first).
+func (p *rsLP) loadCol(j int, w []float64) {
+	for i := range w {
+		w[i] = 0
+	}
+	col := &p.cols[j]
+	for t, i := range col.ind {
+		w[i] = col.val[t]
+	}
+}
+
+// nonbasicValue returns the bound a nonbasic column currently sits at.
+func (p *rsLP) nonbasicValue(j int) float64 {
+	if p.status[j] == atUpper {
+		return p.up[j]
+	}
+	return p.lo[j]
+}
+
+// recomputeXB refreshes the basic solution from the raw right-hand side:
+// x_B = B⁻¹ (b − N x_N). Called at every refactorization, it resets the
+// additive drift that incremental xB updates accumulate.
+func (p *rsLP) recomputeXB() {
+	x := p.w
+	copy(x, p.b)
+	for j := 0; j < p.n; j++ {
+		if p.status[j] == isBasic {
+			continue
+		}
+		v := p.nonbasicValue(j)
+		if zero(v) {
+			continue
+		}
+		col := &p.cols[j]
+		for t, i := range col.ind {
+			x[i] -= col.val[t] * v
+		}
+	}
+	p.ftran(x)
+	copy(p.xB, x)
+}
+
+// refactorize rebuilds the eta file from the current basis by reinversion:
+// basis columns are processed singletons-first then by increasing nonzero
+// count, each FTRAN'd against the partial file, pivoting on its largest
+// remaining entry (free partial pivoting the dense tableau never had). The
+// basis is reordered so basis[r] is the column pivoted at row r — PFI
+// needs no separate permutation. On success xB is recomputed from b; on
+// a singular basis the state is left untouched and errSingularBasis is
+// returned (solveLP then falls back to the dense oracle).
+func (p *rsLP) refactorize() error {
+	order := make([]int, p.m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := len(p.cols[p.basis[order[a]]].ind), len(p.cols[p.basis[order[b]]].ind)
+		if ca != cb {
+			return ca < cb
+		}
+		return p.basis[order[a]] < p.basis[order[b]]
+	})
+	newEtas := make([]eta, 0, p.m)
+	newNNZ := 0
+	newBasis := make([]int, p.m)
+	rowUsed := make([]bool, p.m)
+	w := make([]float64, p.m)
+	for _, bi := range order {
+		j := p.basis[bi]
+		p.loadColInto(j, w)
+		ftranEtas(newEtas, w)
+		r := -1
+		best := pivotTol
+		for i := 0; i < p.m; i++ {
+			if rowUsed[i] {
+				continue
+			}
+			if a := math.Abs(w[i]); a > best {
+				best, r = a, i
+			}
+		}
+		if r < 0 {
+			return errSingularBasis
+		}
+		e := makeEta(w, r)
+		newEtas = append(newEtas, e)
+		newNNZ += len(e.ind) + 1
+		rowUsed[r] = true
+		newBasis[r] = j
+	}
+	p.etas, p.etaNNZ, p.pivots = newEtas, newNNZ, 0
+	p.basis = newBasis
+	p.recomputeXB()
+	return nil
+}
+
+// loadColInto is loadCol with an explicit scratch (refactorize must not
+// clobber p.w, which recomputeXB reuses afterwards).
+func (p *rsLP) loadColInto(j int, w []float64) {
+	for i := range w {
+		w[i] = 0
+	}
+	col := &p.cols[j]
+	for t, i := range col.ind {
+		w[i] = col.val[t]
+	}
+}
+
+// etaBudget is the nonzero cap that forces early reinversion when pivots
+// produce unusually dense eta columns.
+func (p *rsLP) etaBudget() int { return 16*p.m + 1024 }
+
+// chooseEntering prices every active nonbasic column against the simplex
+// multipliers y (Dantzig rule; first-improving-index under Bland) and
+// returns the entering column and its direction, or (-1, 0) at optimality.
+func (p *rsLP) chooseEntering(c, y []float64, bland bool) (int, float64) {
+	bestJ, bestScore, bestDir := -1, costTol, 0.0
+	for j := 0; j < p.activeN; j++ {
+		st := p.status[j]
+		if st == isBasic || zero(p.up[j]-p.lo[j]) {
+			continue
+		}
+		d := c[j]
+		col := &p.cols[j]
+		for t, i := range col.ind {
+			d -= y[i] * col.val[t]
+		}
+		var score, dir float64
+		if st == atLower {
+			score, dir = -d, 1
+		} else {
+			score, dir = d, -1
+		}
+		if score > bestScore {
+			if bland {
+				return j, dir
+			}
+			bestJ, bestScore, bestDir = j, score, dir
+		}
+	}
+	return bestJ, bestDir
+}
+
+// ratioTest mirrors the dense implementation over the FTRAN'd entering
+// column w, including the smallest-basic-index tie-break.
+func (p *rsLP) ratioTest(q int, dir float64, w []float64) (flip bool, r int, hitUpper bool, t float64, err error) {
+	t = math.Inf(1)
+	if !math.IsInf(p.up[q], 1) {
+		t = p.up[q] - p.lo[q]
+	}
+	flip = true
+	r = -1
+	for i := 0; i < p.m; i++ {
+		a := w[i]
+		if math.Abs(a) < pivotTol {
+			continue
+		}
+		rate := -a * dir
+		b := p.basis[i]
+		var ti float64
+		var toUpper bool
+		if rate < 0 {
+			ti = (p.xB[i] - p.lo[b]) / -rate
+		} else {
+			if math.IsInf(p.up[b], 1) {
+				continue
+			}
+			ti = (p.up[b] - p.xB[i]) / rate
+			toUpper = true
+		}
+		if ti < 0 {
+			ti = 0
+		}
+		if ti < t-1e-12 || (ti < t+1e-12 && r >= 0 && p.basis[i] < p.basis[r]) {
+			t, flip, r, hitUpper = ti, false, i, toUpper
+		}
+	}
+	if math.IsInf(t, 1) {
+		return false, -1, false, 0, errUnbounded
+	}
+	return flip, r, hitUpper, t, nil
+}
+
+// optimize runs the revised bounded-variable primal simplex for cost
+// vector c until optimality, with the dense implementation's stall-window
+// Bland's-rule fallback as the anti-cycling guard: after blandThreshold
+// consecutive degenerate pivots the entering rule switches to
+// first-improving-index, which cannot cycle.
+func (p *rsLP) optimize(c []float64) error {
+	noImprove := 0
+	blandThreshold := 4 * (p.m + 64)
+	for {
+		p.iters++
+		if p.iters > p.maxIters {
+			return errIterLimit
+		}
+		// Same per-iteration budget discipline as the dense code: one
+		// revised pivot is O(nnz + eta file), so a strided check could
+		// still overshoot on big models while time.Now() costs nanoseconds.
+		if !p.deadline.IsZero() && time.Now().After(p.deadline) {
+			return errTimeLimit
+		}
+		if p.ctx != nil {
+			select {
+			case <-p.ctx.Done():
+				return errTimeLimit
+			default:
+			}
+		}
+		// Pricing: y = B⁻ᵀ c_B, then reduced costs column by column.
+		y := p.y
+		for i := range y {
+			y[i] = 0
+		}
+		for i, b := range p.basis {
+			if cb := c[b]; !zero(cb) {
+				y[i] = cb
+			}
+		}
+		p.btran(y)
+		bland := noImprove > blandThreshold
+		q, dir := p.chooseEntering(c, y, bland)
+		if q < 0 {
+			return nil // optimal
+		}
+		w := p.w
+		p.loadCol(q, w)
+		p.ftran(w)
+		flip, r, hitUpper, t, err := p.ratioTest(q, dir, w)
+		if err != nil {
+			return err
+		}
+		if t > 1e-12 {
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+		if flip {
+			for i := range p.xB {
+				if !zero(w[i]) {
+					p.xB[i] -= w[i] * dir * t
+				}
+			}
+			if p.status[q] == atLower {
+				p.status[q] = atUpper
+			} else {
+				p.status[q] = atLower
+			}
+			continue
+		}
+		start := p.lo[q]
+		if p.status[q] == atUpper {
+			start = p.up[q]
+		}
+		for i := range p.xB {
+			if i != r && !zero(w[i]) {
+				p.xB[i] -= w[i] * dir * t
+			}
+		}
+		leaving := p.basis[r]
+		if hitUpper {
+			p.status[leaving] = atUpper
+		} else {
+			p.status[leaving] = atLower
+		}
+		p.basis[r] = q
+		p.status[q] = isBasic
+		p.xB[r] = start + dir*t
+		p.appendEta(w, r)
+		if p.pivots >= refactorEvery || p.etaNNZ > p.etaBudget() {
+			if err := p.refactorize(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// value returns the current value of column j (dense value() semantics).
+func (p *rsLP) value(j int) float64 {
+	switch p.status[j] {
+	case atLower:
+		return p.lo[j]
+	case atUpper:
+		return p.up[j]
+	default:
+		for i, b := range p.basis {
+			if b == j {
+				return p.xB[i]
+			}
+		}
+	}
+	//lint:ignore panicfree defensive invariant: status/basis desync would be a simplex bug, not bad input
+	panic("ilp: basic variable not in basis")
+}
+
+// solution extracts structural variable values.
+func (p *rsLP) solution() []float64 {
+	x := make([]float64, p.nStruct)
+	for j := range x {
+		switch p.status[j] {
+		case atLower:
+			x[j] = p.lo[j]
+		case atUpper:
+			x[j] = p.up[j]
+		}
+	}
+	for i, b := range p.basis {
+		if b < p.nStruct {
+			x[b] = p.xB[i]
+		}
+	}
+	return x
+}
+
+// solveLP solves the LP relaxation of mod with the given bound overrides
+// using the sparse revised simplex, falling back to the dense tableau
+// implementation on a singular-basis report or an exit-invariant failure
+// (both indicate numerical trouble in the eta file, not a property of the
+// model). A non-zero deadline or a cancelled context aborts the solve with
+// errTimeLimit.
+func solveLP(ctx context.Context, mod *Model, lbs, ubs []float64, deadline time.Time) (lpResult, error) {
+	res, err := solveLPRevised(ctx, mod, lbs, ubs, deadline)
+	var ivErr *invariant.Error
+	if err != nil && (errors.Is(err, errSingularBasis) || errors.As(err, &ivErr)) {
+		return solveLPDense(ctx, mod, lbs, ubs, deadline)
+	}
+	return res, err
+}
+
+func solveLPRevised(ctx context.Context, mod *Model, lbs, ubs []float64, deadline time.Time) (lpResult, error) {
+	p, err := lowerSparse(mod, lbs, ubs)
+	if err != nil {
+		if errors.Is(err, errBoundsInfeasible) {
+			return lpResult{status: StatusInfeasible}, nil
+		}
+		return lpResult{}, err
+	}
+	p.deadline = deadline
+	p.ctx = ctx
+	// Phase 1: minimize the sum of artificial variables.
+	phase1 := make([]float64, p.n)
+	for j := p.firstArt; j < p.n; j++ {
+		phase1[j] = 1
+	}
+	if err := p.optimize(phase1); err != nil {
+		if errors.Is(err, errUnbounded) {
+			// Phase 1 is bounded below by 0; treat as numerical failure.
+			return lpResult{}, errIterLimit
+		}
+		return lpResult{iters: p.iters}, err
+	}
+	infeas := 0.0
+	for j := p.firstArt; j < p.n; j++ {
+		infeas += p.value(j)
+	}
+	if infeas > feasTol {
+		return lpResult{status: StatusInfeasible, iters: p.iters}, nil
+	}
+	// Pin artificials at zero for phase 2 and drop them from pricing; a
+	// still-basic artificial stays parked at zero.
+	for j := p.firstArt; j < p.n; j++ {
+		p.up[j] = 0
+	}
+	p.activeN = p.firstArt
+	for i, b := range p.basis {
+		if b >= p.firstArt && p.xB[i] < feasTol {
+			p.xB[i] = 0 // clamp tiny residue
+		}
+	}
+	if err := p.optimize(p.cost); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return lpResult{status: StatusUnbounded, iters: p.iters}, nil
+		}
+		return lpResult{iters: p.iters}, err
+	}
+	// Final reinversion wipes the eta drift accumulated since the last
+	// refactorization before the solution is extracted; failure here means
+	// the optimal basis itself is numerically singular — report it and let
+	// solveLP fall back to the dense oracle.
+	if err := p.refactorize(); err != nil {
+		return lpResult{iters: p.iters}, err
+	}
+	x := p.solution()
+	// Exit feasibility: an optimal basis whose solution leaves its box is
+	// a simplex bookkeeping bug, never a property of the model.
+	if err := invariant.BoundedValues("ilp.lp-solution", x, lbs, ubs, 10*feasTol); err != nil {
+		return lpResult{iters: p.iters}, err
+	}
+	return lpResult{status: StatusOptimal, x: x, obj: mod.Objective(x), iters: p.iters}, nil
+}

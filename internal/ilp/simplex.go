@@ -10,7 +10,10 @@ import (
 	"compact/internal/invariant"
 )
 
-// The LP core: a dense bounded-variable two-phase primal simplex.
+// The dense LP reference: a dense bounded-variable two-phase primal
+// simplex. The production LP core is the sparse revised simplex in
+// revised.go; this implementation is kept as its differential-testing
+// oracle and numerical fallback.
 //
 // The model is lowered to equality standard form A x = b with per-variable
 // bounds [lo, up] (up may be +Inf; lo must be finite). Slack variables turn
@@ -400,10 +403,14 @@ type lpResult struct {
 	iters  int
 }
 
-// solveLP solves the LP relaxation of mod with the given bound overrides.
-// A non-zero deadline or a cancelled context aborts the solve with
-// errTimeLimit.
-func solveLP(ctx context.Context, mod *Model, lbs, ubs []float64, deadline time.Time) (lpResult, error) {
+// solveLPDense solves the LP relaxation of mod with the given bound
+// overrides using the dense tableau simplex. It is retained as the
+// reference implementation for the sparse revised simplex (solveLP in
+// revised.go): the two must agree on status and objective, a property the
+// revised tests pin on random vertex-cover models, and solveLP falls back
+// here on the rare numerical failure of the eta-file machinery. A non-zero
+// deadline or a cancelled context aborts the solve with errTimeLimit.
+func solveLPDense(ctx context.Context, mod *Model, lbs, ubs []float64, deadline time.Time) (lpResult, error) {
 	p, err := lower(mod, lbs, ubs)
 	if err != nil {
 		if errors.Is(err, errBoundsInfeasible) {

@@ -684,8 +684,10 @@ func solveMIP(ctx context.Context, p Problem, opts Options, primer *Solution, be
 	}
 	inc := incumbentFromLabels(mod.NumVars(), p, best.Labels, xV, xH, xE, dVar, edges)
 
-	// Memory guard: the LP solver's dense tableau takes roughly
-	// rows x (vars + 2*rows) float64 cells. Graphs beyond that budget get
+	// Memory guard: the production LP core is the sparse revised simplex,
+	// but it falls back to the dense oracle on numerical trouble, and the
+	// dense tableau takes roughly rows x (vars + 2*rows) float64 cells — so
+	// the guard stays sized for the worst case. Graphs beyond that budget get
 	// the analytic bound instead — objective >= γ(n+k) + (1−γ)·⌈(n+k)/2⌉,
 	// valid because S >= n+kLB and D >= S/2 — reported with the heuristic
 	// incumbent, exactly the anytime data Figure 11 plots for circuits the
@@ -715,7 +717,9 @@ func solveMIP(ctx context.Context, p Problem, opts Options, primer *Solution, be
 		}, nil
 	}
 
-	sol, err := ilp.SolveContext(ctx, mod, ilp.Options{Incumbent: inc, BestKnown: bestKnown})
+	sol, err := ilp.SolveContext(ctx, mod, ilp.Options{
+		Incumbent: inc, BestKnown: bestKnown, Workers: ilp.DefaultWorkers(),
+	})
 	if err != nil {
 		if ctx.Err() != nil {
 			// Budget expired between model build and solve: anytime

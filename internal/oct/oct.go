@@ -133,7 +133,9 @@ func coverILP(ctx context.Context, p *graph.Graph, limit time.Duration) (map[int
 	for v := range greedy {
 		inc[v] = 1
 	}
-	sol, err := ilp.SolveContext(ctx, m, ilp.Options{TimeLimit: limit, Incumbent: inc})
+	sol, err := ilp.SolveContext(ctx, m, ilp.Options{
+		TimeLimit: limit, Incumbent: inc, Workers: ilp.DefaultWorkers(),
+	})
 	if err != nil || sol.X == nil {
 		return greedy, false
 	}

@@ -241,7 +241,7 @@ func Build(ctx context.Context, nw *logic.Network, opts Options) (*Plan, error) 
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("partition: assembled plan invalid: %w", err)
 	}
-	if err := plan.Verify(nw.Eval, opts.ExhaustiveLimit, opts.Samples, opts.Seed|1); err != nil {
+	if err := plan.Verify64(nw.Eval64, opts.ExhaustiveLimit, opts.Samples, opts.Seed|1); err != nil {
 		return nil, fmt.Errorf("partition: plan fails parity against the source network: %w", err)
 	}
 	return plan, nil

@@ -223,54 +223,15 @@ func (p *Plan) Eval(inputs []bool) ([]bool, error) {
 }
 
 // Verify checks the cascade against a reference evaluator over all 2^n
-// assignments when the input count is at most exhaustiveLimit, or over
-// `samples` seeded pseudo-random vectors otherwise (same discipline as
-// xbar.Design.VerifyAgainst). It returns the first mismatching assignment
-// as the error's witness, or nil if none is found.
+// assignments when the input count is at most exhaustiveLimit (clamped to
+// xbar.MaxExhaustiveBits — wider requests fall back to sampling instead
+// of overflowing the enumeration), or over `samples` seeded pseudo-random
+// vectors otherwise (same discipline as xbar.Design.VerifyAgainst). It
+// returns the first mismatching assignment as the error's witness, or nil
+// if none is found. The cascade side runs 64 assignments per pass via
+// Eval64; use Verify64 when the reference is word-parallel too.
 func (p *Plan) Verify(ref func([]bool) []bool, exhaustiveLimit, samples int, seed uint64) error {
-	n := len(p.Inputs)
-	check := func(in []bool) error {
-		want := ref(in)
-		got, err := p.Eval(in)
-		if err != nil {
-			return fmt.Errorf("partition: cascade evaluation on %v: %w", in, err)
-		}
-		if len(got) != len(want) {
-			return fmt.Errorf("partition: cascade yields %d outputs, reference %d", len(got), len(want))
-		}
-		for o := range want {
-			if got[o] != want[o] {
-				return fmt.Errorf("partition: output %s disagrees with the reference on %v", p.Outputs[o].Name, in)
-			}
-		}
-		return nil
-	}
-	in := make([]bool, n)
-	if n <= exhaustiveLimit {
-		for a := 0; a < 1<<uint(n); a++ {
-			for i := range in {
-				in[i] = a&(1<<uint(i)) != 0
-			}
-			if err := check(in); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	state := seed | 1
-	next := func() uint64 {
-		state = state*6364136223846793005 + 1442695040888963407
-		return state
-	}
-	for s := 0; s < samples; s++ {
-		for i := range in {
-			in[i] = next()>>33&1 != 0
-		}
-		if err := check(in); err != nil {
-			return err
-		}
-	}
-	return nil
+	return p.verify(ref, nil, exhaustiveLimit, samples, seed)
 }
 
 // FormalVerify proves, for every one of the 2^n input assignments, that

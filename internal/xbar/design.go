@@ -92,10 +92,16 @@ type sparseCell struct {
 
 // sparseIndex is the lazily-built evaluation index: the non-Off cells and
 // the largest Entry.Var among Lit cells (-1 when there are none), which is
-// what EvalChecked validates assignments against.
+// what EvalChecked validates assignments against. err records the first
+// corrupted cell found while indexing — a Lit cell with a negative variable
+// index or a cell whose Kind is none of Off/On/Lit. Entry.Conducts treats
+// both as "never conducts", so without this check a corrupted in-memory
+// design would silently evaluate (and even verify, on lucky samples) as a
+// constant; the checked evaluators refuse to evaluate such designs at all.
 type sparseIndex struct {
 	cells  []sparseCell
 	maxVar int32
+	err    error
 }
 
 func (d *Design) sparseIdx() *sparseIndex {
@@ -108,8 +114,18 @@ func (d *Design) sparseIdx() *sparseIndex {
 			if e.Kind != Off {
 				idx.cells = append(idx.cells, sparseCell{r, c, e})
 			}
-			if e.Kind == Lit && e.Var > idx.maxVar {
-				idx.maxVar = e.Var
+			if e.Kind > Lit && idx.err == nil {
+				idx.err = invariant.Violationf("xbar.cell-kind",
+					"cell (%d,%d) has unknown kind %d", r, c, e.Kind)
+			}
+			if e.Kind == Lit {
+				if e.Var < 0 && idx.err == nil {
+					idx.err = invariant.Violationf("xbar.cell-var",
+						"cell (%d,%d) references negative variable %d", r, c, e.Var)
+				}
+				if e.Var > idx.maxVar {
+					idx.maxVar = e.Var
+				}
 			}
 		}
 	}
@@ -223,9 +239,11 @@ func (d *Design) Render(w io.Writer) error {
 }
 
 // Conducts reports whether cell e conducts under the assignment (indexed
-// by Entry.Var). A literal the assignment does not cover never conducts —
-// the defensive backstop for short assignments; EvalChecked reports them
-// as a structured error instead of relying on it.
+// by Entry.Var). A literal the assignment does not cover (including a
+// negative index) and an unknown Kind never conduct — the defensive
+// backstop for corrupted entries; EvalChecked and Eval64Checked report
+// both as a structured *invariant.Error (via the sparse-index validation)
+// instead of relying on it.
 func (e Entry) Conducts(assignment []bool) bool {
 	switch e.Kind {
 	case On:
@@ -260,6 +278,9 @@ func (d *Design) Eval(assignment []bool) []bool {
 // an *invariant.Error instead of an index-out-of-range panic.
 func (d *Design) EvalChecked(assignment []bool) ([]bool, error) {
 	idx := d.sparseIdx()
+	if idx.err != nil {
+		return nil, idx.err
+	}
 	if int(idx.maxVar) >= len(assignment) {
 		return nil, invariant.Violationf("xbar.eval-assignment",
 			"assignment has %d entries but the design references variable %d", len(assignment), idx.maxVar)
@@ -306,54 +327,4 @@ func (d *Design) EvalChecked(assignment []bool) ([]bool, error) {
 		out[i] = find(r) == in
 	}
 	return out, nil
-}
-
-// VerifyAgainst checks the design against a reference evaluator over all
-// 2^nVars assignments when nVars <= exhaustiveLimit, or over `samples`
-// pseudo-random assignments (deterministic LCG seeded with seed) otherwise.
-// It returns the first mismatching assignment, or nil if none found.
-func (d *Design) VerifyAgainst(ref func([]bool) []bool, nVars, exhaustiveLimit, samples int, seed uint64) []bool {
-	check := func(in []bool) []bool {
-		want := ref(in)
-		got, err := d.EvalChecked(in)
-		if err != nil || len(got) < len(want) {
-			// A design that cannot even be evaluated over nVars variables
-			// (or reports too few outputs) disagrees with the reference by
-			// definition; the current assignment is the witness.
-			return append([]bool(nil), in...)
-		}
-		for o := range want {
-			if want[o] != got[o] {
-				bad := append([]bool(nil), in...)
-				return bad
-			}
-		}
-		return nil
-	}
-	in := make([]bool, nVars)
-	if nVars <= exhaustiveLimit {
-		for a := 0; a < 1<<uint(nVars); a++ {
-			for i := range in {
-				in[i] = a&(1<<uint(i)) != 0
-			}
-			if bad := check(in); bad != nil {
-				return bad
-			}
-		}
-		return nil
-	}
-	state := seed | 1
-	next := func() uint64 {
-		state = state*6364136223846793005 + 1442695040888963407
-		return state
-	}
-	for s := 0; s < samples; s++ {
-		for i := range in {
-			in[i] = next()>>33&1 != 0
-		}
-		if bad := check(in); bad != nil {
-			return bad
-		}
-	}
-	return nil
 }

@@ -574,7 +574,9 @@ func (p *placer) ilp(ctx context.Context, opts PlaceOptions, lastInvCol []int) (
 		}
 	}
 
-	sol, err := ilp.SolveContext(ctx, mod, ilp.Options{TimeLimit: opts.ILPTimeLimit})
+	sol, err := ilp.SolveContext(ctx, mod, ilp.Options{
+		TimeLimit: opts.ILPTimeLimit, Workers: ilp.DefaultWorkers(),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("xbar: placement ILP: %w", err)
 	}
