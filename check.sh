@@ -11,8 +11,9 @@
 #                    the concurrent Synthesize, defect placement and
 #                    compactd server tests)
 #   6. fuzz smoke  — a few seconds on each native fuzz target (the three
-#                    parser front ends, the design wire decoder and the
-#                    partition plan decoder)
+#                    parser front ends, the design wire decoder, the
+#                    partition plan decoder and the persistent store's
+#                    on-disk entry codec)
 #   7. compactlint — the project's own analyzers, including the compactflow
 #                    dataflow suite (allocbound, ctxflow, gospawn) and the
 #                    staleignore check on //lint:ignore directives; any
@@ -27,7 +28,10 @@
 #          (results/BENCH_ilp.json, soft-compared against the committed
 #          baseline via benchjson -compare — warn-only) and the
 #          partitioned-synthesis benchmark (results/BENCH_partition.json
-#          via cmd/partitionbench).
+#          via cmd/partitionbench) and the service-level load harness
+#          (results/BENCH_service.json via cmd/compactload — p50/p99,
+#          cache hit ratio including the disk tier, achieved RPS;
+#          soft-compared against the committed baseline, warn-only).
 set -eu
 
 cd "$(dirname "$0")"
@@ -74,6 +78,7 @@ if [ "$short" -eq 0 ]; then
     go test -fuzz=FuzzDesignJSON -fuzztime=5s -run='^$' ./internal/xbar/
     go test -fuzz=FuzzEval64VsScalar -fuzztime=5s -run='^$' ./internal/xbar/
     go test -fuzz=FuzzPlanJSON -fuzztime=5s -run='^$' ./internal/partition/
+    go test -fuzz=FuzzStoreEntry -fuzztime=5s -run='^$' ./internal/store/
 fi
 
 echo "== compactlint =="
@@ -99,6 +104,15 @@ if [ "$bench" -eq 1 ]; then
 
     echo "== benchmarks (partitioned multi-crossbar synthesis) =="
     go run ./cmd/partitionbench -timelimit 10s -out results/BENCH_partition.json
+
+    echo "== service load (compactd: sync + async, both cache tiers) =="
+    loadstore=$(mktemp -d)
+    go run ./cmd/compactload -duration 5s -rps 100 -store-dir "$loadstore" \
+        -compare results/BENCH_service.json \
+        -out results/BENCH_service.json.new
+    rm -rf "$loadstore"
+    mv results/BENCH_service.json.new results/BENCH_service.json
+    echo "wrote results/BENCH_service.json"
 fi
 
 echo "OK"

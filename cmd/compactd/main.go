@@ -17,6 +17,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,9 @@ func run(args []string) int {
 	workers := fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
 	cacheEntries := fs.Int("cache-entries", 0, "result cache entry bound (0 = 512)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "result cache byte bound (0 = 256 MiB)")
+	storeDir := fs.String("store-dir", "", "persistent result store directory (empty = memory-only)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "persistent store byte bound (0 = 1 GiB)")
+	maxJobs := fs.Int("max-jobs", 0, "async job table bound, live + finished (0 = 256)")
 	defaultLimit := fs.Duration("default-time-limit", 0, "solve budget for requests that set none (0 = 30s)")
 	maxLimit := fs.Duration("max-time-limit", 0, "largest solve budget a request may ask for (0 = 5m)")
 	selfcheck := fs.Bool("selfcheck", false, "boot on a loopback port, run a smoke request, exit")
@@ -52,13 +56,20 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := server.New(ctx, server.Config{
+	srv, err := server.New(ctx, server.Config{
 		Workers:          *workers,
 		CacheEntries:     *cacheEntries,
 		CacheBytes:       *cacheBytes,
+		StoreDir:         *storeDir,
+		StoreMaxBytes:    *storeMaxBytes,
+		MaxJobs:          *maxJobs,
 		DefaultTimeLimit: *defaultLimit,
 		MaxTimeLimit:     *maxLimit,
 	})
+	if err != nil {
+		log.Printf("compactd: %v", err)
+		return 1
+	}
 
 	if *selfcheck {
 		if err := runSelfcheck(ctx, srv); err != nil {
@@ -161,6 +172,51 @@ func runSelfcheck(ctx context.Context, srv *server.Server) error {
 	}
 	if !bytes.Equal(first, second) {
 		return fmt.Errorf("cache hit body differs from miss body")
+	}
+
+	// Async roundtrip: submit the same request as a job, poll to done,
+	// and check the result body matches the synchronous one exactly.
+	status, _, body, err = do(ctx, client, http.MethodPost, base+"/v1/jobs", req)
+	if err != nil || status != http.StatusAccepted {
+		return fmt.Errorf("job submit: status %d, err %v, body %s", status, err, body)
+	}
+	var sub struct {
+		ID        string `json:"id"`
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+		return fmt.Errorf("job submit: bad response %s: %v", body, err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, _, body, err = do(ctx, client, http.MethodGet, base+sub.StatusURL, "")
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("job status: status %d, err %v, body %s", status, err, body)
+		}
+		var st struct {
+			Status    string `json:"status"`
+			ResultURL string `json:"result_url"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("job status: bad response %s: %v", body, err)
+		}
+		if st.Status == "done" {
+			status, _, body, err = do(ctx, client, http.MethodGet, base+st.ResultURL, "")
+			if err != nil || status != http.StatusOK {
+				return fmt.Errorf("job result: status %d, err %v, body %s", status, err, body)
+			}
+			if !bytes.Equal(body, first) {
+				return fmt.Errorf("job result body differs from synchronous body")
+			}
+			break
+		}
+		if st.Status == "failed" {
+			return fmt.Errorf("job failed: %s", body)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job did not finish in time; last status %s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 	return nil
 }

@@ -1,0 +1,492 @@
+// Command compactload is the service-level load harness for compactd: it
+// drives an open-loop arrival process of synthesis requests — a mixed
+// population of hot (repeating) and cold (distinct) content-addressed
+// fingerprints, split across the synchronous /v1/synthesize route and
+// the async /v1/jobs lifecycle — and reports service percentiles, cache
+// effectiveness (including the persistent disk tier) and achieved
+// throughput as a versioned JSON document.
+//
+// Usage:
+//
+//	compactload [-duration 5s] [-rps 50] [-hot 0.8] [-async 0.2] ...
+//	compactload -addr http://host:8650      # load an external compactd
+//	compactload -out results/BENCH_service.json -compare results/BENCH_service.json
+//
+// Without -addr it boots an in-process compactd on a loopback port (with
+// -store-dir enabling the disk tier), so CI can smoke the whole service
+// stack in one command. Arrival is open-loop: requests launch on the
+// arrival clock regardless of how many are outstanding, so a slow server
+// shows up as queueing latency rather than a silently reduced rate; a
+// bounded in-flight cap sheds (and counts) arrivals past it instead of
+// accumulating goroutines without limit.
+//
+// -compare soft-checks the emitted document against a previous baseline:
+// warnings on regressions (latency up, hit ratio down), never a non-zero
+// exit — service numbers on shared machines are too noisy for a hard
+// gate, matching cmd/benchjson's philosophy.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"compact/internal/server"
+)
+
+// loadBLIF is the driven circuit: f = (a AND b) OR c. Tiny on purpose —
+// the harness measures the service layers (HTTP, cache tiers, flights,
+// job table), not solver throughput; distinct fingerprints come from
+// distinct option sets over the same netlist.
+const loadBLIF = `.model load
+.inputs a b c
+.outputs f
+.names a b w
+11 1
+.names w c f
+1- 1
+-1 1
+.end
+`
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// result is the emitted BENCH_service.json document (v1).
+type result struct {
+	V      int `json:"v"`
+	Config struct {
+		DurationMS int64   `json:"duration_ms"`
+		RPS        float64 `json:"rps"`
+		Hot        float64 `json:"hot"`
+		HotKeys    int     `json:"hot_keys"`
+		ColdKeys   int     `json:"cold_keys"`
+		Async      float64 `json:"async"`
+		Seed       int64   `json:"seed"`
+	} `json:"config"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	Shed      int64   `json:"shed"`
+	RPS       float64 `json:"rps"`
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+	Cache struct {
+		Hit      int64   `json:"hit"`
+		Disk     int64   `json:"disk"`
+		Miss     int64   `json:"miss"`
+		Shared   int64   `json:"shared"`
+		HitRatio float64 `json:"hit_ratio"` // (hit + disk) / all dispositions
+	} `json:"cache"`
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Done      int64 `json:"done"`
+		Failed    int64 `json:"failed"`
+	} `json:"jobs"`
+}
+
+// sample is one completed request's measurement.
+type sample struct {
+	latency     time.Duration
+	disposition string
+	err         bool
+	job         bool
+	jobDone     bool
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("compactload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "target compactd base URL (empty = boot one in-process)")
+	duration := fs.Duration("duration", 5*time.Second, "load duration")
+	rps := fs.Float64("rps", 50, "open-loop arrival rate, requests/second")
+	hot := fs.Float64("hot", 0.8, "fraction of arrivals drawn from the hot key set")
+	hotKeys := fs.Int("hot-keys", 4, "distinct hot fingerprints")
+	coldKeys := fs.Int("cold-keys", 64, "distinct cold fingerprints")
+	async := fs.Float64("async", 0.2, "fraction of arrivals submitted as /v1/jobs")
+	seed := fs.Int64("seed", 1, "traffic RNG seed")
+	storeDir := fs.String("store-dir", "", "in-process server store directory (empty = memory-only)")
+	out := fs.String("out", "", "write the JSON document here (default stdout)")
+	compare := fs.String("compare", "", "baseline BENCH_service.json to soft-compare against (warn-only)")
+	maxInflight := fs.Int("max-inflight", 512, "bound on outstanding requests; arrivals past it are shed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *rps <= 0 || *duration <= 0 || *hotKeys <= 0 || *coldKeys <= 0 {
+		log.Print("compactload: -rps, -duration, -hot-keys and -cold-keys must be positive")
+		return 2
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	base := *addr
+	if base == "" {
+		stop, url, err := bootServer(ctx, *storeDir)
+		if err != nil {
+			log.Printf("compactload: %v", err)
+			return 1
+		}
+		defer stop()
+		base = url
+	}
+	base = strings.TrimRight(base, "/")
+
+	doc, err := drive(ctx, base, driveConfig{
+		duration:    *duration,
+		rps:         *rps,
+		hot:         *hot,
+		hotKeys:     *hotKeys,
+		coldKeys:    *coldKeys,
+		async:       *async,
+		seed:        *seed,
+		maxInflight: *maxInflight,
+	})
+	if err != nil {
+		log.Printf("compactload: %v", err)
+		return 1
+	}
+
+	if *compare != "" {
+		compareBaseline(*compare, doc)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Printf("compactload: encoding: %v", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Printf("compactload: %v", err)
+			return 1
+		}
+		log.Printf("compactload: wrote %s", *out)
+	}
+	return 0
+}
+
+// bootServer starts an in-process compactd on a loopback port, returning
+// a shutdown func and the base URL.
+func bootServer(ctx context.Context, storeDir string) (func(), string, error) {
+	srv, err := server.New(ctx, server.Config{StoreDir: storeDir})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = httpSrv.Serve(ln)
+	}()
+	stop := func() {
+		_ = httpSrv.Close()
+		<-served
+	}
+	return stop, "http://" + ln.Addr().String(), nil
+}
+
+type driveConfig struct {
+	duration    time.Duration
+	rps         float64
+	hot         float64
+	hotKeys     int
+	coldKeys    int
+	async       float64
+	seed        int64
+	maxInflight int
+}
+
+// drive runs the open-loop load and aggregates the document.
+func drive(ctx context.Context, base string, cfg driveConfig) (*result, error) {
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Warm-up probe: fail fast on an unreachable target rather than
+	// emitting a document full of connection errors.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("target unreachable: %w", err)
+	}
+	_ = resp.Body.Close()
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	interval := time.Duration(float64(time.Second) / cfg.rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(cfg.duration)
+	defer deadline.Stop()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples []sample
+		shed    int64
+	)
+	slots := make(chan struct{}, cfg.maxInflight)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	t0 := time.Now()
+arrivals:
+	for {
+		select {
+		case <-ctx.Done():
+			break arrivals
+		case <-deadline.C:
+			break arrivals
+		case <-ticker.C:
+		}
+		// Pre-draw the traffic decision on the arrival goroutine so the
+		// run is a deterministic function of the seed.
+		body := requestBody(pickGamma(rng, cfg))
+		isJob := rng.Float64() < cfg.async
+		select {
+		case slots <- struct{}{}:
+		default:
+			shed++
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-slots }()
+			if isJob {
+				record(runJobRequest(ctx, client, base, body))
+			} else {
+				record(runSyncRequest(ctx, client, base, body))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	doc := aggregate(samples, elapsed)
+	doc.Shed = shed
+	doc.Config.DurationMS = cfg.duration.Milliseconds()
+	doc.Config.RPS = cfg.rps
+	doc.Config.Hot = cfg.hot
+	doc.Config.HotKeys = cfg.hotKeys
+	doc.Config.ColdKeys = cfg.coldKeys
+	doc.Config.Async = cfg.async
+	doc.Config.Seed = cfg.seed
+	return doc, nil
+}
+
+// pickGamma draws a fingerprint: hot keys are a small set every run
+// revisits constantly; cold keys a larger population visited rarely.
+// Distinct gamma values give distinct content addresses over the same
+// netlist, exercising the cache tiers without solver cost dominating.
+func pickGamma(rng *rand.Rand, cfg driveConfig) float64 {
+	if rng.Float64() < cfg.hot {
+		return 0.5 + float64(rng.Intn(cfg.hotKeys))/float64(1<<20)
+	}
+	return 0.25 + float64(rng.Intn(cfg.coldKeys))/float64(1<<20)
+}
+
+func requestBody(gamma float64) string {
+	return fmt.Sprintf(`{"circuit": %q, "options": {"method": "heuristic", "gamma": %g, "time_limit_ms": 10000}}`,
+		loadBLIF, gamma)
+}
+
+// runSyncRequest measures one POST /v1/synthesize round trip.
+func runSyncRequest(ctx context.Context, client *http.Client, base, body string) sample {
+	t0 := time.Now()
+	status, disp, _, err := post(ctx, client, base+"/v1/synthesize", body)
+	s := sample{latency: time.Since(t0), disposition: disp}
+	if err != nil || status != http.StatusOK {
+		s.err = true
+	}
+	return s
+}
+
+// runJobRequest measures one full async lifecycle: submit, poll to a
+// terminal state, fetch the result. The latency is end-to-end
+// (submission to result body in hand).
+func runJobRequest(ctx context.Context, client *http.Client, base, body string) sample {
+	t0 := time.Now()
+	s := sample{job: true}
+	status, _, raw, err := post(ctx, client, base+"/v1/jobs", body)
+	if err != nil || status != http.StatusAccepted {
+		s.err = true
+		s.latency = time.Since(t0)
+		return s
+	}
+	var sub struct {
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(raw, &sub); err != nil || sub.StatusURL == "" {
+		s.err = true
+		s.latency = time.Since(t0)
+		return s
+	}
+	for {
+		status, _, raw, err = get(ctx, client, base+sub.StatusURL)
+		if err != nil || status != http.StatusOK {
+			s.err = true
+			s.latency = time.Since(t0)
+			return s
+		}
+		var st struct {
+			Status    string `json:"status"`
+			ResultURL string `json:"result_url"`
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			s.err = true
+			s.latency = time.Since(t0)
+			return s
+		}
+		switch st.Status {
+		case "done":
+			status, disp, _, err := get(ctx, client, base+st.ResultURL)
+			s.latency = time.Since(t0)
+			s.disposition = disp
+			s.jobDone = err == nil && status == http.StatusOK
+			s.err = !s.jobDone
+			return s
+		case "failed":
+			s.latency = time.Since(t0)
+			s.err = true
+			return s
+		}
+		select {
+		case <-ctx.Done():
+			s.latency = time.Since(t0)
+			s.err = true
+			return s
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func post(ctx context.Context, client *http.Client, url, body string) (int, string, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return do(client, req)
+}
+
+func get(ctx context.Context, client *http.Client, url string) (int, string, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return do(client, req)
+}
+
+func do(client *http.Client, req *http.Request) (int, string, []byte, error) {
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Compactd-Cache"), data, nil
+}
+
+// aggregate folds the samples into the output document.
+func aggregate(samples []sample, elapsed time.Duration) *result {
+	doc := &result{V: 1}
+	latencies := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		doc.Requests++
+		if s.err {
+			doc.Errors++
+		} else {
+			latencies = append(latencies, s.latency)
+		}
+		switch s.disposition {
+		case "hit":
+			doc.Cache.Hit++
+		case "disk":
+			doc.Cache.Disk++
+		case "miss":
+			doc.Cache.Miss++
+		case "shared":
+			doc.Cache.Shared++
+		}
+		if s.job {
+			doc.Jobs.Submitted++
+			if s.jobDone {
+				doc.Jobs.Done++
+			} else {
+				doc.Jobs.Failed++
+			}
+		}
+	}
+	if elapsed > 0 {
+		doc.RPS = float64(doc.Requests) / elapsed.Seconds()
+	}
+	if total := doc.Cache.Hit + doc.Cache.Disk + doc.Cache.Miss + doc.Cache.Shared; total > 0 {
+		doc.Cache.HitRatio = float64(doc.Cache.Hit+doc.Cache.Disk) / float64(total)
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	if n := len(latencies); n > 0 {
+		doc.LatencyMS.P50 = ms(latencies[n*50/100])
+		doc.LatencyMS.P90 = ms(latencies[min(n*90/100, n-1)])
+		doc.LatencyMS.P99 = ms(latencies[min(n*99/100, n-1)])
+		doc.LatencyMS.Max = ms(latencies[n-1])
+	}
+	return doc
+}
+
+// compareBaseline soft-compares doc against a previous run: WARN lines
+// on regressions, never a failure (shared-machine service numbers are
+// too noisy for a hard gate).
+func compareBaseline(path string, doc *result) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Printf("compactload: no baseline %s (%v); skipping compare", path, err)
+		return
+	}
+	var old result
+	if err := json.Unmarshal(data, &old); err != nil {
+		log.Printf("compactload: baseline %s unreadable (%v); skipping compare", path, err)
+		return
+	}
+	const latencyTolerance = 1.5
+	warn := func(format string, args ...any) {
+		log.Printf("compactload: WARN: "+format, args...)
+	}
+	if old.LatencyMS.P50 > 0 && doc.LatencyMS.P50 > old.LatencyMS.P50*latencyTolerance {
+		warn("p50 %.2fms vs baseline %.2fms (>%.1fx)", doc.LatencyMS.P50, old.LatencyMS.P50, latencyTolerance)
+	}
+	if old.LatencyMS.P99 > 0 && doc.LatencyMS.P99 > old.LatencyMS.P99*latencyTolerance {
+		warn("p99 %.2fms vs baseline %.2fms (>%.1fx)", doc.LatencyMS.P99, old.LatencyMS.P99, latencyTolerance)
+	}
+	if doc.Cache.HitRatio < old.Cache.HitRatio-0.1 {
+		warn("cache hit ratio %.3f vs baseline %.3f", doc.Cache.HitRatio, old.Cache.HitRatio)
+	}
+	if doc.Errors > 0 && old.Errors == 0 {
+		warn("%d request errors vs clean baseline", doc.Errors)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"compact/internal/bdd"
 	"compact/internal/defect"
@@ -39,6 +40,7 @@ func synthesizePartitioned(ctx context.Context, nw *logic.Network, opts Options)
 	topts.Partition = false // tiles are single crossbars by definition
 	topts.TimeLimit = 0     // the outer ctx already carries the deadline
 	topts.VarOrder = nil    // a whole-network order is meaningless per piece
+	var tilesDone atomic.Int64
 	synth := func(ctx context.Context, sub *logic.Network, salt uint64) (*partition.TileResult, error) {
 		o := topts
 		// Decorrelate per-tile defect generation and placement seeds
@@ -63,6 +65,9 @@ func synthesizePartitioned(ctx context.Context, nw *logic.Network, opts Options)
 		}
 		if err := res.verifyTileResult(); err != nil {
 			return nil, err
+		}
+		if fn := progressFrom(ctx).TileDone; fn != nil {
+			fn(int(tilesDone.Add(1)))
 		}
 		return &partition.TileResult{
 			Design:         res.Design,

@@ -71,6 +71,9 @@ func (r *Result) placeWithRepair(ctx context.Context, dm *defect.Map, opts Optio
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if fn := progressFrom(ctx).RepairAttempt; fn != nil {
+			fn(attempt + 1)
+		}
 		popts := xbar.PlaceOptions{
 			// splitmix64-style odd-constant stride decorrelates attempts
 			// while keeping the whole loop a pure function of DefectSeed.

@@ -3,6 +3,8 @@ package server
 import (
 	"container/list"
 	"sync"
+
+	"compact/internal/store"
 )
 
 // resultCache is a content-addressed LRU cache of marshaled synthesis
@@ -87,4 +89,73 @@ func (c *resultCache) stats() (entries int, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len(), c.bytes
+}
+
+// tieredCache layers the persistent disk store (internal/store) under the
+// in-memory LRU: gets fall through memory to disk (promoting hits back
+// into memory), puts write through to both tiers. The disk tier is
+// optional (nil when the server runs without -store-dir); it is strictly
+// best-effort on the synthesis path — a store I/O failure degrades to a
+// miss or an unpersisted result, counted in metrics, never a failed
+// response. Routes that *need* the store (a job's /result) inspect the
+// error and surface store_unavailable.
+type tieredCache struct {
+	mem     *resultCache
+	disk    *store.Store // nil = memory-only
+	metrics *metrics
+}
+
+func newTieredCache(mem *resultCache, disk *store.Store, m *metrics) *tieredCache {
+	return &tieredCache{mem: mem, disk: disk, metrics: m}
+}
+
+// get returns the cached body for key and the cache disposition that
+// should be reported for it ("hit" from memory, "disk" from the
+// persistent tier). err is non-nil only for disk I/O failures, which are
+// also reported as misses; corrupt disk entries are quarantined by the
+// store and surface as clean misses.
+func (c *tieredCache) get(key string) (body []byte, disposition string, ok bool, err error) {
+	if body, ok := c.mem.get(key); ok {
+		return body, "hit", true, nil
+	}
+	if c.disk == nil {
+		return nil, "", false, nil
+	}
+	body, ok, err = c.disk.Get(key)
+	c.syncDiskStats()
+	if err != nil {
+		c.metrics.storeErrors.Add(1)
+		return nil, "", false, err
+	}
+	if !ok {
+		return nil, "", false, nil
+	}
+	// Promote: the next identical request is a memory hit again.
+	c.mem.put(key, body)
+	return body, "disk", true, nil
+}
+
+// put writes through to both tiers and refreshes the cache gauges.
+func (c *tieredCache) put(key string, body []byte) {
+	c.mem.put(key, body)
+	if c.disk != nil {
+		if err := c.disk.Put(key, body); err != nil {
+			c.metrics.storeErrors.Add(1)
+		}
+		c.syncDiskStats()
+	}
+	entries, bytes := c.mem.stats()
+	c.metrics.cacheEntries.Set(int64(entries))
+	c.metrics.cacheBytes.Set(bytes)
+}
+
+// syncDiskStats refreshes the store gauges from the store's own counters.
+func (c *tieredCache) syncDiskStats() {
+	if c.disk == nil {
+		return
+	}
+	entries, bytes, quarantined, _ := c.disk.Stats()
+	c.metrics.storeEntries.Set(int64(entries))
+	c.metrics.storeBytes.Set(bytes)
+	c.metrics.storeQuarantined.Set(int64(quarantined))
 }

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"compact/internal/core"
+	"compact/internal/logic"
+)
+
+// validateEnvelope asserts body is exactly the error envelope — one
+// top-level "error" key whose code is in the errorStatus table, whose
+// canonical status matches the response status, and whose message is
+// non-empty (the text-compat contract) — and returns the code.
+func validateEnvelope(t *testing.T, status int, body []byte) string {
+	t.Helper()
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(body, &top); err != nil {
+		t.Fatalf("non-2xx body is not JSON: %s: %v", body, err)
+	}
+	if len(top) != 1 || top["error"] == nil {
+		t.Fatalf("non-2xx body is not {\"error\": {...}}: %s", body)
+	}
+	var e struct {
+		Code    string          `json:"code"`
+		Message string          `json:"message"`
+		Detail  json.RawMessage `json:"detail"`
+	}
+	if err := json.Unmarshal(top["error"], &e); err != nil {
+		t.Fatalf("error member malformed: %s: %v", body, err)
+	}
+	if e.Code == "" || e.Message == "" {
+		t.Fatalf("envelope lacks code or message: %s", body)
+	}
+	want, ok := errorStatus[e.Code]
+	if !ok {
+		t.Fatalf("code %q not in the errorStatus table: %s", e.Code, body)
+	}
+	if want != status {
+		t.Fatalf("code %q came with status %d, table says %d", e.Code, status, want)
+	}
+	return e.Code
+}
+
+// envelopeCode is validateEnvelope without the status cross-check caller
+// (the caller already asserted the status).
+func envelopeCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var doc struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("body is not the envelope: %s: %v", body, err)
+	}
+	return doc.Error.Code
+}
+
+// TestErrorEnvelopeEverywhere walks every /v1/* route's statically
+// reachable failure modes — handler-written errors and the mux's own
+// 404/405 — and validates each non-2xx body against the envelope schema.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	missingID := strings.Repeat("0", 32)
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     string
+		wantCode string
+	}{
+		{"synthesize malformed json", "POST", "/v1/synthesize", `{`, "invalid_request"},
+		{"synthesize unknown field", "POST", "/v1/synthesize", `{"circus": "x"}`, "invalid_request"},
+		{"synthesize empty", "POST", "/v1/synthesize", `{}`, "invalid_request"},
+		{"synthesize unknown benchmark", "POST", "/v1/synthesize", `{"benchmark": "nonesuch"}`, "unknown_benchmark"},
+		{"synthesize unparseable", "POST", "/v1/synthesize", `{"circuit": "@@ not a netlist @@"}`, "parse_failed"},
+		{"synthesize bad options", "POST", "/v1/synthesize", circuitRequest(`{"gamma": 1.5}`), "invalid_options"},
+		{"synthesize infeasible caps", "POST", "/v1/synthesize", circuitRequest(`{"max_rows": 1, "max_cols": 1}`), "infeasible"},
+		{"jobs malformed json", "POST", "/v1/jobs", `{`, "invalid_request"},
+		{"jobs unknown benchmark", "POST", "/v1/jobs", `{"benchmark": "nonesuch"}`, "unknown_benchmark"},
+		{"job status missing", "GET", "/v1/jobs/" + missingID, "", "job_not_found"},
+		{"job result missing", "GET", "/v1/jobs/" + missingID + "/result", "", "job_not_found"},
+		{"job cancel missing", "DELETE", "/v1/jobs/" + missingID, "", "job_not_found"},
+		{"mux unknown route", "GET", "/v1/nonesuch", "", "not_found"},
+		{"mux wrong method synthesize", "GET", "/v1/synthesize", "", "method_not_allowed"},
+		{"mux wrong method jobs", "DELETE", "/v1/synthesize", "", "method_not_allowed"},
+		{"mux wrong method benchmarks", "POST", "/v1/benchmarks", "", "method_not_allowed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rd io.Reader
+			if tc.body != "" {
+				rd = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, rd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode < 400 {
+				t.Fatalf("status %d, want an error (body %s)", resp.StatusCode, body)
+			}
+			if got := validateEnvelope(t, resp.StatusCode, body); got != tc.wantCode {
+				t.Fatalf("code %q, want %q (body %s)", got, tc.wantCode, body)
+			}
+		})
+	}
+}
+
+// TestBudgetExceededMapsTo504 checks a solve that runs out its entire
+// budget with no incumbent surfaces as the typed budget_exceeded
+// envelope, not a generic 500.
+func TestBudgetExceededMapsTo504(t *testing.T) {
+	ts := newTestServer(t, Config{
+		Synth: func(ctx context.Context, nw *logic.Network, opts core.Options) (*core.Result, error) {
+			return nil, fmt.Errorf("labeling never produced an incumbent: %w", context.DeadlineExceeded)
+		},
+	})
+	status, _, body := post(t, ts.URL, circuitRequest(""))
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	if code := validateEnvelope(t, status, body); code != "budget_exceeded" {
+		t.Fatalf("code %q: %s", code, body)
+	}
+}
+
+// TestShutdownEnvelope checks the draining server's refusal is the typed
+// shutting_down envelope.
+func TestShutdownEnvelope(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := New(ctx, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, srv)
+	cancel()
+	status, _, body := post(t, ts.URL, circuitRequest(""))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	if code := validateEnvelope(t, status, body); code != "shutting_down" {
+		t.Fatalf("code %q: %s", code, body)
+	}
+}
+
+// TestInternalErrorEnvelope checks an unclassifiable solve failure still
+// comes back as the envelope with code internal.
+func TestInternalErrorEnvelope(t *testing.T) {
+	ts := newTestServer(t, Config{
+		Synth: func(ctx context.Context, nw *logic.Network, opts core.Options) (*core.Result, error) {
+			return nil, fmt.Errorf("synthetic explosion")
+		},
+	})
+	status, _, body := post(t, ts.URL, circuitRequest(""))
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	if code := validateEnvelope(t, status, body); code != "internal" {
+		t.Fatalf("code %q: %s", code, body)
+	}
+}

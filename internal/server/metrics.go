@@ -16,30 +16,50 @@ import (
 type metrics struct {
 	vars *expvar.Map
 
-	requests       expvar.Int // HTTP requests accepted on /v1/synthesize
-	cacheHits      expvar.Int // served straight from the result cache
-	cacheMisses    expvar.Int // required a new solve
-	cacheShared    expvar.Int // joined an in-flight identical solve
-	cacheEntries   expvar.Int // current cache entry count
-	cacheBytes     expvar.Int // current cache body bytes
-	inflight       expvar.Int // solves currently running or queued
-	solves         expvar.Int // completed SynthesizeContext calls
-	solveErrors    expvar.Int // solves that returned an error
-	badRequests    expvar.Int // 4xx responses
-	placements     expvar.Int // solves that produced a defect-aware placement
-	repairAttempts expvar.Int // cumulative verified-repair loop attempts
-	unplaceable    expvar.Int // solves rejected with a typed Unplaceable
-	partitioned    expvar.Int // solves that returned a multi-tile plan
-	tiles          expvar.Int // cumulative tiles across partitioned solves
-	solveMillis    expvar.Float
-	parseMillis    expvar.Float
-	engineMillis   *expvar.Map // per-engine cumulative wall clock (portfolio)
+	requests         expvar.Int // HTTP requests accepted on /v1/synthesize + /v1/jobs
+	cacheHits        expvar.Int // served straight from the in-memory result cache
+	cacheDiskHits    expvar.Int // served from the persistent store tier
+	cacheMisses      expvar.Int // required a new solve
+	cacheShared      expvar.Int // joined an in-flight identical solve
+	cacheEntries     expvar.Int // current in-memory cache entry count
+	cacheBytes       expvar.Int // current in-memory cache body bytes
+	storeEntries     expvar.Int // persistent store entries (gauge)
+	storeBytes       expvar.Int // persistent store bytes (gauge)
+	storeQuarantined expvar.Int // entries quarantined as corrupt (gauge)
+	storeErrors      expvar.Int // store I/O failures (reads, writes, job records)
+	jobsSubmitted    expvar.Int // jobs accepted on POST /v1/jobs
+	jobsActive       expvar.Int // jobs currently queued or running
+	jobsDone         expvar.Int // jobs that reached done
+	jobsFailed       expvar.Int // jobs that reached failed (incl. canceled)
+	jobsEvicted      expvar.Int // terminal jobs evicted to bound the table
+	inflight         expvar.Int // solves currently running or queued
+	solves           expvar.Int // completed SynthesizeContext calls
+	solveErrors      expvar.Int // solves that returned an error
+	badRequests      expvar.Int // 4xx responses
+	placements       expvar.Int // solves that produced a defect-aware placement
+	repairAttempts   expvar.Int // cumulative verified-repair loop attempts
+	unplaceable      expvar.Int // solves rejected with a typed Unplaceable
+	partitioned      expvar.Int // solves that returned a multi-tile plan
+	tiles            expvar.Int // cumulative tiles across partitioned solves
+	solveMillis      expvar.Float
+	parseMillis      expvar.Float
+	engineMillis     *expvar.Map // per-engine cumulative wall clock (portfolio)
 }
 
 func newMetrics() *metrics {
 	m := &metrics{vars: new(expvar.Map).Init(), engineMillis: new(expvar.Map).Init()}
 	m.vars.Set("requests_total", &m.requests)
 	m.vars.Set("cache_hits_total", &m.cacheHits)
+	m.vars.Set("cache_disk_hits_total", &m.cacheDiskHits)
+	m.vars.Set("store_entries", &m.storeEntries)
+	m.vars.Set("store_bytes", &m.storeBytes)
+	m.vars.Set("store_quarantined", &m.storeQuarantined)
+	m.vars.Set("store_errors_total", &m.storeErrors)
+	m.vars.Set("jobs_submitted_total", &m.jobsSubmitted)
+	m.vars.Set("jobs_active", &m.jobsActive)
+	m.vars.Set("jobs_done_total", &m.jobsDone)
+	m.vars.Set("jobs_failed_total", &m.jobsFailed)
+	m.vars.Set("jobs_evicted_total", &m.jobsEvicted)
 	m.vars.Set("cache_misses_total", &m.cacheMisses)
 	m.vars.Set("cache_shared_total", &m.cacheShared)
 	m.vars.Set("cache_entries", &m.cacheEntries)

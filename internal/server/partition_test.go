@@ -19,18 +19,24 @@ func TestSynthesizePartitionedEndToEnd(t *testing.T) {
 	if status != http.StatusUnprocessableEntity {
 		t.Fatalf("capped request without partition: status %d, body %s", status, body)
 	}
-	var er errorResponse
+	var er struct {
+		Error struct {
+			Code       string           `json:"code"`
+			Message    string           `json:"message"`
+			Infeasible infeasibleDetail `json:"detail"`
+		} `json:"error"`
+	}
 	if err := json.Unmarshal(body, &er); err != nil {
 		t.Fatal(err)
 	}
-	if er.Infeasible == nil {
-		t.Fatalf("422 body lacks the structured infeasibility detail: %s", body)
+	if er.Error.Code != "infeasible" || er.Error.Message == "" {
+		t.Fatalf("422 envelope code %q message %q: %s", er.Error.Code, er.Error.Message, body)
 	}
-	if er.Infeasible.MaxRows != 32 || er.Infeasible.MaxCols != 32 {
-		t.Fatalf("detail caps %dx%d, want 32x32", er.Infeasible.MaxRows, er.Infeasible.MaxCols)
+	if er.Error.Infeasible.MaxRows != 32 || er.Error.Infeasible.MaxCols != 32 {
+		t.Fatalf("detail caps %dx%d, want 32x32", er.Error.Infeasible.MaxRows, er.Error.Infeasible.MaxCols)
 	}
-	if er.Infeasible.SemiperimeterLB <= 64 || er.Infeasible.Nodes <= 0 {
-		t.Fatalf("detail does not explain the refusal: %+v", er.Infeasible)
+	if er.Error.Infeasible.SemiperimeterLB <= 64 || er.Error.Infeasible.Nodes <= 0 {
+		t.Fatalf("detail does not explain the refusal: %+v", er.Error.Infeasible)
 	}
 
 	preq := `{"benchmark": "ctrl", "options": {"max_rows": 32, "max_cols": 32, "partition": true, "time_limit_ms": 20000}}`

@@ -4,24 +4,35 @@
 // context-cancellable core pipeline on a bounded worker pool, and serves
 // repeated requests from a content-addressed result cache.
 //
-// Three mechanisms amortize solver work across traffic, in order:
+// Four mechanisms amortize solver work across traffic, in order:
 //
 //  1. Content addressing: requests are keyed by
 //     logic.Network.Fingerprint() x core.Options.Key(), so identical
 //     (circuit, options) pairs — regardless of gate numbering, input
 //     format or how defaults were spelled — share one cache slot.
-//  2. An LRU result cache stores the exact marshaled response bodies;
-//     hits are byte-identical to the miss that populated them and skip
-//     the solver entirely.
-//  3. Singleflight deduplication: concurrent identical requests join one
+//  2. An in-memory LRU result cache stores the exact marshaled response
+//     bodies; hits are byte-identical to the miss that populated them and
+//     skip the solver entirely.
+//  3. A persistent disk tier (internal/store) under the memory cache, so
+//     results survive restarts and fleet members sharing a directory
+//     share work; disk hits are promoted back into memory and reported
+//     as X-Compactd-Cache: disk.
+//  4. Singleflight deduplication: concurrent identical requests join one
 //     in-flight solve instead of queuing duplicates behind it.
 //
-// Solves run detached from individual request contexts (a client that
-// disconnects does not cancel work others are waiting on); the per-request
-// budget is enforced through core.Options.TimeLimit, whose expiry degrades
-// to the anytime best-so-far result rather than an error. Observability:
-// /debug/vars serves request/cache/solver counters (including per-engine
-// portfolio latencies) and /debug/pprof the standard profiles.
+// Large solves that outlive a request budget run through the async job
+// API (POST /v1/jobs, see jobs.go): submission returns immediately, the
+// solve proceeds on the same worker pool with live progress, and the
+// completed result lands in both cache tiers.
+//
+// Synchronous solves run detached from individual request contexts (a
+// client that disconnects does not cancel work others are waiting on);
+// the per-request budget is enforced through core.Options.TimeLimit,
+// whose expiry degrades to the anytime best-so-far result rather than an
+// error. Every non-2xx response on the /v1/* surface is the typed error
+// envelope defined in wire.go. Observability: /debug/vars serves
+// request/cache/store/job/solver counters (including per-engine portfolio
+// latencies) and /debug/pprof the standard profiles.
 package server
 
 import (
@@ -33,6 +44,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +54,7 @@ import (
 	"compact/internal/labeling"
 	"compact/internal/logic"
 	"compact/internal/parse"
+	"compact/internal/store"
 	"compact/internal/xbar"
 )
 
@@ -50,14 +63,26 @@ import (
 // stand-ins.
 type SynthFunc func(ctx context.Context, nw *logic.Network, opts core.Options) (*core.Result, error)
 
-// Config tunes a Server. The zero value gives production defaults.
+// Config tunes a Server. The zero value gives production defaults
+// (memory-only: no store directory, so neither results nor job records
+// survive a restart).
 type Config struct {
 	// Workers bounds concurrent solves (default: GOMAXPROCS).
 	Workers int
-	// CacheEntries / CacheBytes bound the result cache (defaults: 512
-	// entries, 256 MiB of response bodies).
+	// CacheEntries / CacheBytes bound the in-memory result cache
+	// (defaults: 512 entries, 256 MiB of response bodies).
 	CacheEntries int
 	CacheBytes   int64
+	// StoreDir enables the persistent disk tier: results (and job
+	// records) are written under this directory and survive restarts.
+	// Empty disables the tier. StoreMaxBytes bounds the result files
+	// (default 1 GiB); LRU entries are evicted past it.
+	StoreDir      string
+	StoreMaxBytes int64
+	// MaxJobs bounds the async job table, counting live and terminal
+	// jobs; submissions past it evict the oldest terminal job or are
+	// refused with 429 overloaded (default 256).
+	MaxJobs int
 	// DefaultTimeLimit is the per-request solve budget applied when the
 	// request specifies none (default 30s); MaxTimeLimit clamps what a
 	// request may ask for (default 5m). Both feed core.Options.TimeLimit,
@@ -80,6 +105,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 256 << 20
+	}
+	if c.StoreMaxBytes <= 0 {
+		c.StoreMaxBytes = 1 << 30
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
 	}
 	if c.DefaultTimeLimit <= 0 {
 		c.DefaultTimeLimit = 30 * time.Second
@@ -105,8 +136,9 @@ type Server struct {
 	cfg     Config
 	base    context.Context
 	metrics *metrics
-	cache   *resultCache
+	cache   *tieredCache
 	flights *flightGroup
+	jobs    *jobTable
 	sem     chan struct{} // worker-pool slots
 	mux     *http.ServeMux
 	start   time.Time
@@ -115,21 +147,42 @@ type Server struct {
 
 // New builds a Server. base is the server's lifetime: canceling it fails
 // new and queued solves with 503 (in-flight HTTP exchanges are the
-// embedding http.Server's to drain; pair this with Shutdown).
-func New(base context.Context, cfg Config) *Server {
+// embedding http.Server's to drain; pair this with Shutdown). New fails
+// only when cfg.StoreDir is set but cannot be opened; job records from a
+// previous run under the same directory are recovered (interrupted jobs
+// resurface as failed with the "interrupted" code, completed ones keep
+// serving their stored results).
+func New(base context.Context, cfg Config) (*Server, error) {
 	if base == nil {
 		base = context.Background()
 	}
 	cfg = cfg.withDefaults()
+	m := newMetrics()
+	var disk *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		disk, err = store.Open(cfg.StoreDir, cfg.StoreMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening store: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		base:    base,
-		metrics: newMetrics(),
-		cache:   newResultCache(cfg.CacheEntries, cfg.CacheBytes),
+		metrics: m,
+		cache:   newTieredCache(newResultCache(cfg.CacheEntries, cfg.CacheBytes), disk, m),
 		flights: newFlightGroup(),
 		sem:     make(chan struct{}, cfg.Workers),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+	}
+	jobs, err := newJobTable(cfg.MaxJobs, cfg.StoreDir, m)
+	if err != nil {
+		return nil, fmt.Errorf("server: recovering job table: %w", err)
+	}
+	s.jobs = jobs
+	if disk != nil {
+		s.cache.syncDiskStats()
 	}
 	for _, g := range bench.All() {
 		s.benches = append(s.benches, benchmarkInfo{
@@ -141,6 +194,10 @@ func New(base context.Context, cfg Config) *Server {
 		})
 	}
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/vars", s.metrics.handleVars)
@@ -149,60 +206,128 @@ func New(base context.Context, cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return s
+	return s, nil
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler. Responses the mux generates
+// itself on the /v1/* surface (404 for unknown routes, 405 for wrong
+// methods) are rewritten into the error envelope, so every non-2xx body a
+// /v1 client can observe is the typed schema.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			w = &envelopeWriter{ResponseWriter: w}
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// envelopeWriter rewrites the mux's own plain-text 404/405 refusals into
+// the error envelope. Handler-written responses (which set a JSON
+// content type before WriteHeader) pass through untouched.
+type envelopeWriter struct {
+	http.ResponseWriter
+	suppress bool
+}
+
+func (e *envelopeWriter) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		strings.HasPrefix(e.Header().Get("Content-Type"), "text/plain") {
+		code := codeNotFound
+		if status == http.StatusMethodNotAllowed {
+			code = codeMethodNotAllowed
+		}
+		body, err := json.Marshal(errorEnvelope{Error: wireError{
+			Code:    code,
+			Message: http.StatusText(status),
+		}})
+		if err == nil {
+			e.suppress = true
+			e.Header().Set("Content-Type", "application/json; charset=utf-8")
+			e.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			e.ResponseWriter.WriteHeader(status)
+			_, _ = e.ResponseWriter.Write(body)
+			return
+		}
+	}
+	e.ResponseWriter.WriteHeader(status)
+}
+
+func (e *envelopeWriter) Write(b []byte) (int, error) {
+	if e.suppress {
+		return len(b), nil // the plain-text body the mux wanted to send
+	}
+	return e.ResponseWriter.Write(b)
+}
 
 // Metrics returns the server's expvar map (for embedding into a global
 // registry when desired; it is not globally registered by default).
 func (s *Server) Metrics() *expvar.Map { return s.metrics.vars }
 
-// handleSynthesize is POST /v1/synthesize.
-func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
-	s.metrics.requests.Add(1)
-	if mode, ok := faultinject.Mode(faultinject.StageServer); ok {
-		// Chaos-drill admission probe: "unavailable" degrades to the same
-		// 503 a shutting-down server sends; generic modes become 500s.
-		if mode == "unavailable" {
-			writeError(w, http.StatusServiceUnavailable, "service unavailable (injected)")
-			return
-		}
-		if err := faultinject.Err(faultinject.StageServer); err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
+// admit runs the fault-injection admission probe shared by the solve
+// routes; it reports whether the request may proceed.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	mode, ok := faultinject.Mode(faultinject.StageServer)
+	if !ok {
+		return true
 	}
+	// Chaos-drill admission probe: "unavailable" degrades to the same 503
+	// a shutting-down server sends; generic modes become 500s.
+	if mode == "unavailable" {
+		writeErrorCode(w, codeUnavailable, nil, "service unavailable (injected)")
+		return false
+	}
+	if err := faultinject.Err(faultinject.StageServer); err != nil {
+		writeErrorCode(w, codeInternal, nil, "%v", err)
+		return false
+	}
+	return true
+}
+
+// decodeSynthesizeRequest parses and resolves a synthesize/job request
+// body into its network, canonical options and cache key, writing the
+// envelope itself on failure (the returned bool reports success).
+func (s *Server) decodeSynthesizeRequest(w http.ResponseWriter, r *http.Request) (*logic.Network, core.Options, string, bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields() // wire format v1 is strict: typos are 400s
+	dec.DisallowUnknownFields() // the wire format is strict: typos are 400s
 	var req synthesizeRequest
 	if err := dec.Decode(&req); err != nil {
-		s.clientError(w, http.StatusBadRequest, "malformed request: %v", err)
-		return
+		s.clientError(w, codeInvalidRequest, nil, "malformed request: %v", err)
+		return nil, core.Options{}, "", false
 	}
-
-	nw, status, err := s.resolveNetwork(&req)
+	nw, code, err := s.resolveNetwork(&req)
 	if err != nil {
-		s.clientError(w, status, "%v", err)
-		return
+		s.clientError(w, code, nil, "%v", err)
+		return nil, core.Options{}, "", false
 	}
 	opts, err := req.Options.toCore(s.cfg.DefaultTimeLimit, s.cfg.MaxTimeLimit)
 	if err != nil {
-		s.clientError(w, http.StatusBadRequest, "invalid options: %v", err)
+		s.clientError(w, codeInvalidOptions, nil, "invalid options: %v", err)
+		return nil, core.Options{}, "", false
+	}
+	return nw, opts, cacheKey(nw, opts), true
+}
+
+// handleSynthesize is POST /v1/synthesize.
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	if !s.admit(w) {
+		return
+	}
+	nw, opts, key, ok := s.decodeSynthesizeRequest(w, r)
+	if !ok {
 		return
 	}
 
-	key := cacheKey(nw, opts)
-	if body, ok := s.cache.get(key); ok {
-		s.metrics.cacheHits.Add(1)
-		s.writeResult(w, "hit", body)
+	if body, disposition, ok, _ := s.cache.get(key); ok {
+		s.countCacheHit(disposition)
+		s.writeResult(w, disposition, body)
 		return
 	}
 
 	fl, leader := s.flights.do(key, func() ([]byte, error) {
-		return s.solve(key, nw, opts)
+		return s.solve(s.base, key, nw, opts)
 	})
 	if leader {
 		s.metrics.cacheMisses.Add(1)
@@ -217,79 +342,131 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			disposition = "shared"
 		}
 		s.writeResult(w, disposition, body)
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The waiter's request context ended; the solve itself continues
-		// for any remaining waiters and the cache.
-		writeError(w, http.StatusServiceUnavailable, "request abandoned: %v", err)
-	case errors.Is(err, errShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-	case errors.Is(err, labeling.ErrInfeasible):
-		s.metrics.badRequests.Add(1)
-		resp := errorResponse{Error: fmt.Sprintf("infeasible: %v", err)}
-		// The typed cap-infeasibility carries the quantities that explain
-		// the refusal; surface them structurally so clients can size a
-		// retry (or switch to "partition": true) without parsing prose.
-		var ie *core.InfeasibleError
-		if errors.As(err, &ie) {
-			resp.Infeasible = &infeasibleDetail{
-				Nodes:           ie.Nodes,
-				SemiperimeterLB: ie.Nodes + ie.OCTLowerBound,
-				MaxRows:         ie.MaxRows,
-				MaxCols:         ie.MaxCols,
-			}
-		}
-		writeJSON(w, http.StatusUnprocessableEntity, resp)
-	case errors.As(err, new(*xbar.Unplaceable)):
-		// The circuit synthesized fine but cannot be placed on the
-		// requested defective array: a property of the request, not a
-		// server fault, so it maps to 422 like labeling infeasibility.
-		s.clientError(w, http.StatusUnprocessableEntity, "unplaceable: %v", err)
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil,
+		errors.Is(err, context.DeadlineExceeded) && r.Context().Err() != nil:
+		// The waiter's own request context ended; the solve itself
+		// continues for any remaining waiters and the cache.
+		writeErrorCode(w, codeRequestAbandoned, nil, "request abandoned: %v", err)
 	default:
-		writeError(w, http.StatusInternalServerError, "synthesis failed: %v", err)
+		code, detail := classifySolveError(err)
+		if code == codeInfeasible || code == codeUnplaceable {
+			s.metrics.badRequests.Add(1)
+		}
+		writeErrorCode(w, code, detail, "%s", solveErrorMessage(code, err))
+	}
+}
+
+// countCacheHit bumps the counter matching a cache disposition.
+func (s *Server) countCacheHit(disposition string) {
+	if disposition == "disk" {
+		s.metrics.cacheDiskHits.Add(1)
+	} else {
+		s.metrics.cacheHits.Add(1)
+	}
+}
+
+// classifySolveError maps a solve failure to its envelope code and
+// optional detail. The order matters: typed verdicts (infeasible,
+// unplaceable) outrank the generic context sentinels they may wrap.
+func classifySolveError(err error) (code string, detail any) {
+	var ie *core.InfeasibleError
+	var up *xbar.Unplaceable
+	switch {
+	case errors.Is(err, errShuttingDown):
+		return codeShuttingDown, nil
+	case errors.As(err, &ie):
+		return codeInfeasible, &infeasibleDetail{
+			Nodes:           ie.Nodes,
+			SemiperimeterLB: ie.Nodes + ie.OCTLowerBound,
+			MaxRows:         ie.MaxRows,
+			MaxCols:         ie.MaxCols,
+		}
+	case errors.Is(err, labeling.ErrInfeasible):
+		return codeInfeasible, nil
+	case errors.As(err, &up):
+		return codeUnplaceable, &unplaceableDetail{
+			Stage:      up.Stage,
+			LogicalRow: up.LogicalRow,
+			Candidates: up.Candidates,
+			Proven:     up.Proven,
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		// The solve budget expired before even an anytime incumbent
+		// existed (e.g. BDD construction or partitioning ran out the whole
+		// clock): a timeout, not a server fault.
+		return codeBudgetExceeded, nil
+	case errors.Is(err, context.Canceled):
+		// The underlying shared solve was canceled (a job DELETE); the
+		// request can be retried.
+		return codeCanceled, nil
+	default:
+		return codeInternal, nil
+	}
+}
+
+// solveErrorMessage renders the human-readable message for a classified
+// solve failure.
+func solveErrorMessage(code string, err error) string {
+	switch code {
+	case codeInfeasible:
+		return fmt.Sprintf("infeasible: %v", err)
+	case codeUnplaceable:
+		return fmt.Sprintf("unplaceable: %v", err)
+	case codeBudgetExceeded:
+		return fmt.Sprintf("solve budget exhausted before any result: %v", err)
+	case codeInternal:
+		return fmt.Sprintf("synthesis failed: %v", err)
+	default:
+		return err.Error()
 	}
 }
 
 // resolveNetwork turns the request into a logic.Network, reporting the
-// HTTP status to use on error.
-func (s *Server) resolveNetwork(req *synthesizeRequest) (*logic.Network, int, error) {
+// envelope code to use on error.
+func (s *Server) resolveNetwork(req *synthesizeRequest) (*logic.Network, string, error) {
 	hasCircuit := req.Circuit != ""
 	hasBench := req.Benchmark != ""
 	switch {
 	case hasCircuit && hasBench:
-		return nil, http.StatusBadRequest, errors.New("request sets both circuit and benchmark")
+		return nil, codeInvalidRequest, errors.New("request sets both circuit and benchmark")
 	case hasBench:
 		g, ok := bench.ByName(req.Benchmark)
 		if !ok {
-			return nil, http.StatusNotFound, fmt.Errorf("unknown benchmark %q (see /v1/benchmarks)", req.Benchmark)
+			return nil, codeUnknownBenchmark, fmt.Errorf("unknown benchmark %q (see /v1/benchmarks)", req.Benchmark)
 		}
-		return g.Build(), 0, nil
+		return g.Build(), "", nil
 	case hasCircuit:
 		format, err := parse.FormatFromString(req.Format)
 		if err != nil {
-			return nil, http.StatusBadRequest, err
+			return nil, codeInvalidRequest, err
 		}
 		t0 := time.Now()
 		nw, err := parse.ParseNamed(strings.NewReader(req.Circuit), format, req.Name)
 		s.metrics.parseMillis.Add(float64(time.Since(t0)) / float64(time.Millisecond))
 		if err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("parsing circuit: %w", err)
+			return nil, codeParseFailed, fmt.Errorf("parsing circuit: %w", err)
 		}
-		return nw, 0, nil
+		return nw, "", nil
 	default:
-		return nil, http.StatusBadRequest, errors.New("request needs a circuit or a benchmark name")
+		return nil, codeInvalidRequest, errors.New("request needs a circuit or a benchmark name")
 	}
 }
 
 // solve runs one deduplicated synthesis: acquire a worker slot, run the
-// pipeline under the server's lifetime context (the per-request budget
-// travels inside opts.TimeLimit), marshal the response and cache it.
-func (s *Server) solve(key string, nw *logic.Network, opts core.Options) ([]byte, error) {
+// pipeline under ctx (the server's lifetime for synchronous requests, a
+// job's cancelable context for async ones; the per-request budget travels
+// inside opts.TimeLimit), marshal the response and cache it through both
+// tiers.
+func (s *Server) solve(ctx context.Context, key string, nw *logic.Network, opts core.Options) ([]byte, error) {
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
-	case <-s.base.Done():
-		return nil, errShuttingDown
+	case <-ctx.Done():
+		if s.base.Err() != nil {
+			return nil, errShuttingDown
+		}
+		return nil, ctx.Err()
 	}
 	defer func() { <-s.sem }()
 	if s.base.Err() != nil {
@@ -297,7 +474,7 @@ func (s *Server) solve(key string, nw *logic.Network, opts core.Options) ([]byte
 	}
 
 	t0 := time.Now()
-	res, err := s.cfg.Synth(s.base, nw, opts)
+	res, err := s.cfg.Synth(ctx, nw, opts)
 	elapsed := time.Since(t0)
 	s.metrics.solves.Add(1)
 	s.metrics.solveMillis.Add(float64(elapsed) / float64(time.Millisecond))
@@ -335,9 +512,6 @@ func (s *Server) solve(key string, nw *logic.Network, opts core.Options) ([]byte
 		return nil, fmt.Errorf("encoding result: %w", err)
 	}
 	s.cache.put(key, body)
-	entries, bytes := s.cache.stats()
-	s.metrics.cacheEntries.Set(int64(entries))
-	s.metrics.cacheBytes.Set(bytes)
 	return body, nil
 }
 
@@ -349,9 +523,10 @@ func (s *Server) writeResult(w http.ResponseWriter, disposition string, body []b
 	_, _ = w.Write(body)
 }
 
-func (s *Server) clientError(w http.ResponseWriter, status int, format string, args ...any) {
+// clientError counts and writes a 4xx envelope.
+func (s *Server) clientError(w http.ResponseWriter, code string, detail any, format string, args ...any) {
 	s.metrics.badRequests.Add(1)
-	writeError(w, status, format, args...)
+	writeErrorCode(w, code, detail, format, args...)
 }
 
 // handleBenchmarks is GET /v1/benchmarks.

@@ -34,7 +34,19 @@ func newTestServer(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
-	ts := httptest.NewServer(New(ctx, cfg).Handler())
+	srv, err := New(ctx, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newHTTPServer mounts an already-built Server on a test listener.
+func newHTTPServer(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -276,10 +288,13 @@ func TestBadRequests(t *testing.T) {
 				t.Fatalf("status %d, want %d (body %s)", status, tc.status, body)
 			}
 			var e struct {
-				Error string `json:"error"`
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
 			}
-			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-				t.Fatalf("error body not {\"error\": ...}: %s", body)
+			if err := json.Unmarshal(body, &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+				t.Fatalf("error body not the envelope: %s", body)
 			}
 		})
 	}
@@ -338,7 +353,11 @@ func TestBenchmarksEndpoint(t *testing.T) {
 func TestHealthzAndShutdown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	ts := httptest.NewServer(New(ctx, Config{}).Handler())
+	srv, err := New(ctx, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/healthz")

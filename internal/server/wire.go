@@ -11,9 +11,9 @@ import (
 	"compact/internal/wirelimit"
 )
 
-// The /v1/synthesize wire format (version 1)
+// The compactd wire format (version 2)
 //
-// Request:
+// Synchronous synthesis — POST /v1/synthesize:
 //
 //	{
 //	  "circuit":   "<BLIF, PLA or structural Verilog source>",
@@ -32,7 +32,7 @@ import (
 //	    "max_rows":      0,
 //	    "max_cols":      0,
 //	    "partition":     false,        // fall back to a multi-tile cascade
-
+//
 //	    "defects":       {"v":1,"rows":8,"cols":8,"cells":[{"r":1,"c":2,"k":"off"}]},
 //	    "defect_rate":   0.05,         // generate a seeded map instead
 //	    "defect_on_fraction": 0.5,
@@ -49,16 +49,98 @@ import (
 //
 //	{"key": "<cache key>", "result": {core.ResultView}}
 //
-// plus the X-Compactd-Cache header: "hit" (served from cache), "miss"
-// (this request ran the solve) or "shared" (joined a concurrent identical
-// solve). Hit bodies are byte-identical to the miss that cached them.
+// plus the X-Compactd-Cache header: "hit" (served from the in-memory
+// cache), "disk" (served from the persistent store tier, surviving
+// restarts), "miss" (this request ran the solve) or "shared" (joined a
+// concurrent identical solve). Hit and disk bodies are byte-identical to
+// the miss that cached them.
 //
-// Errors are {"error": "..."} with 4xx for client mistakes (malformed
-// JSON, unknown formats/benchmarks, invalid options, unparseable
-// circuits), 404 for unknown benchmarks, 503 when shutting down and 500
-// for internal synthesis failures.
+// Asynchronous synthesis — the /v1/jobs lifecycle (see jobs.go and
+// DESIGN.md §13): POST /v1/jobs takes the same request body and returns
+// 202 with a job document; GET /v1/jobs/{id} polls it; GET
+// /v1/jobs/{id}/result serves the completed body byte-identically to the
+// synchronous route; DELETE /v1/jobs/{id} cancels.
+//
+// Errors — every non-2xx body on every /v1/* route is the versioned
+// envelope
+//
+//	{"error": {"code": "<stable snake_case>", "message": "...", "detail": {...}}}
+//
+// where code is drawn from the errorStatus table below (the single
+// source of truth pairing each code with its canonical HTTP status),
+// message is human-readable prose that may change between releases, and
+// detail is an optional code-specific structure (infeasibleDetail for
+// "infeasible", unplaceableDetail for "unplaceable"). Clients program
+// against code and detail; message is for humans.
 
-// synthesizeRequest is the POST /v1/synthesize body.
+// Error codes. Stable: these strings are the machine-readable API
+// contract; renaming one is a breaking change.
+const (
+	codeInvalidRequest   = "invalid_request"   // malformed body, bad field combination
+	codeInvalidOptions   = "invalid_options"   // options failed validation or caps
+	codeParseFailed      = "parse_failed"      // circuit source did not parse
+	codeUnknownBenchmark = "unknown_benchmark" // benchmark name not in the registry
+	codeInfeasible       = "infeasible"        // dimension caps unsatisfiable (detail: infeasibleDetail)
+	codeUnplaceable      = "unplaceable"       // defect map admits no placement (detail: unplaceableDetail)
+	codeBudgetExceeded   = "budget_exceeded"   // solve budget expired with no result at all
+	codeOverloaded       = "overloaded"        // job table full of live jobs
+	codeShuttingDown     = "shutting_down"     // server draining; retry elsewhere
+	codeRequestAbandoned = "request_abandoned" // the requester's own context ended mid-wait
+	codeCanceled         = "canceled"          // the underlying solve was canceled (job DELETE)
+	codeInterrupted      = "interrupted"       // job did not survive a server restart
+	codeStoreUnavailable = "store_unavailable" // persistent store I/O failure
+	codeJobNotFound      = "job_not_found"     // no such job id
+	codeJobNotDone       = "job_not_done"      // result requested before the job finished
+	codeResultEvicted    = "result_evicted"    // job finished but its body aged out of both cache tiers
+	codeNotFound         = "not_found"         // no such /v1/* route
+	codeMethodNotAllowed = "method_not_allowed"
+	codeUnavailable      = "unavailable" // fault-injection admission probe
+	codeInternal         = "internal"    // unclassified server-side failure
+)
+
+// errorStatus is the single table pairing every error code with its
+// canonical HTTP status. writeErrorCode consults it; the envelope test
+// walks it. Codes that only ever appear embedded in a job document
+// (canceled, interrupted) still carry the status GET /v1/jobs/{id}/result
+// replays them with.
+var errorStatus = map[string]int{
+	codeInvalidRequest:   http.StatusBadRequest,
+	codeInvalidOptions:   http.StatusBadRequest,
+	codeParseFailed:      http.StatusBadRequest,
+	codeUnknownBenchmark: http.StatusNotFound,
+	codeInfeasible:       http.StatusUnprocessableEntity,
+	codeUnplaceable:      http.StatusUnprocessableEntity,
+	codeBudgetExceeded:   http.StatusGatewayTimeout,
+	codeOverloaded:       http.StatusTooManyRequests,
+	codeShuttingDown:     http.StatusServiceUnavailable,
+	codeRequestAbandoned: http.StatusServiceUnavailable,
+	codeCanceled:         http.StatusServiceUnavailable,
+	codeInterrupted:      http.StatusServiceUnavailable,
+	codeStoreUnavailable: http.StatusServiceUnavailable,
+	codeJobNotFound:      http.StatusNotFound,
+	codeJobNotDone:       http.StatusConflict,
+	codeResultEvicted:    http.StatusGone,
+	codeNotFound:         http.StatusNotFound,
+	codeMethodNotAllowed: http.StatusMethodNotAllowed,
+	codeUnavailable:      http.StatusServiceUnavailable,
+	codeInternal:         http.StatusInternalServerError,
+}
+
+// wireError is the typed error every non-2xx response carries (and the
+// error embedded in failed job documents). Message is always non-empty —
+// that is the compat contract for clients that only surface text.
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Detail  any    `json:"detail,omitempty"`
+}
+
+// errorEnvelope is every non-2xx response body.
+type errorEnvelope struct {
+	Error wireError `json:"error"`
+}
+
+// synthesizeRequest is the POST /v1/synthesize (and POST /v1/jobs) body.
 type synthesizeRequest struct {
 	Circuit   string       `json:"circuit,omitempty"`
 	Benchmark string       `json:"benchmark,omitempty"`
@@ -163,7 +245,8 @@ func (o *wireOptions) toCore(defaultLimit, maxLimit time.Duration) (core.Options
 	return opts.Canonical(), nil
 }
 
-// synthesizeResponse is the 200 body of /v1/synthesize.
+// synthesizeResponse is the 200 body of /v1/synthesize (and of a
+// completed job's /result route).
 type synthesizeResponse struct {
 	Key    string          `json:"key"`
 	Result core.ResultView `json:"result"`
@@ -178,20 +261,12 @@ type benchmarkInfo struct {
 	Description string `json:"description,omitempty"`
 }
 
-// errorResponse is every non-200 body. Infeasible is attached to 422s
-// caused by a dimension-cap infeasibility and explains the refusal
-// quantitatively (see core.InfeasibleError).
-type errorResponse struct {
-	Error      string            `json:"error"`
-	Infeasible *infeasibleDetail `json:"infeasible,omitempty"`
-}
-
-// infeasibleDetail is the wire form of core.InfeasibleError: the BDD-graph
-// node count, the proven semiperimeter lower bound (nodes + odd-cycle
-// packing) and the caps the request could not meet. A client can read off
-// how far from feasible it was — and that max_rows + max_cols >=
-// semiperimeter_lb is necessary for any single-tile solve — or retry with
-// "partition": true.
+// infeasibleDetail is the "infeasible" code's detail: the wire form of
+// core.InfeasibleError — the BDD-graph node count, the proven
+// semiperimeter lower bound (nodes + odd-cycle packing) and the caps the
+// request could not meet. A client can read off how far from feasible it
+// was — and that max_rows + max_cols >= semiperimeter_lb is necessary for
+// any single-tile solve — or retry with "partition": true.
 type infeasibleDetail struct {
 	Nodes           int `json:"nodes"`
 	SemiperimeterLB int `json:"semiperimeter_lb"`
@@ -199,13 +274,25 @@ type infeasibleDetail struct {
 	MaxCols         int `json:"max_cols"`
 }
 
+// unplaceableDetail is the "unplaceable" code's detail: the wire form of
+// the typed *xbar.Unplaceable verdict. Proven distinguishes "search gave
+// up" from "provably impossible" — only the latter makes a retry with a
+// different seed pointless.
+type unplaceableDetail struct {
+	Stage      string `json:"stage"`
+	LogicalRow int    `json:"logical_row,omitempty"`
+	Candidates int    `json:"candidates,omitempty"`
+	Proven     bool   `json:"proven"`
+}
+
 // writeJSON encodes v as the response body with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
 		// Marshaling our own wire types cannot fail for valid values;
-		// degrade to a plain 500 rather than panicking mid-response.
-		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		// degrade to a plain envelope rather than panicking mid-response.
+		http.Error(w, `{"error":{"code":"internal","message":"response encoding failed"}}`,
+			http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -213,7 +300,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(data)
 }
 
-// writeError sends a JSON error body.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+// writeErrorCode sends the error envelope for code, with its canonical
+// status from the errorStatus table and an optional code-specific detail.
+func writeErrorCode(w http.ResponseWriter, code string, detail any, format string, args ...any) {
+	status, ok := errorStatus[code]
+	if !ok {
+		// A code missing from the table is a server bug; fail safe rather
+		// than panic, and make the slip visible in the body.
+		status, code = http.StatusInternalServerError, codeInternal
+	}
+	writeJSON(w, status, errorEnvelope{Error: wireError{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+		Detail:  detail,
+	}})
 }

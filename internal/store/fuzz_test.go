@@ -1,0 +1,45 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStoreEntry drives the on-disk entry decoder with arbitrary bytes.
+// Invariants: DecodeEntry never panics and never accepts an entry whose
+// re-encoding differs from the input (the format is canonical — one valid
+// encoding per (key, body) pair), and whatever it accepts round-trips
+// losslessly. Everything else must be rejected with ErrCorrupt, never a
+// panic or an oversized allocation. Pinned seeds live in
+// testdata/fuzz/FuzzStoreEntry.
+func FuzzStoreEntry(f *testing.F) {
+	if seed, err := EncodeEntry("fp|opts", []byte(`{"key":"fp|opts","result":{}}`)); err == nil {
+		f.Add(seed)
+	}
+	if seed, err := EncodeEntry("k", nil); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte("CSTE1\n"))
+	f.Add([]byte{})
+	f.Add([]byte("CSTE1\n\x00\x00\x00\x00\x01\x00k"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, body, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		if key == "" || len(key) > MaxKeyLen || len(body) > MaxBodyLen {
+			t.Fatalf("decoder accepted out-of-bounds entry: key %d bytes, body %d bytes", len(key), len(body))
+		}
+		re, eerr := EncodeEntry(key, body)
+		if eerr != nil {
+			t.Fatalf("accepted entry failed to re-encode: %v", eerr)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("format not canonical: re-encoding differs from accepted input")
+		}
+		k2, b2, derr := DecodeEntry(re)
+		if derr != nil || k2 != key || !bytes.Equal(b2, body) {
+			t.Fatalf("round trip unstable: %v", derr)
+		}
+	})
+}

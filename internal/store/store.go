@@ -1,0 +1,388 @@
+// Package store is compactd's disk tier: a content-addressed store of
+// marshaled result bodies that survives process restarts, layered under
+// the in-memory LRU in internal/server. Keys are the server's cache keys
+// ("fingerprint|optionskey"); bodies are the exact response bytes served
+// to clients, so a disk-tier hit is byte-identical to the solve that
+// populated it — across restarts, and across fleet members sharing a
+// directory.
+//
+// Durability contract:
+//
+//   - Writes are atomic: every entry is encoded into a temp file in the
+//     store directory and renamed into place, so a crash mid-write can
+//     leave a stray temp file but never a half-visible entry.
+//   - Opens are corruption-tolerant: entries that fail to decode (bad
+//     magic, truncated, checksum mismatch, digest/key disagreement) are
+//     quarantined — moved into a quarantine/ subdirectory for post-mortem
+//     rather than deleted — and the store opens with the survivors.
+//   - The store is size-bounded: inserting past MaxBytes evicts
+//     least-recently-used entries (recency is approximated by file mtime
+//     across restarts, exact within a process).
+//
+// The on-disk entry format is versioned and self-checking (see
+// EncodeEntry/DecodeEntry) and fuzzed by FuzzStoreEntry.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"compact/internal/wirelimit"
+)
+
+// Entry wire format v1:
+//
+//	magic   [6]byte  "CSTE1\n"
+//	crc     uint32   little-endian IEEE CRC of everything after this field
+//	keyLen  uvarint
+//	bodyLen uvarint
+//	key     [keyLen]byte
+//	body    [bodyLen]byte
+//
+// The lengths are wire-declared sizes and are bounds-checked against
+// MaxKeyLen / MaxBodyLen before any allocation; the encoded form must be
+// consumed exactly (trailing bytes are corruption).
+const (
+	entryMagic = "CSTE1\n"
+	// MaxKeyLen bounds the stored cache key. Server keys are two fixed
+	// hashes plus a separator (~130 bytes); 4 KiB leaves headroom for
+	// future key schemes without admitting absurd allocations.
+	MaxKeyLen = 4096
+	// MaxBodyLen bounds one stored body (1 GiB). The server additionally
+	// bounds bodies by its configured store size.
+	MaxBodyLen = 1 << 30
+)
+
+// ErrCorrupt reports an undecodable entry. All decode failures wrap it so
+// callers can distinguish corruption (quarantine, treat as miss) from I/O
+// errors (surface as store unavailability).
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+// EncodeEntry renders (key, body) in the v1 entry format.
+func EncodeEntry(key string, body []byte) ([]byte, error) {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return nil, fmt.Errorf("store: key length %d outside [1,%d]", len(key), MaxKeyLen)
+	}
+	if len(body) > MaxBodyLen {
+		return nil, fmt.Errorf("store: body length %d exceeds %d", len(body), MaxBodyLen)
+	}
+	var lens [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lens[:], uint64(len(key)))
+	n += binary.PutUvarint(lens[n:], uint64(len(body)))
+	buf := make([]byte, 0, len(entryMagic)+4+n+len(key)+len(body))
+	buf = append(buf, entryMagic...)
+	buf = append(buf, 0, 0, 0, 0) // crc placeholder
+	buf = append(buf, lens[:n]...)
+	buf = append(buf, key...)
+	buf = append(buf, body...)
+	binary.LittleEndian.PutUint32(buf[len(entryMagic):], crc32.ChecksumIEEE(buf[len(entryMagic)+4:]))
+	return buf, nil
+}
+
+// DecodeEntry parses a v1 entry, validating magic, checksum, declared
+// sizes (via wirelimit before allocation-sized use) and exact consumption.
+// All failures wrap ErrCorrupt.
+func DecodeEntry(data []byte) (key string, body []byte, err error) {
+	if len(data) < len(entryMagic)+4 || string(data[:len(entryMagic)]) != entryMagic {
+		return "", nil, fmt.Errorf("%w: bad magic or truncated header", ErrCorrupt)
+	}
+	crc := binary.LittleEndian.Uint32(data[len(entryMagic):])
+	payload := data[len(entryMagic)+4:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return "", nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	keyLen, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return "", nil, fmt.Errorf("%w: bad key length varint", ErrCorrupt)
+	}
+	payload = payload[n:]
+	bodyLen, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return "", nil, fmt.Errorf("%w: bad body length varint", ErrCorrupt)
+	}
+	payload = payload[n:]
+	if keyLen == 0 || keyLen > MaxKeyLen {
+		return "", nil, fmt.Errorf("%w: key length %d outside [1,%d]", ErrCorrupt, keyLen, MaxKeyLen)
+	}
+	if err := wirelimit.CheckCount("store entry body bytes", clampInt(bodyLen), MaxBodyLen); err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if uint64(len(payload)) != keyLen+bodyLen {
+		return "", nil, fmt.Errorf("%w: payload %d bytes, declared %d", ErrCorrupt, len(payload), keyLen+bodyLen)
+	}
+	key = string(payload[:keyLen])
+	body = make([]byte, bodyLen)
+	copy(body, payload[keyLen:])
+	return key, body, nil
+}
+
+// clampInt narrows a wire-declared uint64 for wirelimit without wrapping
+// negative: oversized values saturate and fail the cap check.
+func clampInt(v uint64) int {
+	if v > MaxBodyLen+1 {
+		return MaxBodyLen + 1
+	}
+	return int(v)
+}
+
+// Digest returns the filename-safe content address of a key.
+func Digest(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is a size-bounded, crash-safe directory of entries. Safe for
+// concurrent use within one process. Multiple processes may share a
+// directory serially (restart handoff); concurrent multi-process writers
+// are not coordinated beyond atomic-rename safety.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu          sync.Mutex
+	ll          *list.List // front = most recently used
+	items       map[string]*list.Element
+	bytes       int64
+	quarantined int
+	ioErrors    int64
+}
+
+type diskEntry struct {
+	digest string
+	size   int64
+}
+
+const (
+	entrySuffix   = ".cse"
+	tmpPrefix     = "tmp-"
+	quarantineDir = "quarantine"
+)
+
+// Open opens (creating if needed) the store rooted at dir, bounded to
+// maxBytes of entry files (0 = 1 GiB default). Undecodable entries are
+// quarantined, stray temp files from interrupted writes are removed, and
+// the survivors are indexed oldest-first so eviction preserves the most
+// recently written results.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 30
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	type scanned struct {
+		digest string
+		size   int64
+		mtime  time.Time
+	}
+	var found []scanned
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case de.IsDir():
+			continue
+		case strings.HasPrefix(name, tmpPrefix):
+			// A crash mid-write: the entry was never visible, drop the debris.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		case !strings.HasSuffix(name, entrySuffix):
+			continue
+		}
+		digest := strings.TrimSuffix(name, entrySuffix)
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			s.quarantine(path)
+			continue
+		}
+		key, _, derr := DecodeEntry(data)
+		if derr != nil || Digest(key) != digest {
+			s.quarantine(path)
+			continue
+		}
+		info, err := de.Info()
+		mtime := time.Time{}
+		if err == nil {
+			mtime = info.ModTime()
+		}
+		found = append(found, scanned{digest: digest, size: int64(len(data)), mtime: mtime})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime.Before(found[j].mtime) })
+	for _, f := range found { // oldest first, so the newest ends up at the front
+		el := s.ll.PushFront(&diskEntry{digest: f.digest, size: f.size})
+		s.items[f.digest] = el
+		s.bytes += f.size
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the stored body for key. ok reports a hit; err reports an
+// I/O failure (the entry may exist but could not be read — callers should
+// treat the store as unavailable, not the key as absent). Corrupt entries
+// are quarantined and reported as clean misses.
+func (s *Store) Get(key string) (body []byte, ok bool, err error) {
+	digest := Digest(key)
+	s.mu.Lock()
+	el, exists := s.items[digest]
+	if !exists {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	s.ll.MoveToFront(el)
+	s.mu.Unlock()
+
+	path := filepath.Join(s.dir, digest+entrySuffix)
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if errors.Is(rerr, os.ErrNotExist) {
+			// Concurrently evicted; a miss, not a fault.
+			s.drop(digest)
+			return nil, false, nil
+		}
+		s.mu.Lock()
+		s.ioErrors++
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("store: %w", rerr)
+	}
+	gotKey, body, derr := DecodeEntry(data)
+	if derr != nil || gotKey != key {
+		// Bit rot (or a digest collision, astronomically unlikely): keep the
+		// evidence, serve a miss so the caller re-solves and overwrites.
+		s.drop(digest)
+		s.quarantine(path)
+		return nil, false, nil
+	}
+	return body, true, nil
+}
+
+// Put atomically persists key's body, then evicts LRU entries as needed
+// to restore the byte bound. Bodies whose encoded entry exceeds the bound
+// are skipped without error (mirroring the in-memory cache's contract).
+func (s *Store) Put(key string, body []byte) error {
+	buf, err := EncodeEntry(key, body)
+	if err != nil {
+		return err
+	}
+	if int64(len(buf)) > s.maxBytes {
+		return nil
+	}
+	digest := Digest(key)
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		s.mu.Lock()
+		s.ioErrors++
+		s.mu.Unlock()
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, filepath.Join(s.dir, digest+entrySuffix))
+	}
+	if werr != nil {
+		_ = os.Remove(tmpName)
+		s.mu.Lock()
+		s.ioErrors++
+		s.mu.Unlock()
+		return fmt.Errorf("store: %w", werr)
+	}
+
+	s.mu.Lock()
+	if el, ok := s.items[digest]; ok {
+		ent := el.Value.(*diskEntry)
+		s.bytes += int64(len(buf)) - ent.size
+		ent.size = int64(len(buf))
+		s.ll.MoveToFront(el)
+	} else {
+		el := s.ll.PushFront(&diskEntry{digest: digest, size: int64(len(buf))})
+		s.items[digest] = el
+		s.bytes += int64(len(buf))
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// evictLocked deletes LRU entry files until the byte bound holds.
+func (s *Store) evictLocked() {
+	for s.bytes > s.maxBytes {
+		oldest := s.ll.Back()
+		if oldest == nil {
+			return
+		}
+		ent := oldest.Value.(*diskEntry)
+		s.ll.Remove(oldest)
+		delete(s.items, ent.digest)
+		s.bytes -= ent.size
+		_ = os.Remove(filepath.Join(s.dir, ent.digest+entrySuffix))
+	}
+}
+
+// drop removes digest from the index (the file is gone or quarantined).
+func (s *Store) drop(digest string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[digest]; ok {
+		s.bytes -= el.Value.(*diskEntry).size
+		s.ll.Remove(el)
+		delete(s.items, digest)
+	}
+}
+
+// quarantine moves an undecodable file into the quarantine subdirectory
+// (best-effort: on rename failure the file is left in place but never
+// indexed). The count is observable via Stats.
+func (s *Store) quarantine(path string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil {
+			s.mu.Lock()
+			s.quarantined++
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.mu.Lock()
+	s.quarantined++
+	s.ioErrors++
+	s.mu.Unlock()
+}
+
+// Stats reports the indexed entry count, their total encoded bytes, how
+// many files have been quarantined, and cumulative I/O errors.
+func (s *Store) Stats() (entries int, bytes int64, quarantined int, ioErrors int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len(), s.bytes, s.quarantined, s.ioErrors
+}

@@ -1,0 +1,250 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEntryRoundTrip(t *testing.T) {
+	cases := []struct {
+		key  string
+		body []byte
+	}{
+		{"fp|opts", []byte(`{"key":"fp|opts","result":{}}`)},
+		{"k", nil},
+		{strings.Repeat("x", MaxKeyLen), bytes.Repeat([]byte{0xff}, 4096)},
+	}
+	for _, tc := range cases {
+		buf, err := EncodeEntry(tc.key, tc.body)
+		if err != nil {
+			t.Fatalf("encode(%q): %v", tc.key, err)
+		}
+		key, body, err := DecodeEntry(buf)
+		if err != nil {
+			t.Fatalf("decode(%q): %v", tc.key, err)
+		}
+		if key != tc.key || !bytes.Equal(body, tc.body) {
+			t.Fatalf("round trip mismatch: key %q body %d bytes", key, len(body))
+		}
+	}
+}
+
+func TestEncodeRejectsOversizes(t *testing.T) {
+	if _, err := EncodeEntry("", nil); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := EncodeEntry(strings.Repeat("k", MaxKeyLen+1), nil); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	good, err := EncodeEntry("some|key", []byte("body bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string][]byte{
+		"empty":          {},
+		"bad magic":      append([]byte("XSTE1\n"), good[6:]...),
+		"truncated":      good[:len(good)-3],
+		"flipped body":   flip(good, len(good)-1),
+		"flipped header": flip(good, len(entryMagic)+5),
+		"trailing junk":  append(append([]byte{}, good...), 0xaa),
+	}
+	for name, data := range mutations {
+		if _, _, err := DecodeEntry(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// A forged declared body length with a recomputed checksum must still
+	// fail the exact-consumption check rather than over-allocate.
+	forged := append([]byte{}, good...)
+	forged[len(entryMagic)+4+1] = 0xff // body length varint now huge
+	if _, _, err := DecodeEntry(forged); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("forged length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func flip(data []byte, i int) []byte {
+	out := append([]byte{}, data...)
+	out[i] ^= 0x01
+	return out
+}
+
+func TestStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"result":"alpha"}`)
+	if err := s.Put("k1", body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("k1")
+	if err != nil || !ok || !bytes.Equal(got, body) {
+		t.Fatalf("same-process get: ok=%t err=%v body=%q", ok, err, got)
+	}
+
+	s2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = s2.Get("k1")
+	if err != nil || !ok || !bytes.Equal(got, body) {
+		t.Fatalf("reopened get: ok=%t err=%v body=%q", ok, err, got)
+	}
+	if _, ok, _ := s2.Get("nope"); ok {
+		t.Fatal("absent key reported as hit")
+	}
+}
+
+func TestStoreEvictsLRUBySize(t *testing.T) {
+	dir := t.TempDir()
+	// Each entry is ~64 bytes of body plus ~50 of framing; bound to ~3.
+	s, err := Open(dir, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := s.Put(fmt.Sprintf("key%d", i), bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, total, _, _ := s.Stats()
+	if total > 400 || entries >= 6 {
+		t.Fatalf("eviction did not bound the store: %d entries, %d bytes", entries, total)
+	}
+	// The most recent insert must have survived; the first must be gone.
+	if _, ok, _ := s.Get("key5"); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok, _ := s.Get("key0"); ok {
+		t.Fatal("oldest entry survived a full wrap of the byte bound")
+	}
+	// On-disk file count matches the index.
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+entrySuffix))
+	if len(files) != entries {
+		t.Fatalf("%d files on disk, index says %d", len(files), entries)
+	}
+}
+
+// TestStoreQuarantinesPartialWriteOnReopen simulates a crash mid-write:
+// a stray temp file and a truncated entry file are both on disk. Reopen
+// must quarantine the truncated entry, drop the temp debris, and keep
+// serving the intact entries.
+func TestStoreQuarantinesPartialWriteOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good", []byte("good body")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("doomed", []byte("doomed body")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash artifacts: truncate "doomed" mid-file, leave a temp file.
+	doomedPath := filepath.Join(dir, Digest("doomed")+entrySuffix)
+	data, err := os.ReadFile(doomedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(doomedPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatalf("reopen over crash artifacts: %v", err)
+	}
+	if body, ok, err := s2.Get("good"); err != nil || !ok || string(body) != "good body" {
+		t.Fatalf("intact entry lost after crash recovery: ok=%t err=%v", ok, err)
+	}
+	if _, ok, _ := s2.Get("doomed"); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+	entries, _, quarantined, _ := s2.Stats()
+	if entries != 1 || quarantined != 1 {
+		t.Fatalf("entries=%d quarantined=%d, want 1 and 1", entries, quarantined)
+	}
+	if qfiles, _ := os.ReadDir(filepath.Join(dir, quarantineDir)); len(qfiles) != 1 {
+		t.Fatalf("quarantine dir holds %d files, want 1", len(qfiles))
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, tmpPrefix+"*")); len(tmps) != 0 {
+		t.Fatalf("temp debris survived reopen: %v", tmps)
+	}
+	// The slot is writable again.
+	if err := s2.Put("doomed", []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if body, ok, _ := s2.Get("doomed"); !ok || string(body) != "rewritten" {
+		t.Fatal("rewrite after quarantine failed")
+	}
+}
+
+// TestStoreQuarantinesBitRotOnGet corrupts an entry in place after open:
+// the next Get must quarantine it and report a miss, never corrupt bytes.
+func TestStoreQuarantinesBitRotOnGet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("rot", []byte("pristine")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, Digest("rot")+entrySuffix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x80
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("rot"); ok || err != nil {
+		t.Fatalf("bit-rotted entry: ok=%t err=%v, want clean miss", ok, err)
+	}
+	if _, _, quarantined, _ := s.Stats(); quarantined != 1 {
+		t.Fatalf("quarantined=%d, want 1", quarantined)
+	}
+}
+
+func TestStoreConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				want := []byte(fmt.Sprintf("body-%d", (g+i)%16))
+				if i%2 == 0 {
+					if err := s.Put(key, want); err != nil {
+						t.Errorf("put: %v", err)
+					}
+				} else if body, ok, err := s.Get(key); err != nil {
+					t.Errorf("get: %v", err)
+				} else if ok && !bytes.Equal(body, want) {
+					t.Errorf("get %s: body %q, want %q", key, body, want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
