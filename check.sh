@@ -12,8 +12,9 @@
 #                    compactd server tests)
 #   6. fuzz smoke  — a few seconds on each native fuzz target (the three
 #                    parser front ends, the design wire decoder, the
-#                    partition plan decoder and the persistent store's
-#                    on-disk entry codec)
+#                    partition plan decoder, the persistent store's
+#                    on-disk entry codec and the spice dense-vs-CG
+#                    solver cross-check)
 #   7. compactlint — the project's own analyzers, including the compactflow
 #                    dataflow suite (allocbound, ctxflow, gospawn) and the
 #                    staleignore check on //lint:ignore directives; any
@@ -28,10 +29,14 @@
 #          (results/BENCH_ilp.json, soft-compared against the committed
 #          baseline via benchjson -compare — warn-only) and the
 #          partitioned-synthesis benchmark (results/BENCH_partition.json
-#          via cmd/partitionbench) and the service-level load harness
-#          (results/BENCH_service.json via cmd/compactload — p50/p99,
-#          cache hit ratio including the disk tier, achieved RPS;
-#          soft-compared against the committed baseline, warn-only).
+#          via cmd/partitionbench), the variation-robustness yield curves
+#          (results/BENCH_margin.json via cmd/marginbench — yield and
+#          worst-case margin vs sigma vs crossbar size, plus the
+#          margin-aware placement delta; soft-compared against the
+#          committed baseline, warn-only) and the service-level load
+#          harness (results/BENCH_service.json via cmd/compactload —
+#          p50/p99, cache hit ratio including the disk tier, achieved
+#          RPS; soft-compared against the committed baseline, warn-only).
 set -eu
 
 cd "$(dirname "$0")"
@@ -79,6 +84,7 @@ if [ "$short" -eq 0 ]; then
     go test -fuzz=FuzzEval64VsScalar -fuzztime=5s -run='^$' ./internal/xbar/
     go test -fuzz=FuzzPlanJSON -fuzztime=5s -run='^$' ./internal/partition/
     go test -fuzz=FuzzStoreEntry -fuzztime=5s -run='^$' ./internal/store/
+    go test -fuzz=FuzzDenseVsCG -fuzztime=5s -run='^$' ./internal/spice/
 fi
 
 echo "== compactlint =="
@@ -104,6 +110,13 @@ if [ "$bench" -eq 1 ]; then
 
     echo "== benchmarks (partitioned multi-crossbar synthesis) =="
     go run ./cmd/partitionbench -timelimit 10s -out results/BENCH_partition.json
+
+    echo "== benchmarks (variation robustness: yield curves + margin-aware placement) =="
+    go run ./cmd/marginbench -timelimit 10s \
+        -compare results/BENCH_margin.json \
+        -out results/BENCH_margin.json.new
+    mv results/BENCH_margin.json.new results/BENCH_margin.json
+    echo "wrote results/BENCH_margin.json"
 
     echo "== service load (compactd: sync + async, both cache tiers) =="
     loadstore=$(mktemp -d)

@@ -174,6 +174,36 @@ func runSelfcheck(ctx context.Context, srv *server.Server) error {
 		return fmt.Errorf("cache hit body differs from miss body")
 	}
 
+	// Margin roundtrip: the same circuit through the Monte Carlo margin
+	// analyzer, miss-then-hit, with a sane deterministic yield.
+	mreq := fmt.Sprintf(`{"circuit": %q, "options": {"method": "heuristic", "time_limit_ms": 10000}, "margin": {"model": "highcontrast", "sigma": 0.1, "trials": 8, "vectors": 8, "seed": 1}}`, selfcheckBLIF)
+	status, disp, mfirst, err := do(ctx, client, http.MethodPost, base+"/v1/margin", mreq)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("margin: status %d, err %v, body %s", status, err, mfirst)
+	}
+	if disp != "miss" {
+		return fmt.Errorf("margin: first request disposition %q, want miss", disp)
+	}
+	var mrep struct {
+		Report struct {
+			Trials int     `json:"trials"`
+			Yield  float64 `json:"yield"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(mfirst, &mrep); err != nil {
+		return fmt.Errorf("margin: bad response %s: %v", mfirst, err)
+	}
+	if mrep.Report.Trials != 8 || mrep.Report.Yield < 0 || mrep.Report.Yield > 1 {
+		return fmt.Errorf("margin: implausible report %s", mfirst)
+	}
+	status, disp, msecond, err := do(ctx, client, http.MethodPost, base+"/v1/margin", mreq)
+	if err != nil || status != http.StatusOK || disp != "hit" {
+		return fmt.Errorf("margin (repeat): status %d, disposition %q, err %v", status, disp, err)
+	}
+	if !bytes.Equal(mfirst, msecond) {
+		return fmt.Errorf("margin cache hit body differs from miss body")
+	}
+
 	// Async roundtrip: submit the same request as a job, poll to done,
 	// and check the result body matches the synchronous one exactly.
 	status, _, body, err = do(ctx, client, http.MethodPost, base+"/v1/jobs", req)

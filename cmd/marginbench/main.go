@@ -1,0 +1,336 @@
+// Command marginbench charts variation robustness: for each benchmark
+// circuit it synthesizes one crossbar, then sweeps the per-device
+// log-normal spread sigma and reports the Monte Carlo yield curve (yield
+// and worst-case sensing margin versus sigma versus crossbar size) on the
+// high-contrast device model. It also replays the margin-aware placement
+// experiment — a deterministic sneak-bridge defect map, plain versus
+// MarginAware synthesis — and reports the worst-case margin delta at
+// equal array dimensions. Output is a JSON document suitable for tracking
+// across commits.
+//
+// Usage:
+//
+//	marginbench [-trials 16] [-vectors 32] [-seed 1] [-sigmas 0.05,0.1,0.2]
+//	            [-timelimit 15s] [-compare results/BENCH_margin.json]
+//	            [-out results/BENCH_margin.json] [circuit ...]
+//
+// With no circuits it runs the default set (ctrl, cavlc, int2float), the
+// same EPFL control benchmarks the partition benchmark tracks. With
+// -compare, fresh results are diffed against a committed baseline and
+// regressions (yield drops, collapsed margins, a vanished margin-aware
+// delta) are warned about on stderr — warn-only, the exit status never
+// depends on the comparison, matching the benchjson convention.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"compact/internal/bench"
+	"compact/internal/core"
+	"compact/internal/defect"
+	"compact/internal/labeling"
+	"compact/internal/logic"
+	"compact/internal/spice"
+	"compact/internal/xbar"
+)
+
+// yieldPoint is one (circuit, sigma) sample of the yield curve.
+type yieldPoint struct {
+	Sigma       float64 `json:"sigma"`
+	Trials      int     `json:"trials"`
+	Vectors     int     `json:"vectors"`
+	Exhaustive  bool    `json:"exhaustive"`
+	Yield       float64 `json:"yield"`
+	FailTrials  int     `json:"fail_trials"`
+	WorstMargin float64 `json:"worst_margin"`
+	WallMS      float64 `json:"wall_ms"`
+	Err         string  `json:"error,omitempty"`
+}
+
+type entry struct {
+	Circuit string       `json:"circuit"`
+	Rows    int          `json:"rows"`
+	Cols    int          `json:"cols"`
+	S       int          `json:"s"` // semiperimeter, the size axis of the curve
+	SynthMS float64      `json:"synth_ms"`
+	Points  []yieldPoint `json:"points"`
+	// Margin-aware placement before/after on the sneak-bridge defect map:
+	// worst-case margin of the plain verified-repair placement versus the
+	// MarginAware one, at identical array dimensions.
+	MarginPlain float64 `json:"margin_plain"`
+	MarginAware float64 `json:"margin_aware"`
+	MarginDelta float64 `json:"margin_delta"`
+	AwareMS     float64 `json:"aware_ms"`
+	MarginErr   string  `json:"margin_error,omitempty"`
+	Err         string  `json:"error,omitempty"`
+}
+
+type report struct {
+	Model   string    `json:"model"`
+	Trials  int       `json:"trials"`
+	Vectors int       `json:"vectors"`
+	Seed    uint64    `json:"seed"`
+	Sigmas  []float64 `json:"sigmas"`
+	Entries []entry   `json:"entries"`
+}
+
+func main() {
+	var (
+		trials    = flag.Int("trials", 16, "Monte Carlo trials per sigma point")
+		vectors   = flag.Int("vectors", 32, "input vectors checked per trial (clamped to 2^inputs)")
+		seed      = flag.Uint64("seed", 1, "deterministic root seed")
+		sigmas    = flag.String("sigmas", "0.05,0.1,0.2", "comma-separated log-normal sigma sweep")
+		timeLimit = flag.Duration("timelimit", 15*time.Second, "per-synthesis solve budget")
+		baseline  = flag.String("compare", "", "baseline JSON file to diff against (warn-only)")
+		outPath   = flag.String("out", "results/BENCH_margin.json", "output JSON path")
+	)
+	flag.Parse()
+	circuits := flag.Args()
+	if len(circuits) == 0 {
+		circuits = []string{"ctrl", "cavlc", "int2float"}
+	}
+	sweep, err := parseSigmas(*sigmas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marginbench:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, circuits, sweep, *trials, *vectors, *seed, *timeLimit, *baseline, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "marginbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSigmas(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad sigma %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty sigma sweep")
+	}
+	return out, nil
+}
+
+func run(ctx context.Context, circuits []string, sweep []float64, trials, vectors int, seed uint64, timeLimit time.Duration, baseline, outPath string) error {
+	rep := report{Model: "highcontrast", Trials: trials, Vectors: vectors, Seed: seed, Sigmas: sweep}
+	model := spice.HighContrast()
+	for _, name := range circuits {
+		g, ok := bench.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", name)
+		}
+		nw := g.Build()
+		e := entry{Circuit: name}
+
+		t0 := time.Now()
+		res, err := core.SynthesizeContext(ctx, nw, core.Options{
+			Method: labeling.MethodHeuristic, TimeLimit: timeLimit,
+		})
+		e.SynthMS = millis(time.Since(t0))
+		if err != nil {
+			e.Err = fmt.Sprintf("synthesize: %v", err)
+			rep.Entries = append(rep.Entries, e)
+			continue
+		}
+		d := res.Design
+		e.Rows, e.Cols, e.S = d.Rows, d.Cols, res.Stats().S
+
+		for _, sigma := range sweep {
+			p := yieldPoint{Sigma: sigma}
+			t0 = time.Now()
+			mc, err := spice.MonteCarloContext(ctx, d, d.Eval, len(d.VarNames),
+				spice.Env{Model: model},
+				spice.Variation{SigmaOn: sigma, SigmaOff: sigma},
+				spice.MonteCarloOptions{Trials: trials, Vectors: vectors, Seed: seed})
+			p.WallMS = millis(time.Since(t0))
+			if err != nil {
+				p.Err = err.Error()
+			} else {
+				p.Trials, p.Vectors, p.Exhaustive = mc.Trials, mc.Vectors, mc.Exhaustive
+				p.Yield, p.FailTrials, p.WorstMargin = mc.Yield, mc.FailTrials, mc.WorstMargin
+			}
+			e.Points = append(e.Points, p)
+			fmt.Printf("%-10s %3dx%-3d sigma=%.2f  yield=%.3f worst_margin=%+.4f (%.0fms)\n",
+				name, e.Rows, e.Cols, sigma, p.Yield, p.WorstMargin, p.WallMS)
+		}
+
+		t0 = time.Now()
+		marginAwareDelta(ctx, nw, d, timeLimit, &e)
+		e.AwareMS = millis(time.Since(t0))
+		if e.MarginErr == "" {
+			fmt.Printf("%-10s margin-aware placement: plain %+.4f -> aware %+.4f (delta %+.4f, %.0fms)\n",
+				name, e.MarginPlain, e.MarginAware, e.MarginDelta, e.AwareMS)
+		} else {
+			fmt.Printf("%-10s margin-aware placement: skipped (%s)\n", name, e.MarginErr)
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	if baseline != "" {
+		compare(os.Stderr, rep, baseline)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(outPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}
+
+// marginAwareDelta reruns synthesis against a deterministic sneak-bridge
+// defect map — a spare wordline and bitline, with the two devices joining
+// the spare bitline to the input wordline and the first output wordline
+// stuck ON — once with the plain verified-repair loop and once with
+// MarginAware, and records the worst-case margin of both placements. The
+// bridge leaves every placement compatible (the faults sit on a spare
+// bitline), so any delta is purely the electrical secondary objective.
+func marginAwareDelta(ctx context.Context, nw *logic.Network, d *xbar.Design, timeLimit time.Duration, e *entry) {
+	dm, err := defect.New(d.Rows+1, d.Cols+1)
+	if err != nil {
+		e.MarginErr = err.Error()
+		return
+	}
+	spareCol := d.Cols
+	if err := dm.Set(d.InputRow, spareCol, defect.StuckOn); err != nil {
+		e.MarginErr = err.Error()
+		return
+	}
+	if len(d.OutputRows) == 0 {
+		e.MarginErr = "design has no output rows"
+		return
+	}
+	if err := dm.Set(d.OutputRows[0], spareCol, defect.StuckOn); err != nil {
+		e.MarginErr = err.Error()
+		return
+	}
+
+	base := core.Options{
+		Method: labeling.MethodHeuristic, TimeLimit: timeLimit,
+		Defects: dm, DefectSeed: 5,
+	}
+	plain, err := core.SynthesizeContext(ctx, nw, base)
+	if err != nil {
+		e.MarginErr = fmt.Sprintf("plain: %v", err)
+		return
+	}
+	aware := base
+	aware.MarginAware = true
+	tuned, err := core.SynthesizeContext(ctx, nw, aware)
+	if err != nil {
+		e.MarginErr = fmt.Sprintf("aware: %v", err)
+		return
+	}
+
+	mPlain, err := placedMargin(ctx, plain, dm, base.DefectSeed)
+	if err != nil {
+		e.MarginErr = fmt.Sprintf("scoring plain: %v", err)
+		return
+	}
+	mAware, err := placedMargin(ctx, tuned, dm, base.DefectSeed)
+	if err != nil {
+		e.MarginErr = fmt.Sprintf("scoring aware: %v", err)
+		return
+	}
+	e.MarginPlain, e.MarginAware, e.MarginDelta = mPlain, mAware, mAware-mPlain
+}
+
+// placedMargin scores a placed result the way the margin-aware loop does:
+// worst-case simulated margin of the design bound to the defective array.
+func placedMargin(ctx context.Context, res *core.Result, dm *defect.Map, seed uint64) (float64, error) {
+	const exhaustiveLimit, samples = 6, 32
+	rep, err := spice.MarginContext(ctx, res.Design, res.Design.Eval,
+		len(res.Design.VarNames), exhaustiveLimit, samples,
+		spice.Env{Model: spice.Default(), Defects: dm, Placement: res.Placement}, seed)
+	if err != nil {
+		return 0, err
+	}
+	return rep.MinOn - rep.MaxOff, nil
+}
+
+// marginDropWarn is the absolute worst-case-margin drop (in volts) below
+// the committed baseline that triggers a comparison warning. Smaller
+// wobble is expected run-to-run noise from the solver's placement choices.
+const marginDropWarn = 0.01
+
+// compare warns (on w) about fresh results that regress against the
+// committed baseline: a yield drop at any (circuit, sigma) point, a
+// worst-case margin more than marginDropWarn below the baseline, or a
+// margin-aware placement delta that was positive and no longer is.
+// Warn-only by design — a missing or unreadable baseline skips the
+// comparison, and nothing here affects the exit status.
+func compare(w io.Writer, fresh report, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		_, _ = fmt.Fprintf(w, "marginbench: compare: %v (skipping comparison)\n", err)
+		return
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		_, _ = fmt.Fprintf(w, "marginbench: compare: parsing %s: %v (skipping comparison)\n", path, err)
+		return
+	}
+	type point struct {
+		yield, margin float64
+	}
+	basePoints := make(map[string]point)
+	baseDelta := make(map[string]float64)
+	for _, e := range base.Entries {
+		for _, p := range e.Points {
+			if p.Err == "" {
+				basePoints[fmt.Sprintf("%s@%g", e.Circuit, p.Sigma)] = point{p.Yield, p.WorstMargin}
+			}
+		}
+		if e.MarginErr == "" {
+			baseDelta[e.Circuit] = e.MarginDelta
+		}
+	}
+	for _, e := range fresh.Entries {
+		for _, p := range e.Points {
+			key := fmt.Sprintf("%s@%g", e.Circuit, p.Sigma)
+			b, ok := basePoints[key]
+			if !ok || p.Err != "" {
+				continue
+			}
+			if p.Yield < b.yield {
+				_, _ = fmt.Fprintf(w, "marginbench: compare: %s yield %.3f < baseline %.3f\n", key, p.Yield, b.yield)
+			}
+			if p.WorstMargin < b.margin-marginDropWarn {
+				_, _ = fmt.Fprintf(w, "marginbench: compare: %s worst margin %+.4f < baseline %+.4f\n", key, p.WorstMargin, b.margin)
+			}
+		}
+		if b, ok := baseDelta[e.Circuit]; ok && e.MarginErr == "" && b > 0 && e.MarginDelta <= 0 {
+			_, _ = fmt.Fprintf(w, "marginbench: compare: %s margin-aware delta regressed to %+.4f (baseline %+.4f)\n",
+				e.Circuit, e.MarginDelta, b)
+		}
+	}
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

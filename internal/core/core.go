@@ -113,6 +113,17 @@ type Options struct {
 	// MaxRepairAttempts bounds the place-verify-retry loop (0 = default 3).
 	// The final attempt always escalates to the exact ILP engine.
 	MaxRepairAttempts int
+	// MarginAware adds a secondary electrical objective to defect-aware
+	// placement: several candidate placements are enumerated, each verified
+	// placement is scored by its worst-case voltage margin under the
+	// default device model (stuck-ON faults near used lines bridge spare
+	// lines into the array, so different bindings genuinely differ
+	// electrically), and the widest-margin candidate wins. Ties keep the
+	// first candidate, so on arrays where placement cannot matter the
+	// result is identical to the plain loop. Scoring failures degrade to
+	// the plain verified-repair loop — MarginAware never turns a placeable
+	// synthesis into a failure.
+	MarginAware bool
 }
 
 // gamma resolves the effective objective weight via the canonical

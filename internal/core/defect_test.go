@@ -11,6 +11,7 @@ import (
 	"compact/internal/faultinject"
 	"compact/internal/labeling"
 	"compact/internal/logic"
+	"compact/internal/spice"
 	"compact/internal/xbar"
 )
 
@@ -268,5 +269,127 @@ func TestFaultInjectionStageBoundaries(t *testing.T) {
 		if up := new(xbar.Unplaceable); !errors.As(err, &up) {
 			t.Fatalf("clean run failed: %v", err)
 		}
+	}
+}
+
+// placedMargin scores a placed result the same way the margin-aware loop
+// does: worst-case simulated voltage margin of the logical design bound to
+// the defective array.
+func placedMargin(t *testing.T, res *Result, dm *defect.Map, seed uint64) float64 {
+	t.Helper()
+	rep, err := spice.MarginContext(context.Background(), res.Design, res.Design.Eval,
+		len(res.Design.VarNames), marginExhaustiveLimit, marginSamples,
+		spice.Env{Model: spice.Default(), Defects: dm, Placement: res.Placement}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.MinOn - rep.MaxOff
+}
+
+// TestMarginAwarePlacementImprovesMargin is the before/after proof for the
+// placement secondary objective. The defect map adds one spare wordline
+// and bitline and sticks ON the two devices joining the spare bitline to
+// the physical lines that, under the identity placement, carry the input
+// wordline and the first output wordline — an analog sneak bridge straight
+// around the logic. Identity remains perfectly *compatible* (the faults
+// touch a spare bitline), so the plain repair loop happily returns it; the
+// margin-aware loop must notice the collapsed margin and pick a binding
+// that keeps the bridge away, at identical array size and semiperimeter.
+func TestMarginAwarePlacementImprovesMargin(t *testing.T) {
+	nw := smallNetwork()
+	clean, err := Synthesize(nw, Options{Method: labeling.MethodHeuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := clean.Design
+	dm, err := defect.New(d.Rows+1, d.Cols+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spareCol := d.Cols
+	if err := dm.Set(d.InputRow, spareCol, defect.StuckOn); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Set(d.OutputRows[0], spareCol, defect.StuckOn); err != nil {
+		t.Fatal(err)
+	}
+
+	base := Options{Method: labeling.MethodHeuristic, Defects: dm, DefectSeed: 5}
+	plain, err := Synthesize(nw, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := base
+	aware.MarginAware = true
+	tuned, err := Synthesize(nw, aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both paths must deliver verified hardware of identical dimensions.
+	for _, res := range []*Result{plain, tuned} {
+		if err := xbar.FormalVerify(res.Effective, nw, 0); err != nil {
+			t.Fatalf("effective design fails formal verification: %v", err)
+		}
+	}
+	if tuned.Design.Rows != plain.Design.Rows || tuned.Design.Cols != plain.Design.Cols {
+		t.Fatalf("margin-aware changed the design dimensions: %dx%d vs %dx%d",
+			tuned.Design.Rows, tuned.Design.Cols, plain.Design.Rows, plain.Design.Cols)
+	}
+
+	mPlain := placedMargin(t, plain, dm, base.DefectSeed)
+	mAware := placedMargin(t, tuned, dm, base.DefectSeed)
+	t.Logf("worst-case margin: plain %.4f, margin-aware %.4f", mPlain, mAware)
+	if mAware < mPlain {
+		t.Errorf("margin-aware placement is worse than plain: %.4f < %.4f", mAware, mPlain)
+	}
+	if mAware <= mPlain {
+		t.Errorf("margin-aware placement did not improve on the sneak-bridged identity: plain %.4f, aware %.4f", mPlain, mAware)
+	}
+
+	// Determinism: the tuned placement is a pure function of its inputs.
+	tuned2, err := Synthesize(nw, aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalPerm(tuned.Placement.RowPerm, tuned2.Placement.RowPerm) ||
+		!equalPerm(tuned.Placement.ColPerm, tuned2.Placement.ColPerm) {
+		t.Errorf("margin-aware placement not deterministic")
+	}
+}
+
+// TestMarginAwareNoFaultsMatchesPlain pins the tie rule: on a fault-free
+// array the candidate set is exactly the identity placement, so the
+// margin-aware and plain loops return identical results (and identical
+// cache keys would be wasteful — Key must still differ, since the option
+// changes behavior on other inputs).
+func TestMarginAwareNoFaultsMatchesPlain(t *testing.T) {
+	nw := smallNetwork()
+	clean, err := Synthesize(nw, Options{Method: labeling.MethodHeuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := defect.New(clean.Design.Rows, clean.Design.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Method: labeling.MethodHeuristic, Defects: dm, DefectSeed: 1}
+	plain, err := Synthesize(nw, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := base
+	aware.MarginAware = true
+	tuned, err := Synthesize(nw, aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalPerm(plain.Placement.RowPerm, tuned.Placement.RowPerm) ||
+		!equalPerm(plain.Placement.ColPerm, tuned.Placement.ColPerm) {
+		t.Errorf("fault-free margin-aware placement diverged from plain: %v/%v vs %v/%v",
+			tuned.Placement.RowPerm, tuned.Placement.ColPerm, plain.Placement.RowPerm, plain.Placement.ColPerm)
+	}
+	if base.Key() == aware.Key() {
+		t.Error("MarginAware does not enter the options key")
 	}
 }

@@ -154,14 +154,14 @@ func (o Options) Canonical() Options {
 func (o Options) Key() string {
 	c := o.Canonical()
 	var b strings.Builder
-	fmt.Fprintf(&b, "compact-options-v3|gamma=%g|method=%s|bdd=%s|align=%t|timelimit=%d|order=%v|sift=%t|nodelimit=%d|octbackend=%d|autoexact=%d|maxrows=%d|maxcols=%d|partition=%t",
+	fmt.Fprintf(&b, "compact-options-v4|gamma=%g|method=%s|bdd=%s|align=%t|timelimit=%d|order=%v|sift=%t|nodelimit=%d|octbackend=%d|autoexact=%d|maxrows=%d|maxcols=%d|partition=%t",
 		c.Gamma, c.Method, c.BDDKind, !c.NoAlign, int64(c.TimeLimit), c.VarOrder, c.Sift, c.NodeLimit, c.OCTBackend, c.AutoExactLimit, c.MaxRows, c.MaxCols, c.Partition)
 	// Defect configuration is part of the synthesis identity: the same
 	// network on differently defective arrays yields different placements
 	// (and possibly Unplaceable), so cached results must not alias. Map
 	// identity enters via its content digest (defect.Map.Digest is nil-safe).
-	fmt.Fprintf(&b, "|defects=%s|drate=%g|don=%g|dseed=%d|repair=%d",
-		c.Defects.Digest(), c.DefectRate, c.DefectOnFraction, c.DefectSeed, c.MaxRepairAttempts)
+	fmt.Fprintf(&b, "|defects=%s|drate=%g|don=%g|dseed=%d|repair=%d|marginaware=%t",
+		c.Defects.Digest(), c.DefectRate, c.DefectOnFraction, c.DefectSeed, c.MaxRepairAttempts, c.MarginAware)
 	sum := sha256.Sum256([]byte(b.String()))
 	return fmt.Sprintf("sha256:%x", sum)
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"compact/internal/defect"
 	"compact/internal/faultinject"
+	"compact/internal/spice"
 	"compact/internal/xbar"
 )
 
@@ -55,6 +57,17 @@ func (r *Result) placeWithRepair(ctx context.Context, dm *defect.Map, opts Optio
 	}
 	if err := faultinject.Err(faultinject.StagePlace); err != nil {
 		return fmt.Errorf("core: placement: %w", err)
+	}
+	if opts.MarginAware {
+		done, err := r.placeMarginAware(ctx, dm, opts)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		// Margin-aware search found nothing it could both verify and keep;
+		// the plain loop below is the unconditional fallback.
 	}
 	var lastErr error
 	// rejected fingerprints placements that already failed verification.
@@ -131,6 +144,82 @@ func (r *Result) placeWithRepair(ctx context.Context, dm *defect.Map, opts Optio
 		return nil
 	}
 	return fmt.Errorf("core: defect-aware placement failed after %d attempts: %w", attempts, lastErr)
+}
+
+// Margin-aware candidate search tuning: how many distinct placements to
+// enumerate, and the Margin sampling budget per candidate (exhaustive up
+// to 2^6 assignments, 32 seeded samples beyond).
+const (
+	marginCandidates      = 4
+	marginExhaustiveLimit = 6
+	marginSamples         = 32
+)
+
+// placeMarginAware implements the Options.MarginAware secondary objective:
+// enumerate candidate placements, verify each one's effective design, score
+// the survivors by simulated worst-case voltage margin and keep the widest.
+// It returns done=false (with a nil error) whenever the plain repair loop
+// should run instead — candidate search failed unproven, or no candidate
+// verified. Scoring failures (e.g. a design past the nodal solver's size
+// cap) demote the candidate's score to -Inf rather than failing: a
+// verified placement always beats no placement.
+func (r *Result) placeMarginAware(ctx context.Context, dm *defect.Map, opts Options) (bool, error) {
+	cands, err := xbar.PlaceCandidates(ctx, r.Design, dm, xbar.PlaceOptions{Seed: opts.DefectSeed}, marginCandidates)
+	if err != nil {
+		var up *xbar.Unplaceable
+		if errors.As(err, &up) && up.Proven {
+			return false, fmt.Errorf("core: placement: %w", err)
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return false, fmt.Errorf("core: placement: %w", ctxErr)
+		}
+		return false, nil
+	}
+	var (
+		bestPl     *xbar.Placement
+		bestEff    *xbar.Design
+		bestMargin = math.Inf(-1)
+		attempts   int
+	)
+	for _, pl := range cands {
+		if ctx.Err() != nil {
+			break // keep the best verified candidate so far, if any
+		}
+		if fn := progressFrom(ctx).RepairAttempt; fn != nil {
+			fn(attempts + 1)
+		}
+		eff, err := r.Design.UnderDefects(dm, pl)
+		if err != nil {
+			// Structural rejection of a search-produced placement is a bug,
+			// not a retryable condition (same contract as the plain loop).
+			return false, fmt.Errorf("core: placement: %w", err)
+		}
+		attempts++
+		if err := r.verifyEffective(eff); err != nil {
+			continue
+		}
+		score := math.Inf(-1)
+		rep, err := spice.MarginContext(ctx, r.Design, r.Design.Eval, len(r.Design.VarNames),
+			marginExhaustiveLimit, marginSamples,
+			spice.Env{Model: spice.Default(), Defects: dm, Placement: pl}, opts.DefectSeed)
+		if err == nil {
+			score = rep.MinOn - rep.MaxOff
+		}
+		// Strict improvement only: candidate order starts with identity, so
+		// on arrays where placement cannot change the electrical picture the
+		// margin-aware loop returns exactly what the plain loop would.
+		if bestPl == nil || score > bestMargin {
+			bestPl, bestEff, bestMargin = pl, eff, score
+		}
+	}
+	if bestPl == nil {
+		return false, nil
+	}
+	r.Placement = bestPl
+	r.Effective = bestEff
+	r.Defects = dm
+	r.RepairAttempts = attempts
+	return true, nil
 }
 
 // verifyEffective checks the effective design against the source network:

@@ -45,6 +45,7 @@ const (
 	StageLabeling = "labeling" // VH-labeling solve (core)
 	StageMap      = "xbar"     // crossbar mapping (core)
 	StagePlace    = "place"    // defect-aware placement (core)
+	StageSpice    = "spice"    // electrical Monte Carlo margin analysis (internal/spice)
 	StageServer   = "server"   // compactd request admission
 )
 

@@ -23,6 +23,7 @@ func DefaultAnalyzers(modPath string) []*Analyzer {
 		modPath + "/internal/labeling",
 		modPath + "/internal/bdd",
 		modPath + "/internal/xbar",
+		modPath + "/internal/spice",
 	}
 	wirePkgs := []string{
 		modPath + "/internal/xbar",

@@ -41,9 +41,12 @@ type metrics struct {
 	unplaceable      expvar.Int // solves rejected with a typed Unplaceable
 	partitioned      expvar.Int // solves that returned a multi-tile plan
 	tiles            expvar.Int // cumulative tiles across partitioned solves
+	marginRequests   expvar.Int // HTTP requests accepted on /v1/margin
+	margins          expvar.Int // completed Monte Carlo margin analyses
 	solveMillis      expvar.Float
 	parseMillis      expvar.Float
-	engineMillis     *expvar.Map // per-engine cumulative wall clock (portfolio)
+	marginMillis     expvar.Float // cumulative Monte Carlo wall clock
+	engineMillis     *expvar.Map  // per-engine cumulative wall clock (portfolio)
 }
 
 func newMetrics() *metrics {
@@ -73,8 +76,11 @@ func newMetrics() *metrics {
 	m.vars.Set("unplaceable_total", &m.unplaceable)
 	m.vars.Set("partitioned_total", &m.partitioned)
 	m.vars.Set("tiles_total", &m.tiles)
+	m.vars.Set("margin_requests_total", &m.marginRequests)
+	m.vars.Set("margins_total", &m.margins)
 	m.vars.Set("solve_ms_total", &m.solveMillis)
 	m.vars.Set("parse_ms_total", &m.parseMillis)
+	m.vars.Set("margin_ms_total", &m.marginMillis)
 	m.vars.Set("engine_ms_total", m.engineMillis)
 	return m
 }

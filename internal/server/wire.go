@@ -76,26 +76,27 @@ import (
 // Error codes. Stable: these strings are the machine-readable API
 // contract; renaming one is a breaking change.
 const (
-	codeInvalidRequest   = "invalid_request"   // malformed body, bad field combination
-	codeInvalidOptions   = "invalid_options"   // options failed validation or caps
-	codeParseFailed      = "parse_failed"      // circuit source did not parse
-	codeUnknownBenchmark = "unknown_benchmark" // benchmark name not in the registry
-	codeInfeasible       = "infeasible"        // dimension caps unsatisfiable (detail: infeasibleDetail)
-	codeUnplaceable      = "unplaceable"       // defect map admits no placement (detail: unplaceableDetail)
-	codeBudgetExceeded   = "budget_exceeded"   // solve budget expired with no result at all
-	codeOverloaded       = "overloaded"        // job table full of live jobs
-	codeShuttingDown     = "shutting_down"     // server draining; retry elsewhere
-	codeRequestAbandoned = "request_abandoned" // the requester's own context ended mid-wait
-	codeCanceled         = "canceled"          // the underlying solve was canceled (job DELETE)
-	codeInterrupted      = "interrupted"       // job did not survive a server restart
-	codeStoreUnavailable = "store_unavailable" // persistent store I/O failure
-	codeJobNotFound      = "job_not_found"     // no such job id
-	codeJobNotDone       = "job_not_done"      // result requested before the job finished
-	codeResultEvicted    = "result_evicted"    // job finished but its body aged out of both cache tiers
-	codeNotFound         = "not_found"         // no such /v1/* route
-	codeMethodNotAllowed = "method_not_allowed"
-	codeUnavailable      = "unavailable" // fault-injection admission probe
-	codeInternal         = "internal"    // unclassified server-side failure
+	codeInvalidRequest    = "invalid_request"   // malformed body, bad field combination
+	codeInvalidOptions    = "invalid_options"   // options failed validation or caps
+	codeParseFailed       = "parse_failed"      // circuit source did not parse
+	codeUnknownBenchmark  = "unknown_benchmark" // benchmark name not in the registry
+	codeInfeasible        = "infeasible"        // dimension caps unsatisfiable (detail: infeasibleDetail)
+	codeUnplaceable       = "unplaceable"       // defect map admits no placement (detail: unplaceableDetail)
+	codeBudgetExceeded    = "budget_exceeded"   // solve budget expired with no result at all
+	codeOverloaded        = "overloaded"        // job table full of live jobs
+	codeShuttingDown      = "shutting_down"     // server draining; retry elsewhere
+	codeRequestAbandoned  = "request_abandoned" // the requester's own context ended mid-wait
+	codeCanceled          = "canceled"          // the underlying solve was canceled (job DELETE)
+	codeInterrupted       = "interrupted"       // job did not survive a server restart
+	codeStoreUnavailable  = "store_unavailable" // persistent store I/O failure
+	codeJobNotFound       = "job_not_found"     // no such job id
+	codeJobNotDone        = "job_not_done"      // result requested before the job finished
+	codeResultEvicted     = "result_evicted"    // job finished but its body aged out of both cache tiers
+	codeNotFound          = "not_found"         // no such /v1/* route
+	codeMethodNotAllowed  = "method_not_allowed"
+	codeMarginUnsupported = "margin_unsupported" // /v1/margin on a result with no single-array electrical model
+	codeUnavailable       = "unavailable"        // fault-injection admission probe
+	codeInternal          = "internal"           // unclassified server-side failure
 )
 
 // errorStatus is the single table pairing every error code with its
@@ -104,26 +105,27 @@ const (
 // (canceled, interrupted) still carry the status GET /v1/jobs/{id}/result
 // replays them with.
 var errorStatus = map[string]int{
-	codeInvalidRequest:   http.StatusBadRequest,
-	codeInvalidOptions:   http.StatusBadRequest,
-	codeParseFailed:      http.StatusBadRequest,
-	codeUnknownBenchmark: http.StatusNotFound,
-	codeInfeasible:       http.StatusUnprocessableEntity,
-	codeUnplaceable:      http.StatusUnprocessableEntity,
-	codeBudgetExceeded:   http.StatusGatewayTimeout,
-	codeOverloaded:       http.StatusTooManyRequests,
-	codeShuttingDown:     http.StatusServiceUnavailable,
-	codeRequestAbandoned: http.StatusServiceUnavailable,
-	codeCanceled:         http.StatusServiceUnavailable,
-	codeInterrupted:      http.StatusServiceUnavailable,
-	codeStoreUnavailable: http.StatusServiceUnavailable,
-	codeJobNotFound:      http.StatusNotFound,
-	codeJobNotDone:       http.StatusConflict,
-	codeResultEvicted:    http.StatusGone,
-	codeNotFound:         http.StatusNotFound,
-	codeMethodNotAllowed: http.StatusMethodNotAllowed,
-	codeUnavailable:      http.StatusServiceUnavailable,
-	codeInternal:         http.StatusInternalServerError,
+	codeInvalidRequest:    http.StatusBadRequest,
+	codeInvalidOptions:    http.StatusBadRequest,
+	codeParseFailed:       http.StatusBadRequest,
+	codeUnknownBenchmark:  http.StatusNotFound,
+	codeInfeasible:        http.StatusUnprocessableEntity,
+	codeUnplaceable:       http.StatusUnprocessableEntity,
+	codeBudgetExceeded:    http.StatusGatewayTimeout,
+	codeOverloaded:        http.StatusTooManyRequests,
+	codeShuttingDown:      http.StatusServiceUnavailable,
+	codeRequestAbandoned:  http.StatusServiceUnavailable,
+	codeCanceled:          http.StatusServiceUnavailable,
+	codeInterrupted:       http.StatusServiceUnavailable,
+	codeStoreUnavailable:  http.StatusServiceUnavailable,
+	codeJobNotFound:       http.StatusNotFound,
+	codeJobNotDone:        http.StatusConflict,
+	codeResultEvicted:     http.StatusGone,
+	codeNotFound:          http.StatusNotFound,
+	codeMethodNotAllowed:  http.StatusMethodNotAllowed,
+	codeMarginUnsupported: http.StatusUnprocessableEntity,
+	codeUnavailable:       http.StatusServiceUnavailable,
+	codeInternal:          http.StatusInternalServerError,
 }
 
 // wireError is the typed error every non-2xx response carries (and the
@@ -176,6 +178,10 @@ type wireOptions struct {
 	DefectOnFraction  float64     `json:"defect_on_fraction,omitempty"`
 	DefectSeed        uint64      `json:"defect_seed,omitempty"`
 	MaxRepairAttempts int         `json:"max_repair_attempts,omitempty"`
+	// MarginAware turns on the electrical secondary placement objective:
+	// among verified placements, prefer the one with the widest simulated
+	// worst-case voltage margin (core.Options.MarginAware).
+	MarginAware bool `json:"margin_aware,omitempty"`
 }
 
 // toCore maps wire options onto core.Options, applying the server's
@@ -232,6 +238,7 @@ func (o *wireOptions) toCore(defaultLimit, maxLimit time.Duration) (core.Options
 		opts.DefectOnFraction = o.DefectOnFraction
 		opts.DefectSeed = o.DefectSeed
 		opts.MaxRepairAttempts = o.MaxRepairAttempts
+		opts.MarginAware = o.MarginAware
 	}
 	if opts.TimeLimit <= 0 {
 		opts.TimeLimit = defaultLimit

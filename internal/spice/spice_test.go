@@ -148,44 +148,20 @@ func TestDenseVsCGAgree(t *testing.T) {
 	d := synth(t, nw)
 	model := Default()
 	assign := levelAssign(d, nw, []bool{true, false, true})
-	// Build the same system twice and solve with both backends by abusing
-	// the size threshold: call the internal solvers directly.
-	n := d.Rows + d.Cols
-	build := func() ([][]float64, []float64) {
-		g := make([][]float64, n)
-		for i := range g {
-			g[i] = make([]float64, n)
-		}
-		bvec := make([]float64, n)
-		gOn, gOff := 1/model.ROn, 1/model.ROff
-		for r, row := range d.Cells {
-			for c, e := range row {
-				gc := gOff
-				if e.Conducts(assign) {
-					gc = gOn
-				}
-				i, j := r, d.Rows+c
-				g[i][i] += gc
-				g[j][j] += gc
-				g[i][j] -= gc
-				g[j][i] -= gc
-			}
-		}
-		gd := 1 / model.RDriver
-		g[d.InputRow][d.InputRow] += gd
-		bvec[d.InputRow] += model.Vin * gd
-		seen := map[int]bool{}
-		for _, r := range d.OutputRows {
-			if r == d.InputRow || seen[r] {
-				continue
-			}
-			seen[r] = true
-			g[r][r] += 1 / model.RSense
-		}
-		return g, bvec
+	// Build the same system twice via the shared assembler and solve with
+	// both backends directly (Simulate picks one by size).
+	na, err := compile(d, Env{Model: model})
+	if err != nil {
+		t.Fatal(err)
 	}
-	g1, b1 := build()
-	g2, b2 := build()
+	g1, b1, err := na.system(assign, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, b2, err := na.system(assign, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	x1, err := solveDense(g1, b1)
 	if err != nil {
 		t.Fatal(err)
@@ -277,10 +253,13 @@ func TestMonteCarloHugeVariationKillsYield(t *testing.T) {
 func TestMonteCarloErrors(t *testing.T) {
 	nw := fig2()
 	d := synth(t, nw)
-	if _, err := MonteCarlo(d, nw.Eval, 3, 0, 10, Default(), Variation{}, 1); err == nil {
-		t.Error("zero vectors accepted")
+	if _, err := MonteCarlo(d, nw.Eval, 3, -1, 10, Default(), Variation{}, 1); err == nil {
+		t.Error("negative vectors accepted")
 	}
-	if _, err := MonteCarlo(d, nw.Eval, 3, 8, 0, Default(), Variation{}, 1); err == nil {
-		t.Error("zero trials accepted")
+	if _, err := MonteCarlo(d, nw.Eval, 3, 8, -1, Default(), Variation{}, 1); err == nil {
+		t.Error("negative trials accepted")
+	}
+	if _, err := MonteCarlo(d, nw.Eval, 3, 8, 10, Default(), Variation{SigmaOn: -0.5}, 1); err == nil {
+		t.Error("negative sigma accepted")
 	}
 }

@@ -340,7 +340,7 @@ func PlaceContext(ctx context.Context, d *Design, dm *defect.Map, opts PlaceOpti
 
 	var lastInvCol []int
 	if opts.Engine != PlaceILP {
-		pl, invCol, err := p.greedy(ctx, opts)
+		pl, invCol, err := p.greedy(ctx, opts, false)
 		if err != nil {
 			return nil, err
 		}
@@ -390,8 +390,10 @@ func maxInt(a, b int) int {
 
 // greedy runs the alternating matching rounds. It returns a non-nil
 // placement on success; on failure it returns the last column inverse
-// tried, for witness computation.
-func (p *placer) greedy(ctx context.Context, opts PlaceOptions) (*Placement, []int, error) {
+// tried, for witness computation. With shuffleAll, even round 0 uses
+// randomized tie-breaking — candidate enumeration wants seed diversity,
+// whereas single-placement search wants round 0 near-identity.
+func (p *placer) greedy(ctx context.Context, opts PlaceOptions, shuffleAll bool) (*Placement, []int, error) {
 	rng := opts.Seed*6364136223846793005 + 1442695040888963407
 	next := func(bound int) int {
 		rng = rng*6364136223846793005 + 1442695040888963407
@@ -420,7 +422,7 @@ func (p *placer) greedy(ctx context.Context, opts PlaceOptions) (*Placement, []i
 		if err := ctx.Err(); err != nil {
 			return nil, invCol, err
 		}
-		shuffle := round > 0 // round 0 prefers near-identity bindings
+		shuffle := shuffleAll || round > 0 // round 0 prefers near-identity bindings
 		rowPerm, okRows := kuhn(p.d.Rows, p.dm.Rows(), func(r, pr int) bool {
 			return p.rowOK(r, pr, invCol)
 		}, order(p.dm.Rows(), shuffle))
@@ -627,6 +629,110 @@ func (p *placer) ilp(ctx context.Context, opts PlaceOptions, lastInvCol []int) (
 			Candidates: cand,
 		}
 	}
+}
+
+// PlaceCandidates enumerates up to max distinct compatible placements of d
+// onto dm, for callers that rank placements by a secondary objective (the
+// margin-aware repair loop scores each candidate's electrical margin). The
+// identity placement, when compatible, is always the first candidate;
+// further candidates come from greedy searches under derived seeds with
+// fully randomized tie-breaking, deduplicated by permutation. Every
+// returned placement has passed the same postcondition gate as
+// PlaceContext's result. When at least one candidate exists the slice is
+// returned even if the context expires mid-enumeration (anytime
+// semantics); with none, the error is the usual *Unplaceable or ctx error.
+func PlaceCandidates(ctx context.Context, d *Design, dm *defect.Map, opts PlaceOptions, max int) ([]*Placement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if max <= 0 {
+		max = 1
+	}
+	opts = opts.withDefaults()
+	physRows, physCols := dm.Rows(), dm.Cols()
+	if dm == nil {
+		physRows, physCols = d.Rows, d.Cols
+	}
+	if physRows < d.Rows || physCols < d.Cols {
+		return nil, &Unplaceable{
+			Stage:      "dims",
+			Detail:     fmt.Sprintf("%dx%d design exceeds the %dx%d physical array", d.Rows, d.Cols, physRows, physCols),
+			LogicalRow: -1,
+			Proven:     true,
+		}
+	}
+	identity := func(n int) []int {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		return perm
+	}
+	p := newPlacer(d, dm)
+	seen := map[string]bool{}
+	var out []*Placement
+	add := func(pl *Placement) error {
+		key := fmt.Sprint(pl.RowPerm, pl.ColPerm)
+		if seen[key] {
+			return nil
+		}
+		v, err := p.finish(pl)
+		if err != nil {
+			return err
+		}
+		seen[key] = true
+		out = append(out, v)
+		return nil
+	}
+	if p.compatible(identity(d.Rows), identity(d.Cols)) {
+		if err := add(&Placement{RowPerm: identity(d.Rows), ColPerm: identity(d.Cols), Engine: "identity"}); err != nil {
+			return nil, err
+		}
+	}
+	if dm.Len() == 0 {
+		// No faults: every binding is electrically identical, so one
+		// canonical candidate is the complete answer.
+		return out, nil
+	}
+	if len(out) == 0 {
+		if up := p.provenInfeasible(); up != nil {
+			return nil, up
+		}
+	}
+	seedOpts := opts
+	for i := 0; i < 4*max && len(out) < max; i++ {
+		if err := ctx.Err(); err != nil {
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, err
+		}
+		seedOpts.Seed = opts.Seed + uint64(i)*0x9e3779b97f4a7c15
+		pl, _, err := p.greedy(ctx, seedOpts, true)
+		if err != nil {
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, err
+		}
+		if pl != nil {
+			if err := add(pl); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(out) == 0 {
+		// Greedy enumeration found nothing at all; the exact stage settles
+		// existence the same way PlaceContext would.
+		pl, err := p.ilp(ctx, opts, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(pl); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // lastOrIdentityInvCol returns the witness column inverse: the last one

@@ -377,3 +377,111 @@ func TestPlacementValidation(t *testing.T) {
 		t.Fatal("out-of-range placement accepted")
 	}
 }
+
+func TestPlaceCandidatesIdentityFirstAndDistinct(t *testing.T) {
+	d, ref, n := synthDesign(t, 6)
+	// A fault on a spare line keeps identity compatible while forcing the
+	// enumeration to actually search for alternatives.
+	dm, err := defect.New(d.Rows+1, d.Cols+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Set(d.Rows, d.Cols, defect.StuckOn); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := PlaceCandidates(context.Background(), d, dm, PlaceOptions{Seed: 9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates on a nearly clean array")
+	}
+	if cands[0].Engine != "identity" {
+		t.Errorf("first candidate engine %q, want identity", cands[0].Engine)
+	}
+	seen := map[string]bool{}
+	for _, pl := range cands {
+		key := ""
+		for _, p := range append(append([]int{}, pl.RowPerm...), pl.ColPerm...) {
+			key += string(rune('A' + p))
+		}
+		if seen[key] {
+			t.Errorf("duplicate candidate %v/%v", pl.RowPerm, pl.ColPerm)
+		}
+		seen[key] = true
+		eff, err := d.UnderDefects(dm, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEquivalent(t, eff, ref, n)
+	}
+	// Determinism: same inputs, same candidate list.
+	again, err := PlaceCandidates(context.Background(), d, dm, PlaceOptions{Seed: 9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(cands) {
+		t.Fatalf("candidate count not deterministic: %d vs %d", len(cands), len(again))
+	}
+	for i := range cands {
+		if !equalIntSlice(cands[i].RowPerm, again[i].RowPerm) || !equalIntSlice(cands[i].ColPerm, again[i].ColPerm) {
+			t.Errorf("candidate %d not deterministic", i)
+		}
+	}
+}
+
+func equalIntSlice(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlaceCandidatesCleanArraySingleIdentity(t *testing.T) {
+	d, _, _ := synthDesign(t, 7)
+	dm, err := defect.New(d.Rows, d.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := PlaceCandidates(context.Background(), d, dm, PlaceOptions{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].Engine != "identity" {
+		t.Fatalf("fault-free enumeration should be exactly [identity], got %d candidates", len(cands))
+	}
+}
+
+func TestPlaceCandidatesDimsError(t *testing.T) {
+	d, _, _ := synthDesign(t, 8)
+	dm, err := defect.New(d.Rows-1, d.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = PlaceCandidates(context.Background(), d, dm, PlaceOptions{}, 2)
+	var up *Unplaceable
+	if !errors.As(err, &up) || !up.Proven || up.Stage != "dims" {
+		t.Fatalf("undersized array not rejected with a proven dims Unplaceable: %v", err)
+	}
+}
+
+func TestPlaceCandidatesCanceledContext(t *testing.T) {
+	d, _, _ := synthDesign(t, 9)
+	dm, err := defect.New(d.Rows+1, d.Cols+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Set(0, 0, defect.StuckOff); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PlaceCandidates(ctx, d, dm, PlaceOptions{}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead context not surfaced: %v", err)
+	}
+}
