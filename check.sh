@@ -12,9 +12,9 @@
 #                    compactd server tests)
 #   6. fuzz smoke  — a few seconds on each native fuzz target (the three
 #                    parser front ends, the design wire decoder, the
-#                    partition plan decoder, the persistent store's
-#                    on-disk entry codec and the spice dense-vs-CG
-#                    solver cross-check)
+#                    layered (FLOW-3D) design wire decoder, the partition
+#                    plan decoder, the persistent store's on-disk entry
+#                    codec and the spice dense-vs-CG solver cross-check)
 #   7. compactlint — the project's own analyzers, including the compactflow
 #                    dataflow suite (allocbound, ctxflow, gospawn) and the
 #                    staleignore check on //lint:ignore directives; any
@@ -29,7 +29,10 @@
 #          (results/BENCH_ilp.json, soft-compared against the committed
 #          baseline via benchjson -compare — warn-only) and the
 #          partitioned-synthesis benchmark (results/BENCH_partition.json
-#          via cmd/partitionbench), the variation-robustness yield curves
+#          via cmd/partitionbench), the FLOW-3D S-vs-K sweep
+#          (results/BENCH_3d.json via cmd/flow3dbench; soft-compared
+#          against the committed baseline, warn-only), the
+#          variation-robustness yield curves
 #          (results/BENCH_margin.json via cmd/marginbench — yield and
 #          worst-case margin vs sigma vs crossbar size, plus the
 #          margin-aware placement delta; soft-compared against the
@@ -81,6 +84,7 @@ if [ "$short" -eq 0 ]; then
     go test -fuzz=FuzzParse -fuzztime=5s -run='^$' ./internal/pla/
     go test -fuzz=FuzzParse -fuzztime=5s -run='^$' ./internal/verilog/
     go test -fuzz=FuzzDesignJSON -fuzztime=5s -run='^$' ./internal/xbar/
+    go test -fuzz=FuzzDesign3DJSON -fuzztime=5s -run='^$' ./internal/xbar3d/
     go test -fuzz=FuzzEval64VsScalar -fuzztime=5s -run='^$' ./internal/xbar/
     go test -fuzz=FuzzPlanJSON -fuzztime=5s -run='^$' ./internal/partition/
     go test -fuzz=FuzzStoreEntry -fuzztime=5s -run='^$' ./internal/store/
@@ -110,6 +114,13 @@ if [ "$bench" -eq 1 ]; then
 
     echo "== benchmarks (partitioned multi-crossbar synthesis) =="
     go run ./cmd/partitionbench -timelimit 10s -out results/BENCH_partition.json
+
+    echo "== benchmarks (FLOW-3D: semiperimeter vs wire-layer count K) =="
+    go run ./cmd/flow3dbench -timelimit 10s \
+        -compare results/BENCH_3d.json \
+        -out results/BENCH_3d.json.new
+    mv results/BENCH_3d.json.new results/BENCH_3d.json
+    echo "wrote results/BENCH_3d.json"
 
     echo "== benchmarks (variation robustness: yield curves + margin-aware placement) =="
     go run ./cmd/marginbench -timelimit 10s \

@@ -7,7 +7,13 @@
 //	compact -in circuit.blif [-gamma 0.5] [-method auto|oct|mip|heuristic|portfolio]
 //	        [-robdds] [-noalign] [-timelimit 60s] [-render] [-dot out.dot]
 //	        [-verify N] [-spice] [-defects map.json] [-defect-rate 0.05]
-//	        [-max-rows R] [-max-cols C] [-partition]
+//	        [-max-rows R] [-max-cols C] [-partition] [-layers K]
+//
+// -layers K (K >= 3) synthesizes a FLOW-3D K-layer crossbar stack instead
+// of the classic two-layer array: the BDD graph is K-colored onto the
+// stack (internal/labeling SolveK), mapped through internal/xbar3d and
+// verified through the layered sneak-path evaluators. 0, 1 and 2 all mean
+// the classic 2D pipeline.
 //
 // -max-rows / -max-cols cap the crossbar dimensions; with -partition, a
 // function that cannot fit one tile is cut into a verified cascade of
@@ -61,6 +67,7 @@ type cliConfig struct {
 	partition  bool
 	maxRows    int
 	maxCols    int
+	layers     int
 }
 
 func main() {
@@ -88,6 +95,7 @@ func main() {
 	flag.IntVar(&cfg.maxRows, "max-rows", 0, "per-crossbar row cap (0 = unconstrained)")
 	flag.IntVar(&cfg.maxCols, "max-cols", 0, "per-crossbar column cap (0 = unconstrained)")
 	flag.BoolVar(&cfg.partition, "partition", false, "when the function cannot fit -max-rows x -max-cols, cut it into a verified multi-tile cascade")
+	flag.IntVar(&cfg.layers, "layers", 0, "crossbar wire layers: 0/1/2 = classic 2D, 3+ = FLOW-3D layered stack")
 	flag.Parse()
 	if *inPath == "" {
 		flag.Usage()
@@ -125,6 +133,7 @@ func run(ctx context.Context, inPath string, cfg cliConfig) error {
 		MaxRows:           cfg.maxRows,
 		MaxCols:           cfg.maxCols,
 		Partition:         cfg.partition,
+		Layers:            cfg.layers,
 	}
 	if cfg.robdds {
 		opts.BDDKind = core.SeparateROBDDs
@@ -158,6 +167,21 @@ func run(ctx context.Context, inPath string, cfg cliConfig) error {
 			fmt.Println(line)
 		}
 		fmt.Printf("plan digest: %s\n", res.Plan.Digest())
+	} else if res.Design3D != nil {
+		st := res.Design3D.Stats()
+		fmt.Printf("bdd: %d nodes, %d edges (%s)\n", res.BDDNodes, res.BDDEdges, opts.BDDKind)
+		fmt.Printf("labeling: method=%s optimal=%v (K=%d coloring)\n",
+			res.KLabeling.Method, res.KLabeling.Optimal, st.K)
+		fmt.Printf("stack: %d wire layers, widths %v  footprint %d x %d  S=%d  D=%d  devices=%d  delay=%d steps\n",
+			st.K, st.Widths, st.R, st.C, st.S, st.D, st.LitCells+st.OnCells, st.Delay)
+		if res.Placement3D != nil {
+			defects := 0
+			for _, dm := range res.DefectMaps3D {
+				defects += dm.Len()
+			}
+			fmt.Printf("placement: engine=%s planes=%d defects=%d repair_attempts=%d (effective design re-verified)\n",
+				res.Placement3D.Engine, len(res.DefectMaps3D), defects, res.RepairAttempts)
+		}
 	} else {
 		st := res.Stats()
 		fmt.Printf("bdd: %d nodes, %d edges (%s)\n", res.BDDNodes, res.BDDEdges, opts.BDDKind)
@@ -196,6 +220,9 @@ func run(ctx context.Context, inPath string, cfg cliConfig) error {
 			return fmt.Errorf("validation FAILED: %w", err)
 		}
 		fmt.Printf("validation: OK (%d inputs, sampled/exhaustive)\n", nw.NumInputs())
+	}
+	if res.Design3D != nil && (cfg.render || cfg.svgPath != "") {
+		return fmt.Errorf("-render and -svg draw single 2D arrays; not supported for -layers stacks (use the JSON wire format)")
 	}
 	if cfg.render {
 		if res.Plan != nil {
@@ -245,7 +272,17 @@ func run(ctx context.Context, inPath string, cfg cliConfig) error {
 	}
 	if cfg.runSpice {
 		model := spice.Default()
-		rep, err := spice.Margin(res.Design, nw.Eval, nw.NumInputs(), 10, 200, model, 1)
+		var (
+			rep spice.MarginReport
+			err error
+		)
+		if res.Design3D != nil {
+			// The 3D nodal path simulates the pristine stack (layered defect
+			// placement has no electrical model).
+			rep, err = spice.Margin3DContext(ctx, res.Design3D, nw.Eval, nw.NumInputs(), 10, 200, model, 1)
+		} else {
+			rep, err = spice.Margin(res.Design, nw.Eval, nw.NumInputs(), 10, 200, model, 1)
+		}
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,200 @@
+// Command flow3dbench measures the FLOW-3D payoff axis: semiperimeter and
+// solve time versus the wire-layer count K. For each benchmark circuit it
+// synthesizes at K = 1, 2, 3, 4 (K <= 2 is the classic two-layer
+// pipeline; K >= 3 the layered stack), verifies every result through the
+// composed sneak-path checkers, and reports the S-vs-K curve as a JSON
+// document suitable for tracking across commits.
+//
+// Usage:
+//
+//	flow3dbench [-method heuristic] [-timelimit 15s]
+//	            [-out results/BENCH_3d.json] [-compare results/BENCH_3d.json]
+//	            [circuit ...]
+//
+// With no circuits it runs the default set (ctrl, cavlc, int2float) — the
+// EPFL control benchmarks the paper's Table I reports.
+//
+// With -compare, fresh results are diffed against a committed baseline and
+// regressions (a larger semiperimeter or a lost verification at the same
+// (circuit, K) point) are reported on stderr as warnings; the exit status
+// stays zero. The hard gate is the repo's test suite, not wall-clock noise
+// on shared CI runners.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"compact/internal/bench"
+	"compact/internal/core"
+)
+
+// layerSweep is the K axis every circuit is swept over. 1 and 2 both mean
+// the classic pipeline (1 canonicalizes to 2) — keeping both documents the
+// clamp in the published curve.
+var layerSweep = []int{1, 2, 3, 4}
+
+type entry struct {
+	Circuit string `json:"circuit"`
+	K       int    `json:"k"`
+	// S/D/Rows/Cols are the stack's footprint statistics (for K <= 2, the
+	// classic design's).
+	S       int   `json:"s"`
+	D       int   `json:"d"`
+	Rows    int   `json:"rows"`
+	Cols    int   `json:"cols"`
+	Widths  []int `json:"widths,omitempty"` // per-layer wire counts, K >= 3
+	Devices int   `json:"devices"`
+	// Verified reports the composed check: FormalVerify's symbolic
+	// sneak-path closure plus the word-parallel simulation tier.
+	Verified bool    `json:"verified"`
+	SolveMS  float64 `json:"solve_ms"` // labeling solve wall clock
+	WallMS   float64 `json:"wall_ms"`  // full synthesis wall clock
+	Err      string  `json:"error,omitempty"`
+}
+
+type report struct {
+	Method  string  `json:"method"`
+	Entries []entry `json:"entries"`
+}
+
+func main() {
+	var (
+		method    = flag.String("method", "heuristic", "labeling method: auto, oct, mip, heuristic, portfolio")
+		timeLimit = flag.Duration("timelimit", 15*time.Second, "per-synthesis solve budget")
+		outPath   = flag.String("out", "results/BENCH_3d.json", "output JSON path")
+		baseline  = flag.String("compare", "", "baseline JSON file to diff against (warn-only)")
+	)
+	flag.Parse()
+	circuits := flag.Args()
+	if len(circuits) == 0 {
+		circuits = []string{"ctrl", "cavlc", "int2float"}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, circuits, *method, *timeLimit, *outPath, *baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "flow3dbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, circuits []string, method string, timeLimit time.Duration, outPath, baseline string) error {
+	m, err := core.MethodFromString(method)
+	if err != nil {
+		return err
+	}
+	rep := report{Method: method}
+	for _, name := range circuits {
+		g, ok := bench.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", name)
+		}
+		nw := g.Build()
+		for _, k := range layerSweep {
+			e := entry{Circuit: name, K: k}
+			t0 := time.Now()
+			res, err := core.SynthesizeContext(ctx, nw, core.Options{
+				Method: m, TimeLimit: timeLimit, Layers: k,
+			})
+			e.WallMS = millis(time.Since(t0))
+			if err != nil {
+				e.Err = err.Error()
+				rep.Entries = append(rep.Entries, e)
+				continue
+			}
+			if res.Design3D != nil {
+				st := res.Design3D.Stats()
+				e.S, e.D, e.Rows, e.Cols = st.S, st.D, st.R, st.C
+				e.Widths = st.Widths
+				e.Devices = st.LitCells + st.OnCells
+				e.SolveMS = millis(res.KLabeling.Elapsed)
+			} else {
+				st := res.Stats()
+				e.S, e.D, e.Rows, e.Cols = st.S, st.D, st.Rows, st.Cols
+				e.Devices = st.LitCells + st.OnCells
+				e.SolveMS = millis(res.Labeling.Elapsed)
+			}
+			if err := res.FormalVerify(0); err != nil {
+				e.Err = fmt.Sprintf("formal verify: %v", err)
+			} else if err := res.Verify(14, 512, 1); err != nil {
+				e.Err = fmt.Sprintf("verify: %v", err)
+			} else {
+				e.Verified = true
+			}
+			fmt.Printf("%-10s K=%d  S=%-4d D=%-3d footprint %dx%d  devices=%-4d verified=%-5v solve=%.0fms wall=%.0fms\n",
+				name, k, e.S, e.D, e.Rows, e.Cols, e.Devices, e.Verified, e.SolveMS, e.WallMS)
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	if baseline != "" {
+		compare(os.Stderr, rep, baseline)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(outPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}
+
+// compare warns (on w) about fresh results that regress against the
+// committed baseline: a larger semiperimeter or a lost verification at the
+// same (circuit, K) point. Wall clock is reported nowhere — it is noise on
+// shared runners. Warn-only by design; the caller's exit status is
+// unaffected.
+func compare(w io.Writer, fresh report, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		_, _ = fmt.Fprintf(w, "flow3dbench: compare: %v (skipping comparison)\n", err)
+		return
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		_, _ = fmt.Fprintf(w, "flow3dbench: compare: parsing %s: %v (skipping comparison)\n", path, err)
+		return
+	}
+	type point struct {
+		s        int
+		verified bool
+		err      string
+	}
+	byKey := make(map[string]point, len(base.Entries))
+	for _, e := range base.Entries {
+		byKey[fmt.Sprintf("%s/K=%d", e.Circuit, e.K)] = point{s: e.S, verified: e.Verified, err: e.Err}
+	}
+	for _, e := range fresh.Entries {
+		key := fmt.Sprintf("%s/K=%d", e.Circuit, e.K)
+		b, ok := byKey[key]
+		if !ok {
+			continue
+		}
+		if e.Err != "" && b.err == "" {
+			_, _ = fmt.Fprintf(w, "flow3dbench: compare: %s now fails: %s\n", key, e.Err)
+			continue
+		}
+		if e.S > b.s && b.err == "" {
+			_, _ = fmt.Fprintf(w, "flow3dbench: compare: %s semiperimeter %d > baseline %d\n", key, e.S, b.s)
+		}
+		if !e.Verified && b.verified {
+			_, _ = fmt.Fprintf(w, "flow3dbench: compare: %s lost verification\n", key)
+		}
+	}
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

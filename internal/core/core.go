@@ -25,6 +25,7 @@ import (
 	"compact/internal/oct"
 	"compact/internal/partition"
 	"compact/internal/xbar"
+	"compact/internal/xbar3d"
 )
 
 // BDDKind selects how multi-output functions are represented.
@@ -113,6 +114,15 @@ type Options struct {
 	// MaxRepairAttempts bounds the place-verify-retry loop (0 = default 3).
 	// The final attempt always escalates to the exact ILP engine.
 	MaxRepairAttempts int
+	// Layers selects the number of crossbar wire layers. 0 (and 1) mean the
+	// classic two-layer crossbar — the 2D pipeline, unchanged. 3 and above
+	// enable FLOW-3D synthesis: the BDD graph is K-colored onto a layer
+	// stack (labeling.SolveK), mapped to a layered design (xbar3d.Map3D),
+	// and the result carries Design3D instead of Design. Capped at
+	// labeling.MaxLayers. Layered synthesis composes with DefectRate
+	// (per-plane generated maps) but not yet with explicit Defects maps,
+	// Partition or MarginAware — Validate rejects those combinations.
+	Layers int
 	// MarginAware adds a secondary electrical objective to defect-aware
 	// placement: several candidate placements are enumerated, each verified
 	// placement is scored by its worst-case voltage margin under the
@@ -161,6 +171,17 @@ type Result struct {
 	Effective      *xbar.Design
 	Defects        *defect.Map
 	RepairAttempts int
+
+	// Design3D, KLabeling, Placement3D, Effective3D and DefectMaps3D are
+	// the layered counterparts of Design/Labeling/Placement/Effective/
+	// Defects, set when Options.Layers >= 3 (Design, Labeling and the 2D
+	// placement fields stay nil in that case). DefectMaps3D holds one
+	// generated map per device plane.
+	Design3D     *xbar3d.Design3D
+	KLabeling    *labeling.KSolution
+	Placement3D  *xbar3d.Placement3D
+	Effective3D  *xbar3d.Design3D
+	DefectMaps3D []*defect.Map
 
 	network *logic.Network
 	mgr     *bdd.Manager // SBDD mode only
@@ -284,6 +305,9 @@ func synthesizeSingle(ctx context.Context, nw *logic.Network, opts Options) (*Re
 			return nil, fmt.Errorf("core: labeling: %w", err)
 		}
 	}
+	if opts.Layers > 2 {
+		return synthesizeLayered(ctx, nw, opts, bg, nodes, edges, order, mgrKeep, rootsKeep)
+	}
 	sol, err := labeling.SolveContext(ctx, bg.Problem(!opts.NoAlign), labeling.Options{
 		Gamma:          opts.gamma(),
 		Method:         opts.Method,
@@ -350,6 +374,13 @@ func (r *Result) Verify(exhaustiveLimit, samples int, seed uint64) error {
 		}
 		return nil
 	}
+	if r.Design3D != nil {
+		bad := r.Design3D.VerifyAgainst64(r.network.Eval64, r.network.NumInputs(), exhaustiveLimit, samples, seed)
+		if bad != nil {
+			return fmt.Errorf("core: layered design disagrees with network on %v", bad)
+		}
+		return nil
+	}
 	bad := r.Design.VerifyAgainst64(r.network.Eval64, r.network.NumInputs(), exhaustiveLimit, samples, seed)
 	if bad != nil {
 		return fmt.Errorf("core: design disagrees with network on %v", bad)
@@ -366,6 +397,9 @@ func (r *Result) Verify(exhaustiveLimit, samples int, seed uint64) error {
 func (r *Result) FormalVerify(nodeLimit int) error {
 	if r.Plan != nil {
 		return r.Plan.FormalVerify(r.network, nodeLimit)
+	}
+	if r.Design3D != nil {
+		return xbar3d.FormalVerify3D(r.Design3D, r.network, nodeLimit)
 	}
 	return xbar.FormalVerify(r.Design, r.network, nodeLimit)
 }

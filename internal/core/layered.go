@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"compact/internal/bdd"
+	"compact/internal/defect"
+	"compact/internal/faultinject"
+	"compact/internal/labeling"
+	"compact/internal/logic"
+	"compact/internal/xbar"
+	"compact/internal/xbar3d"
+)
+
+// The FLOW-3D layered pipeline
+//
+// With Options.Layers >= 3 the back half of the pipeline swaps out: the
+// BDD graph is K-colored onto a layer stack (labeling.SolveK — each node
+// occupies a contiguous layer interval, each edge a crossing between
+// adjacent layers), mapped to a K-layer design (xbar3d.Map3D), and
+// verified through the layered sneak-path evaluators. Defect handling
+// mirrors the 2D verified-repair loop with one generated map per device
+// plane and the greedy sequential matcher (there is no 3D ILP escalation:
+// per-plane assignments couple through shared wire layers, so the 2D
+// assignment-polytope formulation does not transfer).
+
+// synthesizeLayered runs the K-layer back half on an already-built BDD
+// graph; opts must be canonical with Layers >= 3.
+func synthesizeLayered(ctx context.Context, nw *logic.Network, opts Options, bg *xbar.BDDGraph,
+	nodes, edges int, order []int, mgr *bdd.Manager, roots []bdd.Node) (*Result, error) {
+
+	sol, err := labeling.SolveK(ctx, bg.Problem(!opts.NoAlign), opts.Layers, labeling.Options{
+		Gamma:          opts.gamma(),
+		Method:         opts.Method,
+		OCTBackend:     opts.OCTBackend,
+		AutoExactLimit: opts.AutoExactLimit,
+		MaxRows:        opts.MaxRows,
+		MaxCols:        opts.MaxCols,
+	})
+	if err != nil {
+		if errors.Is(err, labeling.ErrInfeasible) {
+			return nil, infeasibleError(bg, opts, err)
+		}
+		return nil, fmt.Errorf("core: labeling: %w", err)
+	}
+	if err := faultinject.Err(faultinject.StageMap); err != nil {
+		return nil, fmt.Errorf("core: mapping: %w", err)
+	}
+	design, err := xbar3d.Map3D(bg, sol)
+	if err != nil {
+		return nil, fmt.Errorf("core: mapping: %w", err)
+	}
+	if opts.BDDKind != SeparateROBDDs {
+		remap := make([]int, len(order))
+		copy(remap, order)
+		if err := design.RemapVars(remap, nw.InputNames()); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	res := &Result{
+		Design3D:  design,
+		Graph:     bg,
+		KLabeling: sol,
+		BDDNodes:  nodes,
+		BDDEdges:  edges,
+		Order:     order,
+		network:   nw,
+		mgr:       mgr,
+		roots:     roots,
+	}
+	maps, err := opts.defectMaps3D(design)
+	if err != nil {
+		return nil, fmt.Errorf("core: defect map: %w", err)
+	}
+	if maps != nil {
+		if err := res.place3DWithRepair(ctx, maps, opts); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// defectMaps3D generates one seeded defect map per device plane when
+// DefectRate > 0, each sized exactly to its plane. Plane seeds stride off
+// DefectSeed so no two planes share a fault stream. opts must be
+// canonical.
+func (o Options) defectMaps3D(d *xbar3d.Design3D) ([]*defect.Map, error) {
+	if o.DefectRate <= 0 {
+		return nil, nil
+	}
+	maps := make([]*defect.Map, len(d.Cells))
+	for dl := range d.Cells {
+		m, err := defect.Generate(d.Widths[dl], d.Widths[dl+1], o.DefectRate, o.DefectOnFraction,
+			o.DefectSeed+uint64(dl+1)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, err
+		}
+		maps[dl] = m
+	}
+	return maps, nil
+}
+
+// place3DWithRepair is the layered verified-repair loop: place the stack
+// (xbar3d.Place3D), materialize the effective design the faulty planes
+// compute, verify it against the source network, and retry with a fresh
+// seed on any mismatch — the same untrusted-search contract as the 2D
+// loop. A proven *xbar3d.Unplaceable3D aborts immediately, and a repeated
+// rejected binding aborts too: every engine is deterministic in (design,
+// maps, seed) and the identity shortcut ignores the seed, so a repeat
+// proves the search has nothing new to offer.
+func (r *Result) place3DWithRepair(ctx context.Context, maps []*defect.Map, opts Options) error {
+	attempts := opts.MaxRepairAttempts
+	if attempts <= 0 {
+		attempts = DefaultRepairAttempts
+	}
+	if err := faultinject.Err(faultinject.StagePlace); err != nil {
+		return fmt.Errorf("core: placement: %w", err)
+	}
+	var lastErr error
+	rejected := make(map[string]bool)
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if fn := progressFrom(ctx).RepairAttempt; fn != nil {
+			fn(attempt + 1)
+		}
+		popts := xbar.PlaceOptions{
+			Seed: opts.DefectSeed + uint64(attempt)*0x9e3779b97f4a7c15,
+		}
+		pl, err := xbar3d.Place3D(ctx, r.Design3D, maps, popts)
+		if err != nil {
+			var up *xbar3d.Unplaceable3D
+			if errors.As(err, &up) && up.Proven {
+				return fmt.Errorf("core: placement: %w", err)
+			}
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return fmt.Errorf("core: placement: %w", ctxErr)
+			}
+			lastErr = err
+			continue
+		}
+		fp := fmt.Sprint(pl.Perms)
+		if rejected[fp] {
+			return fmt.Errorf("core: layered placement failed after %d attempts: the search reproduces a placement that already failed verification: %w", attempt+1, lastErr)
+		}
+		eff, err := r.Design3D.UnderDefects3D(maps, pl)
+		if err != nil {
+			// Structural rejection of a search-produced placement is a bug,
+			// not a retryable condition.
+			return fmt.Errorf("core: placement: %w", err)
+		}
+		injected := false
+		if mode, _ := faultinject.Mode(faultinject.StagePlace); mode == "corrupt" && attempt == 0 {
+			corruptDesign3D(eff)
+			injected = true
+		}
+		if err := r.verifyEffective3D(eff); err != nil {
+			lastErr = err
+			if !injected {
+				rejected[fp] = true
+			}
+			continue
+		}
+		r.Placement3D = pl
+		r.Effective3D = eff
+		r.DefectMaps3D = maps
+		r.RepairAttempts = attempt + 1
+		return nil
+	}
+	return fmt.Errorf("core: layered placement failed after %d attempts: %w", attempts, lastErr)
+}
+
+// verifyEffective3D checks the effective layered design against the source
+// network: a formal sneak-path equivalence proof when the shared BDD is
+// available (SBDD mode), exhaustive-or-sampled word-parallel simulation
+// otherwise — the same tiers as verifyEffective.
+func (r *Result) verifyEffective3D(eff *xbar3d.Design3D) error {
+	if r.mgr != nil {
+		return xbar3d.FormalVerify3D(eff, r.network, 0)
+	}
+	if bad := eff.VerifyAgainst64(r.network.Eval64, r.network.NumInputs(), 14, 512, 1); bad != nil {
+		return fmt.Errorf("core: effective layered design disagrees with the network on %v", bad)
+	}
+	return nil
+}
+
+// corruptDesign3D flips the polarity of the first literal cell — the
+// layered counterpart of corruptDesign for the place=corrupt injection
+// mode.
+func corruptDesign3D(d *xbar3d.Design3D) {
+	for dl := range d.Cells {
+		for r := range d.Cells[dl] {
+			for c := range d.Cells[dl][r] {
+				if d.Cells[dl][r][c].Kind == xbar.Lit {
+					d.Cells[dl][r][c].Neg = !d.Cells[dl][r][c].Neg
+					return
+				}
+			}
+		}
+	}
+}

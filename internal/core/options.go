@@ -110,6 +110,23 @@ func (o Options) Validate() error {
 	if o.MaxRepairAttempts < 0 {
 		return fmt.Errorf("core: negative MaxRepairAttempts %d", o.MaxRepairAttempts)
 	}
+	if o.Layers < 0 || o.Layers > labeling.MaxLayers {
+		return fmt.Errorf("core: Layers %d outside 0..%d", o.Layers, labeling.MaxLayers)
+	}
+	if o.Layers > 2 {
+		// The layered pipeline composes with generated per-plane defect maps
+		// only; reject the combinations that would silently fall back to 2D
+		// machinery (DESIGN §15).
+		if o.Partition {
+			return fmt.Errorf("core: Partition is not supported with Layers %d (layered tiling is not implemented)", o.Layers)
+		}
+		if o.MarginAware {
+			return fmt.Errorf("core: MarginAware is not supported with Layers %d (layered placement has no electrical model)", o.Layers)
+		}
+		if o.Defects != nil {
+			return fmt.Errorf("core: explicit Defects maps are 2D; use DefectRate to generate per-plane maps with Layers %d", o.Layers)
+		}
+	}
 	return nil
 }
 
@@ -143,6 +160,11 @@ func (o Options) Canonical() Options {
 	if c.Defects != nil {
 		c.Defects = c.Defects.Clone()
 	}
+	if c.Layers < 2 {
+		// 0 and 1 both mean the classic two-layer crossbar: a crossbar needs
+		// two wire layers, and SolveK applies the same clamp.
+		c.Layers = 2
+	}
 	return c
 }
 
@@ -154,8 +176,8 @@ func (o Options) Canonical() Options {
 func (o Options) Key() string {
 	c := o.Canonical()
 	var b strings.Builder
-	fmt.Fprintf(&b, "compact-options-v4|gamma=%g|method=%s|bdd=%s|align=%t|timelimit=%d|order=%v|sift=%t|nodelimit=%d|octbackend=%d|autoexact=%d|maxrows=%d|maxcols=%d|partition=%t",
-		c.Gamma, c.Method, c.BDDKind, !c.NoAlign, int64(c.TimeLimit), c.VarOrder, c.Sift, c.NodeLimit, c.OCTBackend, c.AutoExactLimit, c.MaxRows, c.MaxCols, c.Partition)
+	fmt.Fprintf(&b, "compact-options-v5|gamma=%g|method=%s|bdd=%s|align=%t|timelimit=%d|order=%v|sift=%t|nodelimit=%d|octbackend=%d|autoexact=%d|maxrows=%d|maxcols=%d|partition=%t|layers=%d",
+		c.Gamma, c.Method, c.BDDKind, !c.NoAlign, int64(c.TimeLimit), c.VarOrder, c.Sift, c.NodeLimit, c.OCTBackend, c.AutoExactLimit, c.MaxRows, c.MaxCols, c.Partition, c.Layers)
 	// Defect configuration is part of the synthesis identity: the same
 	// network on differently defective arrays yields different placements
 	// (and possibly Unplaceable), so cached results must not alias. Map

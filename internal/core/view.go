@@ -2,10 +2,12 @@ package core
 
 import (
 	"math"
+	"strings"
 	"time"
 
 	"compact/internal/partition"
 	"compact/internal/xbar"
+	"compact/internal/xbar3d"
 )
 
 // ResultView is the stable, JSON-serializable projection of a Result — the
@@ -32,6 +34,10 @@ type ResultView struct {
 	// Design is the programmed crossbar, sparse-encoded; nil for
 	// partitioned results (see Partition).
 	Design *xbar.Design `json:"design,omitempty"`
+	// Design3D is the K-layer stack produced when the request asked for
+	// Layers >= 3, in xbar3d's versioned sparse wire format; Design is nil
+	// in that case and Crossbar carries the stack's footprint projection.
+	Design3D *xbar3d.Design3D `json:"design3d,omitempty"`
 	// Placement reports the defect-aware placement outcome; present only
 	// when synthesis ran against a defect map.
 	Placement *PlacementView `json:"placement,omitempty"`
@@ -64,11 +70,15 @@ type PartitionView struct {
 // identity (fault count plus content digest).
 type PlacementView struct {
 	Engine         string `json:"engine"`
-	RowPerm        []int  `json:"row_perm"`
-	ColPerm        []int  `json:"col_perm"`
+	RowPerm        []int  `json:"row_perm,omitempty"`
+	ColPerm        []int  `json:"col_perm,omitempty"`
 	RepairAttempts int    `json:"repair_attempts"`
 	Defects        int    `json:"defects"`
 	DefectsDigest  string `json:"defects_digest"`
+	// LayerPerms is the per-layer wire binding of a layered placement
+	// (RowPerm/ColPerm are absent in that case); DefectsDigest then joins
+	// the per-plane map digests with "," in plane order.
+	LayerPerms [][]int `json:"layer_perms,omitempty"`
 }
 
 // CircuitView summarizes the source network.
@@ -106,7 +116,10 @@ type EngineView struct {
 	Err       string   `json:"error,omitempty"`
 }
 
-// CrossbarView is the design's hardware statistics in wire form.
+// CrossbarView is the design's hardware statistics in wire form. For
+// layered results Rows/Cols/S/D are the stack's footprint projection and
+// the two layer fields identify the stack shape; both are zero/absent for
+// classic 2D designs.
 type CrossbarView struct {
 	Rows    int `json:"rows"`
 	Cols    int `json:"cols"`
@@ -116,6 +129,10 @@ type CrossbarView struct {
 	Devices int `json:"devices"`
 	Power   int `json:"power"`
 	Delay   int `json:"delay"`
+	// Layers is the wire-layer count of a layered result (0 for 2D).
+	Layers int `json:"layers,omitempty"`
+	// LayerWidths is the per-layer wire count of a layered result.
+	LayerWidths []int `json:"layer_widths,omitempty"`
 }
 
 // View projects the result into its serializable wire form. The returned
@@ -135,6 +152,16 @@ func (r *Result) View() ResultView {
 			Rows: st.Rows, Cols: st.Cols, S: st.S, D: st.D,
 			Area: st.Area, Devices: st.LitCells + st.OnCells,
 			Power: st.Power, Delay: st.Delay,
+		}
+	}
+	if r.Design3D != nil {
+		st := r.Design3D.Stats()
+		v.Design3D = r.Design3D
+		v.Crossbar = CrossbarView{
+			Rows: st.R, Cols: st.C, S: st.S, D: st.D,
+			Area: st.Area, Devices: st.LitCells + st.OnCells,
+			Power: st.Power, Delay: st.Delay,
+			Layers: st.K, LayerWidths: st.Widths,
 		}
 	}
 	if p := r.Plan; p != nil {
@@ -170,6 +197,47 @@ func (r *Result) View() ResultView {
 			RepairAttempts: r.RepairAttempts,
 			Defects:        r.Defects.Len(),
 			DefectsDigest:  r.Defects.Digest(),
+		}
+	}
+	if pl := r.Placement3D; pl != nil {
+		pv := &PlacementView{
+			Engine:         pl.Engine,
+			RepairAttempts: r.RepairAttempts,
+		}
+		for _, p := range pl.Perms {
+			pv.LayerPerms = append(pv.LayerPerms, append([]int(nil), p...))
+		}
+		var digests []string
+		for _, m := range r.DefectMaps3D {
+			pv.Defects += m.Len()
+			digests = append(digests, m.Digest())
+		}
+		pv.DefectsDigest = strings.Join(digests, ",")
+		v.Placement = pv
+	}
+	if sol := r.KLabeling; sol != nil {
+		v.Labeling = LabelingView{
+			Method:  sol.Method,
+			Optimal: sol.Optimal,
+			Rows:    sol.Stats.R,
+			Cols:    sol.Stats.C,
+			S:       sol.Stats.S,
+			D:       sol.Stats.D,
+			Millis:  millis(sol.Elapsed),
+		}
+		for _, er := range sol.Engines {
+			ev := EngineView{
+				Method:  er.Method,
+				Optimal: er.Optimal,
+				Winner:  er.Winner,
+				Millis:  millis(er.Elapsed),
+				Err:     er.Err,
+			}
+			if !math.IsInf(er.Objective, 0) && !math.IsNaN(er.Objective) {
+				obj := er.Objective
+				ev.Objective = &obj
+			}
+			v.Labeling.Engines = append(v.Labeling.Engines, ev)
 		}
 	}
 	if sol := r.Labeling; sol != nil {

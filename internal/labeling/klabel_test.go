@@ -1,0 +1,175 @@
+package labeling
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"compact/internal/graph"
+)
+
+// wheel returns an odd wheel: a hub adjacent to every rim node of an
+// odd cycle — non-bipartite, forcing at least one spanning interval.
+func wheel(rim int) *graph.Graph {
+	g := graph.New(rim + 1)
+	for i := 0; i < rim; i++ {
+		if err := g.AddEdge(i, (i+1)%rim); err != nil {
+			panic(err)
+		}
+		if err := g.AddEdge(i, rim); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// grid returns a bipartite a x b grid graph.
+func grid(a, b int) *graph.Graph {
+	g := graph.New(a * b)
+	id := func(i, j int) int { return i*b + j }
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			if i+1 < a {
+				if err := g.AddEdge(id(i, j), id(i+1, j)); err != nil {
+					panic(err)
+				}
+			}
+			if j+1 < b {
+				if err := g.AddEdge(id(i, j), id(i, j+1)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestComputeKStatsMatches2D(t *testing.T) {
+	labels := []Label{H, V, VH, H, V}
+	lo, hi := LiftLabels(labels)
+	st2 := ComputeStats(labels)
+	stK := ComputeKStats(2, lo, hi)
+	if stK.R != st2.Rows || stK.C != st2.Cols || stK.S != st2.S || stK.D != st2.D {
+		t.Fatalf("lifted stats %+v disagree with 2D stats %+v", stK, st2)
+	}
+	if stK.Widths[0] != st2.Rows || stK.Widths[1] != st2.Cols {
+		t.Fatalf("widths %v, want [%d %d]", stK.Widths, st2.Rows, st2.Cols)
+	}
+}
+
+func TestSolveKDelegatesAtKLE2(t *testing.T) {
+	p := Problem{G: wheel(5), AlignH: []int{5}}
+	base, err := SolveContext(context.Background(), p, Options{Method: MethodHeuristic, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2} {
+		sol, err := SolveK(context.Background(), p, k, Options{Method: MethodHeuristic, Gamma: 0.5})
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if sol.K != 2 {
+			t.Fatalf("K=%d clamped to %d, want 2", k, sol.K)
+		}
+		if sol.Stats.S != base.Stats.S || sol.Stats.D != base.Stats.D {
+			t.Fatalf("K=%d stats %+v disagree with 2D %+v", k, sol.Stats, base.Stats)
+		}
+		wantLo, wantHi := LiftLabels(base.Labels)
+		for v := range wantLo {
+			if sol.Lo[v] != wantLo[v] || sol.Hi[v] != wantHi[v] {
+				t.Fatalf("K=%d node %d interval [%d,%d], want [%d,%d]", k, v, sol.Lo[v], sol.Hi[v], wantLo[v], wantHi[v])
+			}
+		}
+	}
+}
+
+func TestSolveKFoldShrinksFootprint(t *testing.T) {
+	// A grid has many H nodes to fold across even layers; S must strictly
+	// decrease from K=2 to K=3 and stay monotone through K=4.
+	p := Problem{G: grid(6, 6), AlignH: []int{0}}
+	prev := -1
+	for _, k := range []int{2, 3, 4} {
+		sol, err := SolveK(context.Background(), p, k, Options{Method: MethodHeuristic, Gamma: 0.5})
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if err := ValidateK(p, k, sol.Lo, sol.Hi); err != nil {
+			t.Fatalf("K=%d invalid: %v", k, err)
+		}
+		if prev > 0 {
+			if sol.Stats.S > prev {
+				t.Fatalf("K=%d semiperimeter %d regressed above %d", k, sol.Stats.S, prev)
+			}
+			if k == 3 && sol.Stats.S >= prev {
+				t.Fatalf("K=3 semiperimeter %d did not strictly beat K=2's %d", sol.Stats.S, prev)
+			}
+		}
+		prev = sol.Stats.S
+	}
+}
+
+func TestSolveKMIPOnWheel(t *testing.T) {
+	p := Problem{G: wheel(5), AlignH: []int{5}}
+	sol, err := SolveK(context.Background(), p, 3, Options{
+		Method: MethodMIP, Gamma: 0.5, TimeLimit: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateK(p, 3, sol.Lo, sol.Hi); err != nil {
+		t.Fatal(err)
+	}
+	heur, err := SolveK(context.Background(), p, 3, Options{Method: MethodHeuristic, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.Objective(0.5) > heur.Stats.Objective(0.5)+1e-9 {
+		t.Fatalf("K-MIP objective %.2f worse than fold heuristic %.2f", sol.Stats.Objective(0.5), heur.Stats.Objective(0.5))
+	}
+}
+
+func TestSolveKPortfolioReportsEngines(t *testing.T) {
+	p := Problem{G: wheel(7), AlignH: []int{7}}
+	sol, err := SolveK(context.Background(), p, 4, Options{
+		Method: MethodPortfolio, Gamma: 0.5, TimeLimit: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Engines) != 2 {
+		t.Fatalf("engine reports %d, want 2", len(sol.Engines))
+	}
+	winners := 0
+	for _, e := range sol.Engines {
+		if e.Winner {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d winning engines, want exactly 1", winners)
+	}
+}
+
+func TestSolveKRejectsOversizedK(t *testing.T) {
+	p := Problem{G: wheel(5)}
+	if _, err := SolveK(context.Background(), p, MaxLayers+1, Options{}); err == nil {
+		t.Fatal("K above MaxLayers accepted")
+	}
+}
+
+func TestValidateKCatchesGaps(t *testing.T) {
+	g := graph.New(2)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{G: g}
+	if err := ValidateK(p, 4, []int{0, 3}, []int{0, 3}); err == nil {
+		t.Fatal("non-adjacent layers accepted")
+	}
+	if err := ValidateK(p, 4, []int{0, 1}, []int{0, 1}); err != nil {
+		t.Fatalf("adjacent layers rejected: %v", err)
+	}
+	if err := ValidateK(Problem{G: g, AlignH: []int{1}}, 4, []int{0, 1}, []int{0, 1}); err == nil {
+		t.Fatal("odd-only alignment interval accepted")
+	}
+}

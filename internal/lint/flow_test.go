@@ -102,12 +102,14 @@ func TestFlowmodMarkers(t *testing.T) {
 	}
 }
 
-// TestFlowmodRegressions pins the two historical OOM decoders: the
-// pre-fix copies in regress/ must each be flagged by allocbound.
+// TestFlowmodRegressions pins the historical OOM decoders: the pre-fix
+// copies in regress/ must each be flagged by allocbound (the third entry
+// is the layered-decoder shape of the same class, guarded in
+// xbar3d.NewDesign3D).
 func TestFlowmodRegressions(t *testing.T) {
 	prog := loadFlowmod(t)
 	diags := RunAnalyzers(prog, flowmodAnalyzers())
-	for _, file := range []string{"regress_defect.go", "regress_tile.go"} {
+	for _, file := range []string{"regress_defect.go", "regress_tile.go", "regress_design3d.go"} {
 		found := false
 		for _, d := range diags {
 			if filepath.Base(d.Pos.Filename) == file && d.Analyzer == "allocbound" {

@@ -23,10 +23,12 @@ func DefaultAnalyzers(modPath string) []*Analyzer {
 		modPath + "/internal/labeling",
 		modPath + "/internal/bdd",
 		modPath + "/internal/xbar",
+		modPath + "/internal/xbar3d",
 		modPath + "/internal/spice",
 	}
 	wirePkgs := []string{
 		modPath + "/internal/xbar",
+		modPath + "/internal/xbar3d",
 		modPath + "/internal/defect",
 		modPath + "/internal/partition",
 		modPath + "/internal/server",

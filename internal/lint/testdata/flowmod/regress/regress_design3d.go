@@ -1,0 +1,37 @@
+package regress
+
+import "encoding/json"
+
+// design3DWire mirrors the layered (FLOW-3D) design wire header as a
+// decoder would read it before the per-layer width caps: the declared
+// widths slice drives one dense plane allocation per adjacent layer pair.
+type design3DWire struct {
+	V      int   `json:"v"`
+	Widths []int `json:"widths"`
+}
+
+// DecodeDesign3D is the pre-fix layered decoder shape: each declared
+// plane extent widths[d] x widths[d+1] is allocated densely with only a
+// negativity check, so a few-byte body declaring two 2^30 layers demands
+// a dense plane the size of the product.
+func DecodeDesign3D(data []byte) ([][][]int8, error) {
+	var w design3DWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, err
+	}
+	for _, width := range w.Widths {
+		if width < 0 {
+			return nil, errNegative
+		}
+	}
+	planes := make([][][]int8, 0)
+	for d := 0; d+1 < len(w.Widths); d++ {
+		rows, cols := w.Widths[d], w.Widths[d+1]
+		plane := make([][]int8, rows) // want allocbound
+		for r := range plane {
+			plane[r] = make([]int8, cols) // want allocbound
+		}
+		planes = append(planes, plane)
+	}
+	return planes, nil
+}

@@ -42,7 +42,10 @@ import (
 // (circuit, options, margin) triples share one cached report and
 // concurrent identical requests join one in-flight analysis. Partitioned
 // results (multi-tile plans) and designs past the nodal solver's size cap
-// are refused with the "margin_unsupported" code (422).
+// are refused with the "margin_unsupported" code (422). Layered requests
+// ("layers" >= 3) run through the 3D nodal solver when the stack is
+// pristine; defect-placed layered stacks have no electrical model and are
+// refused with the same 422 code — never a 500.
 
 // maxSigma bounds the requested log-normal spread. exp(4) is a ~55x
 // resistance swing — far beyond any fabricated device, and enough to keep
@@ -146,14 +149,18 @@ func (m *wireMargin) toSpice() (string, spice.DeviceModel, spice.Variation, spic
 
 // marginResponse is the 200 body of /v1/margin.
 type marginResponse struct {
-	Key      string                 `json:"key"`
-	Model    string                 `json:"model"`
-	SigmaOn  float64                `json:"sigma_on"`
-	SigmaOff float64                `json:"sigma_off"`
-	Rows     int                    `json:"rows"`
-	Cols     int                    `json:"cols"`
-	Placed   bool                   `json:"placed"`
-	Report   spice.MonteCarloReport `json:"report"`
+	Key      string  `json:"key"`
+	Model    string  `json:"model"`
+	SigmaOn  float64 `json:"sigma_on"`
+	SigmaOff float64 `json:"sigma_off"`
+	Rows     int     `json:"rows"`
+	Cols     int     `json:"cols"`
+	Placed   bool    `json:"placed"`
+	// Layers is the wire-layer count of a layered (FLOW-3D) analysis; 0
+	// for classic 2D arrays. Rows/Cols are then the stack's footprint
+	// projection.
+	Layers int                    `json:"layers,omitempty"`
+	Report spice.MonteCarloReport `json:"report"`
 }
 
 // errMarginUnsupported marks solve outcomes the margin analyzer cannot
@@ -266,8 +273,14 @@ func (s *Server) solveMargin(ctx context.Context, key string, nw *logic.Network,
 		}
 		return nil, err
 	}
-	if res.Plan != nil || res.Design == nil {
+	if res.Plan != nil || (res.Design == nil && res.Design3D == nil) {
 		return nil, fmt.Errorf("%w: partitioned multi-tile plans have no single-array electrical model", errMarginUnsupported)
+	}
+	if res.Design3D != nil && res.Placement3D != nil {
+		// The 3D nodal solver simulates pristine stacks only: layered
+		// defect placement has no electrical model (DESIGN.md §15), so a
+		// defect-placed layered result is a typed refusal, not a 500.
+		return nil, fmt.Errorf("%w: defect-placed layered stacks have no electrical model; rerun without defect options", errMarginUnsupported)
 	}
 
 	// The Monte Carlo runs under the same per-request budget policy as the
@@ -275,9 +288,25 @@ func (s *Server) solveMargin(ctx context.Context, key string, nw *logic.Network,
 	mcCtx, cancel := context.WithTimeout(ctx, opts.TimeLimit)
 	defer cancel()
 	mcopts.Workers = s.cfg.Workers
-	env := spice.Env{Model: model, Defects: res.Defects, Placement: res.Placement}
+	resp := marginResponse{
+		Key:      key,
+		Model:    modelName,
+		SigmaOn:  v.SigmaOn,
+		SigmaOff: v.SigmaOff,
+	}
 	t0 := time.Now()
-	rep, err := spice.MonteCarloContext(mcCtx, res.Design, res.Design.Eval, len(res.Design.VarNames), env, v, mcopts)
+	var rep spice.MonteCarloReport
+	if res.Design3D != nil {
+		st := res.Design3D.Stats()
+		resp.Rows, resp.Cols, resp.Layers = st.R, st.C, st.K
+		rep, err = spice.MonteCarlo3DContext(mcCtx, res.Design3D, res.Design3D.Eval,
+			res.Design3D.NumVars(), model, v, mcopts)
+	} else {
+		resp.Rows, resp.Cols = res.Design.Rows, res.Design.Cols
+		resp.Placed = res.Placement != nil
+		env := spice.Env{Model: model, Defects: res.Defects, Placement: res.Placement}
+		rep, err = spice.MonteCarloContext(mcCtx, res.Design, res.Design.Eval, len(res.Design.VarNames), env, v, mcopts)
+	}
 	s.metrics.marginMillis.Add(float64(time.Since(t0)) / float64(time.Millisecond))
 	if err != nil {
 		if errors.Is(err, spice.ErrTooLarge) {
@@ -289,16 +318,8 @@ func (s *Server) solveMargin(ctx context.Context, key string, nw *logic.Network,
 		return nil, err
 	}
 	s.metrics.margins.Add(1)
-	body, err := json.Marshal(marginResponse{
-		Key:      key,
-		Model:    modelName,
-		SigmaOn:  v.SigmaOn,
-		SigmaOff: v.SigmaOff,
-		Rows:     res.Design.Rows,
-		Cols:     res.Design.Cols,
-		Placed:   res.Placement != nil,
-		Report:   rep,
-	})
+	resp.Report = rep
+	body, err := json.Marshal(resp)
 	if err != nil {
 		return nil, fmt.Errorf("encoding result: %w", err)
 	}

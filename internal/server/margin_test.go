@@ -210,6 +210,81 @@ func TestMarginUnsupportedOnPartitionedResult(t *testing.T) {
 	}
 }
 
+// TestMarginLayeredEnvelope pins the /v1/margin contract for FLOW-3D
+// requests: a pristine layered stack runs through the 3D nodal solver and
+// returns a normal report carrying the layer count; every layered shape
+// the analyzer cannot simulate is a typed envelope — never a 500.
+func TestMarginLayeredEnvelope(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	layered := func(options, margin string) string {
+		return fmt.Sprintf(`{"circuit": %q, "options": %s, "margin": %s}`, andOrBLIF, options, margin)
+	}
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantCode   string // empty for a 200
+	}{
+		{
+			"clean layered stack",
+			layered(`{"method": "heuristic", "layers": 3}`, `{"sigma": 0.02, "trials": 8, "vectors": 8, "seed": 3}`),
+			http.StatusOK, "",
+		},
+		{
+			"defect-placed layered stack",
+			layered(`{"method": "heuristic", "layers": 3, "defect_rate": 0.001, "defect_seed": 1}`, `{"sigma": 0.02, "trials": 4, "vectors": 4}`),
+			http.StatusUnprocessableEntity, codeMarginUnsupported,
+		},
+		{
+			"layered margin-aware placement",
+			layered(`{"method": "heuristic", "layers": 3, "margin_aware": true}`, `{"sigma": 0.02}`),
+			http.StatusBadRequest, codeInvalidOptions,
+		},
+		{
+			"layers over cap",
+			layered(`{"method": "heuristic", "layers": 99}`, `{"sigma": 0.02}`),
+			http.StatusBadRequest, codeInvalidOptions,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, body := postMargin(t, ts.URL, tc.body)
+			if status != tc.wantStatus {
+				t.Fatalf("status %d, want %d; body %s", status, tc.wantStatus, body)
+			}
+			if status >= 500 {
+				t.Fatalf("layered margin request produced a server error: %s", body)
+			}
+			if tc.wantCode == "" {
+				var mr marginResponse
+				if err := json.Unmarshal(body, &mr); err != nil {
+					t.Fatalf("non-JSON 200 body %s: %v", body, err)
+				}
+				if mr.Layers != 3 {
+					t.Errorf("layered report carries layers=%d, want 3", mr.Layers)
+				}
+				if mr.Report.Trials != 8 {
+					t.Errorf("trial accounting wrong: %+v", mr.Report)
+				}
+				if mr.Report.Yield < 0.9 {
+					t.Errorf("tight spread should give near-unit yield: %+v", mr.Report)
+				}
+				return
+			}
+			var env errorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				t.Fatalf("non-envelope error body %s: %v", body, err)
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Errorf("code %q, want %q (body %s)", env.Error.Code, tc.wantCode, body)
+			}
+			if env.Error.Message == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+}
+
 // TestMarginKeyDistinguishesParameters: different margin parameters must
 // never share a cache slot.
 func TestMarginKeyDistinguishesParameters(t *testing.T) {

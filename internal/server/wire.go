@@ -8,6 +8,7 @@ import (
 
 	"compact/internal/core"
 	"compact/internal/defect"
+	"compact/internal/labeling"
 	"compact/internal/wirelimit"
 )
 
@@ -32,6 +33,7 @@ import (
 //	    "max_rows":      0,
 //	    "max_cols":      0,
 //	    "partition":     false,        // fall back to a multi-tile cascade
+//	    "layers":        3,            // FLOW-3D: K-layer stack (0/1/2 = classic 2D)
 //
 //	    "defects":       {"v":1,"rows":8,"cols":8,"cells":[{"r":1,"c":2,"k":"off"}]},
 //	    "defect_rate":   0.05,         // generate a seeded map instead
@@ -169,6 +171,10 @@ type wireOptions struct {
 	// cannot fit one max_rows x max_cols tile is cut into a verified tile
 	// cascade, returned as result.partition (core.PartitionView).
 	Partition bool `json:"partition,omitempty"`
+	// Layers selects the FLOW-3D K-layer stack (core.Options.Layers):
+	// 0, 1 and 2 all mean the classic two-layer 2D pipeline; 3 and above
+	// synthesize a layered design returned as result.design3d.
+	Layers int `json:"layers,omitempty"`
 	// Defects is an explicit defect map in defect.Map's v1 wire format;
 	// DefectRate generates a seeded one instead (see core.Options). Both
 	// are part of the cache key via core.Options.Key, so results against
@@ -224,6 +230,9 @@ func (o *wireOptions) toCore(defaultLimit, maxLimit time.Duration) (core.Options
 		if err := wirelimit.CheckCount("max_repair_attempts", o.MaxRepairAttempts, 0); err != nil {
 			return opts, fmt.Errorf("server: %v", err)
 		}
+		if err := wirelimit.CheckCount("layers", o.Layers, labeling.MaxLayers); err != nil {
+			return opts, fmt.Errorf("server: %v", err)
+		}
 		if err := wirelimit.CheckPerm("var_order", o.VarOrder); err != nil {
 			return opts, fmt.Errorf("server: %v", err)
 		}
@@ -233,6 +242,7 @@ func (o *wireOptions) toCore(defaultLimit, maxLimit time.Duration) (core.Options
 		opts.MaxRows = o.MaxRows
 		opts.MaxCols = o.MaxCols
 		opts.Partition = o.Partition
+		opts.Layers = o.Layers
 		opts.Defects = o.Defects
 		opts.DefectRate = o.DefectRate
 		opts.DefectOnFraction = o.DefectOnFraction

@@ -95,8 +95,11 @@ func (o MonteCarloOptions) Key() string {
 }
 
 // CriticalCell names one logical design cell and how often its device sat
-// on a failing read path across failing trials.
+// on a failing read path across failing trials. Layer is the device plane
+// for K-layer stacks (always 0 for 2D designs, where it is elided from
+// JSON).
 type CriticalCell struct {
+	Layer int `json:"layer,omitempty"`
 	Row   int `json:"row"`
 	Col   int `json:"col"`
 	Flips int `json:"flips"`

@@ -1,0 +1,171 @@
+package spice
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"compact/internal/bdd"
+	"compact/internal/labeling"
+	"compact/internal/logic"
+	"compact/internal/xbar"
+	"compact/internal/xbar3d"
+)
+
+// synth3 runs the layered pipeline with natural variable order:
+// BDD -> graph -> K-labeling -> Map3D.
+func synth3(t *testing.T, nw *logic.Network, k int) *xbar3d.Design3D {
+	t.Helper()
+	m, roots, err := bdd.BuildNetwork(nw, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := xbar.FromBDD(m, roots, nw.OutputNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := labeling.SolveK(context.Background(), bg.Problem(true), k, labeling.Options{
+		Method: labeling.MethodHeuristic, Gamma: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := xbar3d.Map3D(bg, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestSimulate3DLiftMatches2D pins the 2D/3D consistency: lifting a 2D
+// design to a 2-layer stack must reproduce the 2D nodal voltages exactly —
+// same nodes, same stamps, same solve.
+func TestSimulate3DLiftMatches2D(t *testing.T) {
+	nw := fig2()
+	d2 := synth(t, nw)
+	d3, err := xbar3d.Lift3D(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := Default()
+	for a := 0; a < 8; a++ {
+		in := []bool{a&1 != 0, a&2 != 0, a&4 != 0}
+		assign := levelAssign(d2, nw, in)
+		v2, err := Simulate(d2, assign, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v3, err := Simulate3D(d3, assign, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v2) != len(v3) {
+			t.Fatalf("output counts differ: %d vs %d", len(v2), len(v3))
+		}
+		for o := range v2 {
+			if math.Abs(v2[o]-v3[o]) > 1e-9 {
+				t.Errorf("assignment %03b output %d: 2D %v vs 3D %v", a, o, v2[o], v3[o])
+			}
+		}
+	}
+}
+
+func TestMargin3DSeparableAcrossK(t *testing.T) {
+	nw := fig2()
+	for k := 2; k <= 4; k++ {
+		d := synth3(t, nw, k)
+		rep, err := Margin3DContext(context.Background(), d, nw.Eval, 3, 8, 0, Default(), 1)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if rep.Checked != 8 {
+			t.Errorf("K=%d: checked %d assignments, want 8", k, rep.Checked)
+		}
+		if !rep.Separable {
+			t.Errorf("K=%d not separable: minOn=%v maxOff=%v", k, rep.MinOn, rep.MaxOff)
+		}
+	}
+}
+
+func TestMonteCarlo3DDeterministic(t *testing.T) {
+	nw := fig2()
+	d := synth3(t, nw, 3)
+	v := Variation{SigmaOn: 0.5, SigmaOff: 0.5}
+	run := func(workers int) MonteCarloReport {
+		rep, err := MonteCarlo3DContext(context.Background(), d, nw.Eval, 3, Default(), v,
+			MonteCarloOptions{Trials: 8, Vectors: 8, Seed: 42, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(1), run(4)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("report depends on worker count:\n%+v\n%+v", a, b)
+	}
+	if a.Trials != 8 || !a.Exhaustive {
+		t.Errorf("unexpected shape: %+v", a)
+	}
+}
+
+// TestMonteCarlo3DCriticalLayers forces failing trials with an absurd
+// spread and checks the per-plane attribution: every critical cell must
+// name a real device of a real plane, worst first.
+func TestMonteCarlo3DCriticalLayers(t *testing.T) {
+	nw := fig2()
+	d := synth3(t, nw, 3)
+	model := Default()
+	model.ROff = model.ROn * 4 // almost no contrast: variation flips reads
+	v := Variation{SigmaOn: 1.5, SigmaOff: 1.5}
+	rep, err := MonteCarlo3D(d, nw.Eval, 3, 8, 16, model, v, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailTrials == 0 {
+		t.Fatal("expected failing trials under near-zero contrast")
+	}
+	if len(rep.Critical) == 0 {
+		t.Fatal("failing trials but no critical cells")
+	}
+	for _, c := range rep.Critical {
+		if c.Layer < 0 || c.Layer >= len(d.Cells) {
+			t.Errorf("critical cell plane %d outside 0..%d", c.Layer, len(d.Cells)-1)
+		} else if c.Row < 0 || c.Row >= d.Widths[c.Layer] || c.Col < 0 || c.Col >= d.Widths[c.Layer+1] {
+			t.Errorf("critical cell (%d,%d,%d) outside plane %dx%d",
+				c.Layer, c.Row, c.Col, d.Widths[c.Layer], d.Widths[c.Layer+1])
+		}
+		if c.Flips <= 0 {
+			t.Errorf("critical cell with %d flips", c.Flips)
+		}
+	}
+	for i := 1; i < len(rep.Critical); i++ {
+		if rep.Critical[i].Flips > rep.Critical[i-1].Flips {
+			t.Errorf("critical cells not sorted by flips: %+v", rep.Critical)
+		}
+	}
+}
+
+func TestCompile3TooLarge(t *testing.T) {
+	d, err := xbar3d.NewDesign3D([]int{maxNodes + 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cerr := Simulate3D(d, nil, Default())
+	if !errors.Is(cerr, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", cerr)
+	}
+}
+
+func TestMonteCarlo3DDeadline(t *testing.T) {
+	nw := fig2()
+	d := synth3(t, nw, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MonteCarlo3DContext(ctx, d, nw.Eval, 3, Default(), Variation{},
+		MonteCarloOptions{Trials: 4, Vectors: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -19,12 +19,13 @@ import (
 // ~64× below the scalar Eval, which stays as the reference oracle
 // (FuzzEval64VsScalar pins the equivalence).
 
-// conduct64 is Entry.Conducts over 64 assignments at once: bit b of the
+// Conduct64 is Entry.Conducts over 64 assignments at once: bit b of the
 // result reports whether the cell conducts under assignment b of words.
 // Like Conducts it treats unknown kinds and out-of-range variables as
 // non-conducting; Eval64Checked rejects those via the sparse-index
-// validation before this is ever reached.
-func (e Entry) conduct64(words []uint64) uint64 {
+// validation before this is ever reached. Exported for the layered design
+// in internal/xbar3d, whose sneak-path closure shares the cell semantics.
+func (e Entry) Conduct64(words []uint64) uint64 {
 	switch e.Kind {
 	case On:
 		return ^uint64(0)
@@ -90,7 +91,7 @@ func (d *Design) Eval64Checked(words []uint64) ([]uint64, error) {
 	// fixpoint.
 	masks := make([]uint64, len(idx.cells))
 	for i, sc := range idx.cells {
-		masks[i] = sc.e.conduct64(words)
+		masks[i] = sc.e.Conduct64(words)
 	}
 	reach := make([]uint64, d.Rows+d.Cols)
 	reach[d.InputRow] = ^uint64(0)
@@ -180,7 +181,7 @@ func basisWord(i int) uint64 {
 // called per assignment (use VerifyAgainst64 when a word-parallel
 // reference is available).
 func (d *Design) VerifyAgainst(ref func([]bool) []bool, nVars, exhaustiveLimit, samples int, seed uint64) []bool {
-	return d.verifyAgainst(ref, nil, nVars, exhaustiveLimit, samples, seed)
+	return VerifyEquiv(d.Eval64Checked, ref, nil, nVars, exhaustiveLimit, samples, seed)
 }
 
 // VerifyAgainst64 is VerifyAgainst with a word-parallel reference: ref64
@@ -188,13 +189,21 @@ func (d *Design) VerifyAgainst(ref func([]bool) []bool, nVars, exhaustiveLimit, 
 // output (logic.Network.Eval64 has exactly this shape), so both sides of
 // the comparison run 64 assignments per call.
 func (d *Design) VerifyAgainst64(ref64 func([]uint64) []uint64, nVars, exhaustiveLimit, samples int, seed uint64) []bool {
-	return d.verifyAgainst(nil, ref64, nVars, exhaustiveLimit, samples, seed)
+	return VerifyEquiv(d.Eval64Checked, nil, ref64, nVars, exhaustiveLimit, samples, seed)
 }
 
-func (d *Design) verifyAgainst(ref func([]bool) []bool, ref64 func([]uint64) []uint64, nVars, exhaustiveLimit, samples int, seed uint64) []bool {
+// VerifyEquiv is the verification driver behind VerifyAgainst and
+// VerifyAgainst64, exported so other word-parallel evaluators (the layered
+// Design3D in internal/xbar3d) share the exact enumeration, sampling order
+// and witness semantics. eval receives one word per variable and returns
+// one word per output, or an error when the design under test cannot be
+// evaluated at all (which counts as a mismatch: the batch's first
+// assignment becomes the witness). Exactly one of ref and ref64 must be
+// non-nil. The returned slice is the first mismatching assignment, or nil.
+func VerifyEquiv(eval func([]uint64) ([]uint64, error), ref func([]bool) []bool, ref64 func([]uint64) []uint64, nVars, exhaustiveLimit, samples int, seed uint64) []bool {
 	if nVars <= exhaustiveLimit {
 		if nVars <= MaxExhaustiveBits {
-			return d.verifyExhaustive(ref, ref64, nVars)
+			return verifyExhaustive(eval, ref, ref64, nVars)
 		}
 		// Exhaustive mode was requested but is unrepresentable; sample
 		// instead, and never with zero vectors.
@@ -202,10 +211,10 @@ func (d *Design) verifyAgainst(ref func([]bool) []bool, ref64 func([]uint64) []u
 			samples = clampedDefaultSamples
 		}
 	}
-	return d.verifySampled(ref, ref64, nVars, samples, seed)
+	return verifySampled(eval, ref, ref64, nVars, samples, seed)
 }
 
-func (d *Design) verifyExhaustive(ref func([]bool) []bool, ref64 func([]uint64) []uint64, nVars int) []bool {
+func verifyExhaustive(eval func([]uint64) ([]uint64, error), ref func([]bool) []bool, ref64 func([]uint64) []uint64, nVars int) []bool {
 	total := 1 << uint(nVars)
 	words := make([]uint64, nVars)
 	for base := 0; base < total; base += 64 {
@@ -223,7 +232,7 @@ func (d *Design) verifyExhaustive(ref func([]bool) []bool, ref64 func([]uint64) 
 				words[i] = 0
 			}
 		}
-		bad := d.verifyBatch(ref, ref64, words, n, func(b int) []bool {
+		bad := verifyBatch(eval, ref, ref64, words, n, func(b int) []bool {
 			in := make([]bool, nVars)
 			for i := range in {
 				in[i] = (base+b)&(1<<uint(i)) != 0
@@ -237,7 +246,7 @@ func (d *Design) verifyExhaustive(ref func([]bool) []bool, ref64 func([]uint64) 
 	return nil
 }
 
-func (d *Design) verifySampled(ref func([]bool) []bool, ref64 func([]uint64) []uint64, nVars, samples int, seed uint64) []bool {
+func verifySampled(eval func([]uint64) ([]uint64, error), ref func([]bool) []bool, ref64 func([]uint64) []uint64, nVars, samples int, seed uint64) []bool {
 	state := seed | 1
 	next := func() uint64 {
 		state = state*6364136223846793005 + 1442695040888963407
@@ -267,19 +276,19 @@ func (d *Design) verifySampled(ref func([]bool) []bool, ref64 func([]uint64) []u
 			}
 			batch = append(batch, in)
 		}
-		if bad := d.verifyBatch(ref, ref64, words, n, func(b int) []bool { return batch[b] }); bad != nil {
+		if bad := verifyBatch(eval, ref, ref64, words, n, func(b int) []bool { return batch[b] }); bad != nil {
 			return bad
 		}
 	}
 	return nil
 }
 
-// verifyBatch compares the design against the reference on assignments
+// verifyBatch compares the evaluator against the reference on assignments
 // 0..n-1 of words, returning the lowest-index mismatching assignment
 // (materialized via mkAssign) or nil. A design that cannot be evaluated at
 // all disagrees by definition; the batch's first assignment is the witness.
-func (d *Design) verifyBatch(ref func([]bool) []bool, ref64 func([]uint64) []uint64, words []uint64, n int, mkAssign func(b int) []bool) []bool {
-	got, err := d.Eval64Checked(words)
+func verifyBatch(eval func([]uint64) ([]uint64, error), ref func([]bool) []bool, ref64 func([]uint64) []uint64, words []uint64, n int, mkAssign func(b int) []bool) []bool {
+	got, err := eval(words)
 	if err != nil {
 		return mkAssign(0)
 	}

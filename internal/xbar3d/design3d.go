@@ -1,0 +1,376 @@
+// Package xbar3d represents K-layer (FLOW-3D style) crossbar designs: K
+// stacked nanowire layers with a memristor device plane between each
+// adjacent pair, evaluated by sneak-path reachability through devices and
+// always-ON via stitches.
+//
+// The wire stack alternates orientation — even layers carry horizontal
+// wordlines, odd layers vertical bitlines — so the footprint of the stack
+// is its projection: R = max width over even layers, C = max width over
+// odd layers, S = R + C. A 2-layer Design3D is exactly a 2D xbar.Design
+// (Lift3D/Map3D pin the correspondence cell for cell), and K >= 3 is the
+// FLOW-3D generalization that folds wordlines across layers.
+package xbar3d
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"compact/internal/invariant"
+	"compact/internal/wirelimit"
+	"compact/internal/xbar"
+)
+
+// MaxWireLayers caps the layer count of any Design3D, wire-decoded or
+// built in process. It matches labeling.MaxLayers (asserted by a test so
+// the two cannot drift): no published 3D RRAM stack exceeds a handful of
+// device layers.
+const MaxWireLayers = 8
+
+// WireRef addresses one nanowire in the stack: wire Index of layer Layer.
+type WireRef struct {
+	Layer int `json:"l"`
+	Index int `json:"i"`
+}
+
+// Design3D is a complete K-layer crossbar representation of a Boolean
+// function. Layer widths are per-layer wire counts; device plane d sits
+// between wire layers d and d+1, so Cells[d] is Widths[d] x Widths[d+1]
+// and there are len(Widths)-1 device planes.
+type Design3D struct {
+	// Widths[l] is the number of nanowires on wire layer l (len >= 2).
+	Widths []int
+	// Cells[d][r][c] is the device between wire r of layer d and wire c of
+	// layer d+1. On cells are the inter-layer via stitches.
+	Cells [][][]xbar.Entry
+	// Input is the wire driven with Vin (an even, wordline layer).
+	Input WireRef
+	// Outputs holds one sensed wire per function output (entries may repeat
+	// when outputs share a BDD root).
+	Outputs     []WireRef
+	OutputNames []string
+	// VarNames names the literal variables (indexed by Entry.Var).
+	VarNames []string
+
+	// sparse caches the non-Off cells plus the largest literal variable
+	// index, built lazily on first Eval exactly like xbar.Design's index;
+	// Cells must not be mutated after the first Eval.
+	sparse atomic.Pointer[sparseIndex3]
+}
+
+// K returns the number of wire layers.
+func (d *Design3D) K() int { return len(d.Widths) }
+
+// NumWires returns the total nanowire count across all layers.
+func (d *Design3D) NumWires() int {
+	n := 0
+	for _, w := range d.Widths {
+		n += w
+	}
+	return n
+}
+
+// WireID flattens a (layer, index) reference into the global wire
+// numbering 0..NumWires()-1: layers are concatenated in order.
+func (d *Design3D) WireID(ref WireRef) int {
+	id := ref.Index
+	for l := 0; l < ref.Layer; l++ {
+		id += d.Widths[l]
+	}
+	return id
+}
+
+// NewDesign3D allocates an all-Off K-layer crossbar with the given layer
+// widths (at least two layers). Every dimension is bounds-checked through
+// wirelimit before any allocation sized from it — the constructor is the
+// single allocation point for wire-decoded stacks, so the caps live here.
+func NewDesign3D(widths []int) (*Design3D, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("xbar3d: %d wire layers (need >= 2)", len(widths))
+	}
+	if err := wirelimit.CheckCount("wire layers", len(widths), MaxWireLayers); err != nil {
+		return nil, fmt.Errorf("xbar3d: %v", err)
+	}
+	for l, w := range widths {
+		if err := wirelimit.CheckDim(fmt.Sprintf("layer %d width", l), w); err != nil {
+			return nil, fmt.Errorf("xbar3d: %v", err)
+		}
+	}
+	d := &Design3D{Widths: append([]int(nil), widths...)}
+	d.Cells = make([][][]xbar.Entry, len(widths)-1)
+	for dl := range d.Cells {
+		rows, cols := widths[dl], widths[dl+1]
+		if err := wirelimit.CheckCells(fmt.Sprintf("plane %d", dl), rows, cols, maxWireCells3D); err != nil {
+			return nil, fmt.Errorf("xbar3d: %v", err)
+		}
+		plane := make([][]xbar.Entry, rows)
+		backing := make([]xbar.Entry, rows*cols)
+		for r := range plane {
+			plane[r], backing = backing[:cols:cols], backing[cols:]
+		}
+		d.Cells[dl] = plane
+	}
+	return d, nil
+}
+
+type sparseCell3 struct {
+	d, row, col int
+	e           xbar.Entry
+}
+
+// sparseIndex3 mirrors xbar's sparseIndex: the non-Off cells in
+// (plane, row)-major order, the largest literal variable (-1 when none)
+// and the first structural corruption found while indexing.
+type sparseIndex3 struct {
+	cells  []sparseCell3
+	maxVar int32
+	err    error
+}
+
+func (d *Design3D) sparseIdx() *sparseIndex3 {
+	if p := d.sparse.Load(); p != nil {
+		return p
+	}
+	idx := &sparseIndex3{cells: []sparseCell3{}, maxVar: -1}
+	if idx.err == nil {
+		idx.err = d.checkShape()
+	}
+	for dl, plane := range d.Cells {
+		for r, row := range plane {
+			for c, e := range row {
+				if e.Kind != xbar.Off {
+					idx.cells = append(idx.cells, sparseCell3{dl, r, c, e})
+				}
+				if e.Kind > xbar.Lit && idx.err == nil {
+					idx.err = invariant.Violationf("xbar3d.cell-kind",
+						"cell (%d,%d,%d) has unknown kind %d", dl, r, c, e.Kind)
+				}
+				if e.Kind == xbar.Lit {
+					if e.Var < 0 && idx.err == nil {
+						idx.err = invariant.Violationf("xbar3d.cell-var",
+							"cell (%d,%d,%d) references negative variable %d", dl, r, c, e.Var)
+					}
+					if e.Var > idx.maxVar {
+						idx.maxVar = e.Var
+					}
+				}
+			}
+		}
+	}
+	d.sparse.Store(idx)
+	return idx
+}
+
+// checkShape validates the structural invariants Eval relies on: layer
+// count, per-plane dimensions, and in-range input/output wire references.
+func (d *Design3D) checkShape() error {
+	k := len(d.Widths)
+	if k < 2 {
+		return invariant.Violationf("xbar3d.layers", "%d wire layers (need >= 2)", k)
+	}
+	if len(d.Cells) != k-1 {
+		return invariant.Violationf("xbar3d.planes", "%d device planes for %d wire layers", len(d.Cells), k)
+	}
+	for dl, plane := range d.Cells {
+		if len(plane) != d.Widths[dl] {
+			return invariant.Violationf("xbar3d.plane-rows",
+				"plane %d has %d rows, layer width is %d", dl, len(plane), d.Widths[dl])
+		}
+		for r, row := range plane {
+			if len(row) != d.Widths[dl+1] {
+				return invariant.Violationf("xbar3d.plane-cols",
+					"plane %d row %d has %d cols, layer width is %d", dl, r, len(row), d.Widths[dl+1])
+			}
+		}
+	}
+	if err := d.checkRef("input", d.Input); err != nil {
+		return err
+	}
+	for i, o := range d.Outputs {
+		if err := d.checkRef(fmt.Sprintf("output #%d", i), o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Design3D) checkRef(what string, ref WireRef) error {
+	if ref.Layer < 0 || ref.Layer >= len(d.Widths) {
+		return invariant.Violationf("xbar3d.wire-layer",
+			"%s wire layer %d outside 0..%d", what, ref.Layer, len(d.Widths)-1)
+	}
+	if ref.Index < 0 || ref.Index >= d.Widths[ref.Layer] {
+		return invariant.Violationf("xbar3d.wire-index",
+			"%s wire %d outside layer %d width %d", what, ref.Index, ref.Layer, d.Widths[ref.Layer])
+	}
+	return nil
+}
+
+// NumVars returns the number of assignment entries the design requires.
+func (d *Design3D) NumVars() int {
+	n := int(d.sparseIdx().maxVar) + 1
+	if len(d.VarNames) > n {
+		n = len(d.VarNames)
+	}
+	return n
+}
+
+// Stats3D summarizes the stack's footprint and utilization under the
+// projection cost model (see the package comment).
+type Stats3D struct {
+	K      int   // wire layers
+	Widths []int // wires per layer
+	R      int   // footprint rows: max width over even layers
+	C      int   // footprint cols: max width over odd layers
+	S      int   // semiperimeter of the footprint
+	D      int   // max footprint dimension
+	Area   int   // total device-plane extent: sum of Widths[d]*Widths[d+1]
+	// LitCells / OnCells / Power follow the 2D Stats semantics; OnCells
+	// counts the via stitches.
+	LitCells int
+	OnCells  int
+	Power    int
+	// Delay is the 2D computation-delay proxy on the projection: one step
+	// per footprint wordline to program plus one to evaluate.
+	Delay int
+}
+
+// Stats computes the design's summary statistics.
+func (d *Design3D) Stats() Stats3D {
+	st := Stats3D{K: len(d.Widths), Widths: append([]int(nil), d.Widths...)}
+	for l, w := range d.Widths {
+		if l%2 == 0 {
+			if w > st.R {
+				st.R = w
+			}
+		} else if w > st.C {
+			st.C = w
+		}
+	}
+	st.S = st.R + st.C
+	st.D = st.R
+	if st.C > st.D {
+		st.D = st.C
+	}
+	for dl := range d.Cells {
+		st.Area += d.Widths[dl] * d.Widths[dl+1]
+	}
+	for _, plane := range d.Cells {
+		for _, row := range plane {
+			for _, e := range row {
+				switch e.Kind {
+				case xbar.Lit:
+					st.LitCells++
+				case xbar.On:
+					st.OnCells++
+				}
+			}
+		}
+	}
+	st.Power = st.LitCells
+	st.Delay = st.R + 1
+	return st
+}
+
+// Eval evaluates all outputs under the assignment by union-find
+// connectivity over the global wire numbering — the scalar oracle the
+// word-parallel Eval64 is fuzz-checked against. Precondition violations
+// panic with the structured invariant error EvalChecked would return.
+func (d *Design3D) Eval(assignment []bool) []bool {
+	out, err := d.EvalChecked(assignment)
+	if err != nil {
+		//lint:ignore panicfree documented Eval precondition on programmer-supplied assignments; EvalChecked is the error-returning form for wire-decoded designs
+		panic(err)
+	}
+	return out
+}
+
+// EvalChecked is Eval with preconditions checked: corrupted cells,
+// malformed shapes, out-of-range wire references and short assignments
+// return an *invariant.Error instead of mis-evaluating.
+func (d *Design3D) EvalChecked(assignment []bool) ([]bool, error) {
+	idx := d.sparseIdx()
+	if idx.err != nil {
+		return nil, idx.err
+	}
+	if int(idx.maxVar) >= len(assignment) {
+		return nil, invariant.Violationf("xbar3d.eval-assignment",
+			"assignment has %d entries but the design references variable %d", len(assignment), idx.maxVar)
+	}
+	offsets := d.layerOffsets()
+	parent := make([]int, d.NumWires())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, sc := range idx.cells {
+		if sc.e.Conducts(assignment) {
+			a, b := find(offsets[sc.d]+sc.row), find(offsets[sc.d+1]+sc.col)
+			if a != b {
+				parent[a] = b
+			}
+		}
+	}
+	in := find(d.WireID(d.Input))
+	out := make([]bool, len(d.Outputs))
+	for i, o := range d.Outputs {
+		out[i] = find(d.WireID(o)) == in
+	}
+	return out, nil
+}
+
+// layerOffsets returns the global wire id of each layer's wire 0.
+func (d *Design3D) layerOffsets() []int {
+	offsets := make([]int, len(d.Widths))
+	for l := 1; l < len(d.Widths); l++ {
+		offsets[l] = offsets[l-1] + d.Widths[l-1]
+	}
+	return offsets
+}
+
+// RemapVars rewrites every literal cell's variable through remap and
+// replaces VarNames, mirroring xbar.Design.RemapVars for the layered path
+// (core remaps BDD-level variables into network-input order).
+func (d *Design3D) RemapVars(remap []int, names []string) error {
+	for dl, plane := range d.Cells {
+		for r, row := range plane {
+			for c, e := range row {
+				if e.Kind != xbar.Lit {
+					continue
+				}
+				if e.Var < 0 || int(e.Var) >= len(remap) {
+					return fmt.Errorf("xbar3d: cell (%d,%d,%d) variable %d outside remap", dl, r, c, e.Var)
+				}
+				d.Cells[dl][r][c].Var = int32(remap[e.Var])
+			}
+		}
+	}
+	d.VarNames = names
+	d.sparse.Store(nil) // invalidate the cached cell list
+	return nil
+}
+
+// Clone deep-copies the design (the sparse cache is not shared).
+func (d *Design3D) Clone() *Design3D {
+	nd, err := NewDesign3D(d.Widths)
+	if err != nil {
+		//lint:ignore panicfree cloning an already-constructed design cannot fail NewDesign3D's shape checks
+		panic(err)
+	}
+	for dl, plane := range d.Cells {
+		for r, row := range plane {
+			copy(nd.Cells[dl][r], row)
+		}
+	}
+	nd.Input = d.Input
+	nd.Outputs = append([]WireRef(nil), d.Outputs...)
+	nd.OutputNames = append([]string(nil), d.OutputNames...)
+	nd.VarNames = append([]string(nil), d.VarNames...)
+	return nd
+}

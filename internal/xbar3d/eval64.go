@@ -1,0 +1,108 @@
+package xbar3d
+
+import (
+	"compact/internal/invariant"
+	"compact/internal/xbar"
+)
+
+// Word-parallel evaluation through vias: the 2D bitset sneak-path closure
+// (xbar.Eval64) lifted to the global wire numbering. reach[w] holds, per
+// assignment bit, whether wire w connects to the input wire; every non-Off
+// device — literal or via stitch — propagates reachability between its
+// layer-d and layer-d+1 wires masked by its 64-assignment conduction word.
+
+// Eval64 evaluates all outputs under 64 assignments at once; see
+// xbar.Design.Eval64 for the word convention. Precondition violations
+// panic; Eval64Checked is the error-returning form.
+func (d *Design3D) Eval64(words []uint64) []uint64 {
+	out, err := d.Eval64Checked(words)
+	if err != nil {
+		//lint:ignore panicfree documented Eval64 precondition on programmer-supplied assignments; Eval64Checked is the error-returning form for wire-decoded designs
+		panic(err)
+	}
+	return out
+}
+
+// Eval64Checked is Eval64 with the preconditions checked, mirroring
+// EvalChecked's validation.
+func (d *Design3D) Eval64Checked(words []uint64) ([]uint64, error) {
+	idx := d.sparseIdx()
+	if idx.err != nil {
+		return nil, idx.err
+	}
+	if int(idx.maxVar) >= len(words) {
+		return nil, invariant.Violationf("xbar3d.eval-assignment",
+			"assignment has %d entries but the design references variable %d", len(words), idx.maxVar)
+	}
+	offsets := d.layerOffsets()
+	masks := make([]uint64, len(idx.cells))
+	for i, sc := range idx.cells {
+		masks[i] = sc.e.Conduct64(words)
+	}
+	reach := make([]uint64, d.NumWires())
+	reach[d.WireID(d.Input)] = ^uint64(0)
+	// Alternating forward/backward sweeps over the sparse cell list, exactly
+	// the 2D fixpoint discipline: each sweep either sets a new bit (bounded
+	// by 64·NumWires) or proves the closure.
+	for {
+		changed := false
+		for i, sc := range idx.cells {
+			m := masks[i]
+			if m == 0 {
+				continue
+			}
+			a, b := offsets[sc.d]+sc.row, offsets[sc.d+1]+sc.col
+			u := (reach[a] | reach[b]) & m
+			if u&^reach[a] != 0 {
+				reach[a] |= u
+				changed = true
+			}
+			if u&^reach[b] != 0 {
+				reach[b] |= u
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		changed = false
+		for i := len(idx.cells) - 1; i >= 0; i-- {
+			m := masks[i]
+			if m == 0 {
+				continue
+			}
+			sc := idx.cells[i]
+			a, b := offsets[sc.d]+sc.row, offsets[sc.d+1]+sc.col
+			u := (reach[a] | reach[b]) & m
+			if u&^reach[a] != 0 {
+				reach[a] |= u
+				changed = true
+			}
+			if u&^reach[b] != 0 {
+				reach[b] |= u
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make([]uint64, len(d.Outputs))
+	for i, o := range d.Outputs {
+		out[i] = reach[d.WireID(o)]
+	}
+	return out, nil
+}
+
+// VerifyAgainst checks the design against a scalar reference evaluator;
+// the enumeration, sampling and witness semantics are exactly
+// xbar.VerifyEquiv's (shared driver).
+func (d *Design3D) VerifyAgainst(ref func([]bool) []bool, nVars, exhaustiveLimit, samples int, seed uint64) []bool {
+	return xbar.VerifyEquiv(d.Eval64Checked, ref, nil, nVars, exhaustiveLimit, samples, seed)
+}
+
+// VerifyAgainst64 is VerifyAgainst with a word-parallel reference
+// (logic.Network.Eval64 has the required shape).
+func (d *Design3D) VerifyAgainst64(ref64 func([]uint64) []uint64, nVars, exhaustiveLimit, samples int, seed uint64) []bool {
+	return xbar.VerifyEquiv(d.Eval64Checked, nil, ref64, nVars, exhaustiveLimit, samples, seed)
+}

@@ -1,0 +1,110 @@
+package xbar3d
+
+import (
+	"errors"
+	"fmt"
+
+	"compact/internal/bdd"
+	"compact/internal/logic"
+	"compact/internal/xbar"
+)
+
+// SymbolicOutputs3D computes the exact Boolean function each output wire
+// realizes, as canonical BDDs — the symbolic sneak-path fixpoint of
+// xbar.SymbolicOutputs lifted to the global wire numbering, with via
+// stitches contributing always-true device predicates. nodeLimit bounds
+// the BDD size (0 = default 4M).
+func SymbolicOutputs3D(d *Design3D, nodeLimit int) (m *bdd.Manager, outs []bdd.Node, err error) {
+	if nodeLimit <= 0 {
+		nodeLimit = 4_000_000
+	}
+	names := d.VarNames
+	if names == nil {
+		return nil, nil, errors.New("xbar3d: design has no variable names")
+	}
+	idx := d.sparseIdx()
+	if idx.err != nil {
+		return nil, nil, idx.err
+	}
+	m = bdd.New(names)
+	m.SetNodeLimit(nodeLimit)
+	defer func() {
+		if r := recover(); r != nil {
+			m, outs, err = nil, nil, bdd.BoundaryError(r)
+		}
+	}()
+
+	offsets := d.layerOffsets()
+	conn := make([]bdd.Node, d.NumWires())
+	for i := range conn {
+		conn[i] = bdd.Zero
+	}
+	conn[d.WireID(d.Input)] = bdd.One
+
+	lit := func(e xbar.Entry) bdd.Node {
+		switch e.Kind {
+		case xbar.On:
+			return bdd.One
+		case xbar.Lit:
+			if e.Neg {
+				return m.NVar(int(e.Var))
+			}
+			return m.Var(int(e.Var))
+		}
+		return bdd.Zero
+	}
+	for {
+		changed := false
+		for _, sc := range idx.cells {
+			l := lit(sc.e)
+			a, b := offsets[sc.d]+sc.row, offsets[sc.d+1]+sc.col
+			if na := m.Or(conn[a], m.And(l, conn[b])); na != conn[a] {
+				conn[a] = na
+				changed = true
+			}
+			if nb := m.Or(conn[b], m.And(l, conn[a])); nb != conn[b] {
+				conn[b] = nb
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	outs = make([]bdd.Node, len(d.Outputs))
+	for i, o := range d.Outputs {
+		outs[i] = conn[d.WireID(o)]
+	}
+	return m, outs, nil
+}
+
+// FormalVerify3D proves, for every input assignment, that the layered
+// design computes exactly the network's functions by comparing canonical
+// BDDs — the 3D counterpart of xbar.FormalVerify. The design's variables
+// must be in network-input order (which core.Synthesize guarantees).
+func FormalVerify3D(d *Design3D, nw *logic.Network, nodeLimit int) error {
+	if len(d.VarNames) != nw.NumInputs() {
+		return fmt.Errorf("xbar3d: design has %d variables, network %d inputs", len(d.VarNames), nw.NumInputs())
+	}
+	m, designOuts, err := SymbolicOutputs3D(d, nodeLimit)
+	if err != nil {
+		return fmt.Errorf("xbar3d: symbolic closure: %w", err)
+	}
+	refOuts, err := m.BuildRoots(nw, nil)
+	if err != nil {
+		return err
+	}
+	if len(designOuts) != len(refOuts) {
+		return fmt.Errorf("xbar3d: output count mismatch: %d vs %d", len(designOuts), len(refOuts))
+	}
+	for o := range refOuts {
+		if designOuts[o] == refOuts[o] {
+			continue
+		}
+		diff := m.Xor(designOuts[o], refOuts[o])
+		witness := m.AnySat(diff)
+		return fmt.Errorf("xbar3d: output %q differs from the network, e.g. on input %v",
+			nw.OutputNames[o], witness[:nw.NumInputs()])
+	}
+	return nil
+}
